@@ -1,0 +1,59 @@
+"""Ablation: redundant-computation elimination on/off.
+
+Section III.C's trade-off: "the approach of removing redundant
+computations ... is complex and more time-consuming.  The trade-off
+depends on whether users need to obtain large amounts of parallelism."
+We measure both sides: the analysis cost and the parallelism gained,
+plus the executed-work reduction.
+"""
+
+import pytest
+
+from repro.analysis import analyze_redundancy, extract_references
+from repro.core import Strategy, build_plan
+from repro.lang import catalog
+from repro.runtime import verify_plan
+
+
+@pytest.mark.parametrize("n", (4, 6, 8))
+def test_analysis_cost_scaling(benchmark, n):
+    """The price side: exact redundancy analysis over the trace."""
+    model = extract_references(catalog.l3(n))
+    red = benchmark(analyze_redundancy, model)
+    benchmark.extra_info.update(n=n, live=len(red.live),
+                                total=2 * model.space.size())
+    assert len(red.n_set(0)) == n  # only the last column of S1 survives
+
+
+@pytest.mark.parametrize("elim", (False, True), ids=["off", "on"])
+def test_parallelism_gained(benchmark, elim):
+    def build():
+        return build_plan(catalog.l3(), Strategy.DUPLICATE,
+                          eliminate_redundant=elim)
+
+    plan = benchmark(build)
+    benchmark.extra_info.update(eliminate=elim, blocks=plan.num_blocks)
+    assert plan.num_blocks == (4 if elim else 1)
+
+
+def test_work_reduction(benchmark):
+    """Eliminated computations are real savings: 12 of 32 skipped on L3."""
+    plan = build_plan(catalog.l3(), Strategy.DUPLICATE, eliminate_redundant=True)
+    report = benchmark(verify_plan, plan)
+    benchmark.extra_info.update(skipped=report.skipped_computations,
+                                executed=report.executed_iterations)
+    assert report.ok
+    assert report.skipped_computations == 12
+
+
+def test_no_gain_without_redundancy(benchmark):
+    """On a redundancy-free loop the minimal spaces change nothing."""
+    nest = catalog.l1()
+
+    def both():
+        a = build_plan(nest, Strategy.DUPLICATE)
+        b = build_plan(nest, Strategy.DUPLICATE, eliminate_redundant=True)
+        return a.num_blocks, b.num_blocks
+
+    plain, minimal = benchmark(both)
+    assert plain == minimal == 7

@@ -1,0 +1,70 @@
+"""Ablation: which arrays to duplicate (the DESIGN.md design-choice study).
+
+Sweeps the duplication choice on L5 {none, A, B, A+B} and reports the
+parallelism / replication / simulated-time trade-off the paper discusses
+("determining which kind of duplication of array is suitable ... can be
+appropriately estimated").
+"""
+
+import pytest
+
+from repro.core import Strategy, build_plan
+from repro.lang import catalog
+from repro.machine.cost import TRANSPUTER
+from repro.perf import simulate_l5, simulate_l5_doubleprime, simulate_l5_prime
+
+CHOICES = [
+    ("none", None, Strategy.NONDUPLICATE),
+    ("B", {"B"}, Strategy.DUPLICATE),
+    ("A", {"A"}, Strategy.DUPLICATE),
+    ("AB", {"A", "B"}, Strategy.DUPLICATE),
+]
+
+
+@pytest.mark.parametrize("label,dup,strategy", CHOICES,
+                         ids=[c[0] for c in CHOICES])
+def test_duplication_choice(benchmark, label, dup, strategy):
+    nest = catalog.l5(4)
+
+    def build():
+        return build_plan(nest, strategy, duplicate_arrays=dup)
+
+    plan = benchmark(build)
+    repl = {n: round(plan.replication_factor(n), 2) for n in ("A", "B", "C")}
+    benchmark.extra_info.update(choice=label, blocks=plan.num_blocks,
+                                replication=str(repl))
+    expected_blocks = {"none": 1, "B": 4, "A": 4, "AB": 16}[label]
+    assert plan.num_blocks == expected_blocks
+
+
+def test_tradeoff_ranking(benchmark):
+    """More duplication -> more parallelism -> lower simulated time
+    (at Transputer constants, M=256, p=16)."""
+
+    def times():
+        return (simulate_l5(256).total_time,
+                simulate_l5_prime(256, 16).total_time,
+                simulate_l5_doubleprime(256, 16).total_time)
+
+    seq, dup_b, dup_ab = benchmark(times)
+    benchmark.extra_info.update(sequential=seq, dup_B=dup_b, dup_AB=dup_ab)
+    assert dup_ab < dup_b < seq
+
+
+def test_replication_memory_cost(benchmark):
+    """The flip side: duplication multiplies memory footprint."""
+    nest = catalog.l5(4)
+
+    def footprints():
+        out = {}
+        for label, dup, strategy in CHOICES:
+            plan = build_plan(nest, strategy, duplicate_arrays=dup)
+            out[label] = sum(
+                len(db) for blocks in plan.data_blocks.values()
+                for db in blocks)
+        return out
+
+    words = benchmark(footprints)
+    benchmark.extra_info.update(**{f"words_{k}": v for k, v in words.items()})
+    assert words["none"] <= words["B"] <= words["AB"]
+    assert words["AB"] > 2 * words["none"]  # replication is not free

@@ -1,0 +1,75 @@
+"""Ablation: interconnect topology sensitivity of the distribution phase.
+
+The paper's machine is a mesh; Transputers were also wired as rings,
+tori and hypercubes.  This bench replays the L5'/L5'' distribution
+patterns on each interconnect, showing how the broadcast term of T2
+(diameter-bound) shrinks on richer topologies while the pipelined
+scatter/multicast terms barely move -- i.e. the paper's preference for
+L5'' is topology-robust.
+"""
+
+import pytest
+
+from repro.machine import (
+    HOST,
+    Hypercube,
+    Mesh2D,
+    Multicomputer,
+    RingTopology,
+    Torus2D,
+    UNIT_COSTS,
+)
+
+TOPOLOGIES = {
+    "mesh": lambda: Mesh2D(4, 4),
+    "torus": lambda: Torus2D(4, 4),
+    "hypercube": lambda: Hypercube(4),
+    "ring": lambda: RingTopology(16),
+}
+
+
+def l5p_distribution(topology, m=64):
+    """The L5' pattern: scatter A, broadcast B."""
+    mc = Multicomputer(topology, cost=UNIT_COSTS)
+    for pid in range(16):
+        mc.network.send(HOST, pid, (m // 16) * m, tag="A")
+    mc.network.broadcast(HOST, m * m, tag="B")
+    return mc.network.elapsed
+
+
+def l5pp_distribution(topology, m=64):
+    """The L5'' pattern: row/column multicasts of A and B."""
+    mc = Multicomputer(topology, cost=UNIT_COSTS)
+    groups = [list(range(g * 4, g * 4 + 4)) for g in range(4)]
+    for grp in groups:
+        mc.network.multicast(HOST, grp, (m // 4) * m, tag="A")
+    for c in range(4):
+        mc.network.multicast(HOST, [c + 4 * r for r in range(4)],
+                             (m // 4) * m, tag="B")
+    return mc.network.elapsed
+
+
+@pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+def test_l5pp_beats_l5p_on_every_topology(benchmark, name):
+    topo = TOPOLOGIES[name]()
+
+    def both():
+        return l5p_distribution(topo), l5pp_distribution(topo)
+
+    t_p, t_pp = benchmark(both)
+    benchmark.extra_info.update(topology=name, l5p=t_p, l5pp=t_pp)
+    assert t_pp < t_p
+
+
+def test_broadcast_tracks_diameter(benchmark):
+    def measure():
+        return {name: TOPOLOGIES[name]().diameter_from(HOST)
+                for name in TOPOLOGIES}
+
+    diam = benchmark(measure)
+    benchmark.extra_info.update(**diam)
+    assert diam["hypercube"] < diam["mesh"] < diam["ring"]
+    # L5' total distribution ranks accordingly
+    costs = {name: l5p_distribution(TOPOLOGIES[name]())
+             for name in ("hypercube", "mesh", "ring")}
+    assert costs["hypercube"] < costs["mesh"] < costs["ring"]

@@ -1,0 +1,10 @@
+"""Fig. 1: data spaces and data-referenced vectors of L1's arrays."""
+
+from repro.viz import fig01_l1_dataspaces
+
+
+def test_fig01(benchmark):
+    art = benchmark(fig01_l1_dataspaces)
+    benchmark.extra_info.update(drvs=str(art.data["drvs"]))
+    assert art.data["drvs"] == {"A": [(2, 1)], "B": [], "C": [(1, 1)]}
+    assert "array A" in art.text

@@ -1,0 +1,31 @@
+"""Figs. 2-3: data blocks and iteration blocks of L1 (non-duplicate).
+
+The whole Theorem-1 pipeline on Example 1: seven communication-free
+blocks along span{(1,1)}, with the exact base points of Fig. 3.
+"""
+
+from repro.core import Strategy, build_plan
+from repro.lang import catalog
+from repro.viz import fig02_l1_data_partition, fig03_l1_iteration_partition
+
+
+def test_fig02_data_partition(benchmark):
+    art = benchmark(fig02_l1_data_partition)
+    benchmark.extra_info.update(num_blocks=art.data["num_blocks"])
+    assert art.data["num_blocks"] == 7
+    sizes = art.data["block_sizes"]
+    assert sum(sizes["A"]) == 23 and sum(sizes["B"]) == 16
+
+
+def test_fig03_iteration_partition(benchmark):
+    art = benchmark(fig03_l1_iteration_partition)
+    benchmark.extra_info.update(base_points=str(art.data["base_points"]))
+    assert art.data["base_points"] == [
+        (1, 1), (1, 2), (1, 3), (1, 4), (2, 1), (3, 1), (4, 1)]
+    assert art.data["block_sizes"] == [4, 3, 2, 1, 3, 2, 1]
+
+
+def test_l1_partition_pipeline(benchmark):
+    """Time the raw analysis+partition pipeline (no rendering)."""
+    plan = benchmark(build_plan, catalog.l1(), Strategy.NONDUPLICATE)
+    assert plan.num_blocks == 7

@@ -1,0 +1,33 @@
+"""Figs. 4-5: L2 under the duplicate-data strategy.
+
+Theorem 2 on Example 2: every iteration becomes its own block (16
+blocks for the 4x4 space), with the per-block data regions of Fig. 4.
+"""
+
+from repro.core import Strategy, build_plan
+from repro.lang import catalog
+from repro.viz import fig04_l2_data_partition, fig05_l2_iteration_partition
+
+
+def test_fig04_data_partition(benchmark):
+    art = benchmark(fig04_l2_data_partition)
+    benchmark.extra_info.update(replication=str(art.data["replication"]))
+    assert art.data["num_blocks"] == 16
+    assert art.data["replication"]["A"] > 1.0
+
+
+def test_fig05_iteration_partition(benchmark):
+    art = benchmark(fig05_l2_iteration_partition)
+    assert art.data["num_blocks"] == 16
+
+
+def test_l2_duplicate_vs_nonduplicate(benchmark):
+    """The Section III.B contrast: sequential vs fully parallel."""
+
+    def both():
+        return (build_plan(catalog.l2()).num_blocks,
+                build_plan(catalog.l2(), Strategy.DUPLICATE).num_blocks)
+
+    nd, dup = benchmark(both)
+    benchmark.extra_info.update(nonduplicate_blocks=nd, duplicate_blocks=dup)
+    assert nd == 1 and dup == 16

@@ -1,0 +1,29 @@
+"""Figs. 6-7: the data reference graph.
+
+Fig. 6 is the generic schema (a definition); Fig. 7 instantiates it for
+loop L3 and is regenerated and pinned here.
+"""
+
+from repro.analysis import build_reference_graph, extract_references
+from repro.lang import catalog
+from repro.viz import fig07_l3_reference_graph
+
+
+def test_fig07_graph(benchmark):
+    art = benchmark(fig07_l3_reference_graph)
+    benchmark.extra_info.update(edges=str(sorted(art.data["edges"])))
+    assert sorted(art.data["edges"]) == sorted([
+        ("w1", "w2", "output"), ("r2", "r1", "input"),
+        ("r2", "w1", "anti"), ("r2", "w2", "anti"),
+        ("w1", "r1", "flow"), ("w2", "r1", "flow"),
+    ])
+
+
+def test_graph_construction_all_arrays_l1(benchmark):
+    model = extract_references(catalog.l1())
+
+    def build():
+        return {n: build_reference_graph(model, n) for n in model.arrays}
+
+    graphs = benchmark(build)
+    assert len(graphs["C"].edges) == 1  # the input dependence of Example 1

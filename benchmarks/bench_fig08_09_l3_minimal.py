@@ -1,0 +1,41 @@
+"""Figs. 8-9: L3 under redundancy elimination + duplicate data.
+
+Section III.C end to end: without elimination L3 is sequential even
+with duplication; eliminating the redundant S1 computations yields
+Psi^min^r = span{(1,0)} and 4 parallel blocks.
+"""
+
+from repro.core import Strategy, build_plan
+from repro.lang import catalog
+from repro.runtime import verify_plan
+from repro.viz import fig08_l3_data_partition, fig09_l3_iteration_partition
+
+
+def test_fig08_data_partition(benchmark):
+    art = benchmark(fig08_l3_data_partition)
+    assert art.data["num_blocks"] == 4
+
+
+def test_fig09_iteration_partition(benchmark):
+    art = benchmark(fig09_l3_iteration_partition)
+    benchmark.extra_info.update(N_S1=str(art.data["N_S1"]))
+    assert art.data["N_S1"] == [(1, 4), (2, 4), (3, 4), (4, 4)]
+    assert art.data["num_blocks"] == 4
+
+
+def test_elimination_unlocks_parallelism(benchmark):
+    def both():
+        without = build_plan(catalog.l3(), Strategy.DUPLICATE).num_blocks
+        with_elim = build_plan(catalog.l3(), Strategy.DUPLICATE,
+                               eliminate_redundant=True).num_blocks
+        return without, with_elim
+
+    without, with_elim = benchmark(both)
+    benchmark.extra_info.update(blocks_without=without, blocks_with=with_elim)
+    assert without == 1 and with_elim == 4
+
+
+def test_minimal_plan_exactness(benchmark):
+    plan = build_plan(catalog.l3(), Strategy.DUPLICATE, eliminate_redundant=True)
+    report = benchmark(verify_plan, plan)
+    assert report.ok and report.skipped_computations == 12

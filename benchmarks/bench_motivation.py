@@ -1,0 +1,51 @@
+"""Motivation experiment: communication-free vs naive chunking.
+
+Quantifies the paper's introduction -- "a large amount of time spent in
+data communication and synchronization may seriously undermine the
+benefits of parallelism" -- by counting the messages a naive contiguous
+chunking would pay on each workload, against the zero of the
+communication-free partition.
+"""
+
+import pytest
+
+from repro.baseline import compare_with_commfree, naive_partition
+from repro.core import Strategy
+from repro.lang import catalog
+
+WORKLOADS = [
+    ("L1", lambda: catalog.l1(8), Strategy.NONDUPLICATE),
+    ("L4", lambda: catalog.l4(6), Strategy.NONDUPLICATE),
+    ("STENCIL2D", lambda: catalog.stencil2d(8), Strategy.NONDUPLICATE),
+    ("MATVEC", lambda: catalog.matvec(8), Strategy.DUPLICATE),
+]
+
+
+@pytest.mark.parametrize("name,fn,strategy", WORKLOADS,
+                         ids=[w[0] for w in WORKLOADS])
+def test_commfree_eliminates_messages(benchmark, name, fn, strategy):
+    nest = fn()
+    cmp = benchmark(compare_with_commfree, nest, 4, strategy=strategy)
+    benchmark.extra_info.update(
+        loop=name,
+        naive_remote=cmp.naive.remote_accesses,
+        naive_comm_s=round(cmp.naive_comm_time, 6),
+        comm_to_compute=round(cmp.comm_to_compute_ratio, 2),
+        commfree_blocks=cmp.commfree_blocks,
+    )
+    assert cmp.commfree_remote == 0
+    assert cmp.naive.remote_accesses > 0
+
+
+def test_overhead_grows_with_p(benchmark):
+    """More processors -> more chunk boundaries -> more messages."""
+    nest = catalog.l1(12)
+
+    def sweep():
+        return {p: naive_partition(nest, p).remote_accesses
+                for p in (2, 4, 8)}
+
+    remote = benchmark(sweep)
+    benchmark.extra_info.update(**{f"p{p}": v for p, v in remote.items()})
+    assert remote[2] <= remote[4] <= remote[8]
+    assert remote[8] > remote[2]

@@ -1,0 +1,43 @@
+"""Compiler-pipeline cost scaling (not a paper table; engineering bench).
+
+Measures how the analysis/partition/transform pipeline scales with the
+iteration-space size -- the "compile time" of the technique, which the
+paper argues is acceptable for the parallelism gained.
+"""
+
+import pytest
+
+from repro.core import Strategy, build_plan
+from repro.lang import catalog
+from repro.runtime import verify_plan
+from repro.transform import transform_nest
+
+
+@pytest.mark.parametrize("n", (4, 8, 12))
+def test_partition_scaling_l1(benchmark, n):
+    nest = catalog.l1(n)
+    plan = benchmark(build_plan, nest)
+    benchmark.extra_info.update(n=n, blocks=plan.num_blocks)
+    assert plan.num_blocks == 2 * n - 1
+
+
+@pytest.mark.parametrize("n", (4, 6, 8))
+def test_full_pipeline_scaling_l4(benchmark, n):
+    nest = catalog.l4(n)
+
+    def pipeline():
+        plan = build_plan(nest)
+        return transform_nest(nest, plan.psi)
+
+    t = benchmark(pipeline)
+    benchmark.extra_info.update(n=n, forall_points=sum(1 for _ in t.iterate_blocks()))
+    assert sum(t.block_sizes().values()) == n ** 3
+
+
+@pytest.mark.parametrize("m", (3, 4, 5))
+def test_verification_scaling_l5(benchmark, m):
+    """End-to-end functional verification cost on growing matmul."""
+    plan = build_plan(catalog.l5(m), Strategy.DUPLICATE)
+    report = benchmark(verify_plan, plan)
+    assert report.ok
+    assert report.executed_iterations == m ** 3

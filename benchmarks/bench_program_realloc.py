@@ -1,0 +1,71 @@
+"""Multi-loop programs: inter-phase reallocation cost (extension bench).
+
+Quantifies the communication a per-loop communication-free program pays
+*between* loops, for layouts that agree (zero movement), partially
+agree, and fully disagree (transpose).
+"""
+
+import pytest
+
+from repro.core import Strategy
+from repro.lang import parse
+from repro.machine.cost import TRANSPUTER
+from repro.program import Program, plan_program, verify_program
+
+STENCIL = """
+  for i = 1 to 8 { for j = 1 to 8 {
+    U[i, j] = U[i - 1, j - 1] + F[i, j];
+  } }
+"""
+
+
+def make_program(consumer_lhs: str, consumer_rhs: str = "U[i, j] * 2"):
+    p1 = parse(STENCIL, name="PRODUCE")
+    p2 = parse(f"""
+      for i = 1 to 8 {{ for j = 1 to 8 {{
+        {consumer_lhs} = {consumer_rhs};
+      }} }}
+    """, name="CONSUME")
+    return Program(nests=[p1, p2])
+
+
+def test_identical_layout_zero_movement(benchmark):
+    p1 = parse(STENCIL, name="A")
+    p2 = parse(STENCIL.replace("F[i, j]", "G[i, j]"), name="B")
+    prog = Program(nests=[p1, p2])
+    pplan = benchmark(plan_program, prog, 4, TRANSPUTER,
+                      Strategy.NONDUPLICATE)
+    r = pplan.reallocations[0]
+    benchmark.extra_info.update(moved=r.moved_words, locality=r.locality)
+    assert r.moved_words == 0 and r.locality == 1.0
+
+
+def test_partial_relayout(benchmark):
+    prog = make_program("V[i, j]")
+    pplan = benchmark(plan_program, prog, 4, TRANSPUTER)
+    r = pplan.reallocations[0]
+    benchmark.extra_info.update(moved=r.moved_words,
+                                locality=round(r.locality, 2))
+    assert r.moved_words > 0
+    assert verify_program(pplan).ok
+
+
+def test_transpose_worst_case(benchmark):
+    """A transposed consumer forces most elements to move."""
+    straight = make_program("V[i, j]")
+    transposed = make_program("V[j, i]")
+
+    def both():
+        a = plan_program(straight, 4, TRANSPUTER, Strategy.NONDUPLICATE)
+        b = plan_program(transposed, 4, TRANSPUTER, Strategy.NONDUPLICATE)
+        return a, b
+
+    a, b = benchmark(both)
+    benchmark.extra_info.update(
+        straight_moved=a.reallocations[0].moved_words,
+        transposed_moved=b.reallocations[0].moved_words)
+    # both verify; serialized time upper-bounds the overlapped one
+    for pp in (a, b):
+        assert verify_program(pp).ok
+        r = pp.reallocations[0]
+        assert r.parallel_time <= r.time

@@ -1,0 +1,42 @@
+"""The cost-based strategy selector (extension bench).
+
+Validates the selector against the paper's known verdicts: full
+duplication wins for matmul at Transputer constants, redundancy
+elimination wins for L3, and duplication is declined when it buys
+nothing (L1).
+"""
+
+import pytest
+
+from repro.lang import catalog
+from repro.machine.cost import CostModel, TRANSPUTER
+from repro.perf import choose_strategy
+
+CHEAP_COMM = CostModel(t_comp=1e-3, t_start=1e-6, t_comm=1e-7)
+
+
+def test_selector_matmul(benchmark):
+    result = benchmark(choose_strategy, catalog.l5(16), 16, TRANSPUTER)
+    benchmark.extra_info.update(best=result.best.label,
+                                blocks=result.best.blocks)
+    assert result.best.label == "duplicate{A,B}"  # the paper's L5'' verdict
+
+
+def test_selector_l3_elimination(benchmark):
+    result = benchmark(choose_strategy, catalog.l3(8), 4, CHEAP_COMM, True)
+    benchmark.extra_info.update(best=result.best.label)
+    assert result.best.eliminate_redundant
+    assert result.best.blocks == 8
+
+
+def test_selector_declines_useless_duplication(benchmark):
+    result = benchmark(choose_strategy, catalog.l1(), 4, CHEAP_COMM)
+    benchmark.extra_info.update(best=result.best.label)
+    assert result.best.label == "nonduplicate"
+
+
+def test_selector_keeps_tiny_loops_serial(benchmark):
+    pricey = CostModel(t_comp=1e-6, t_start=10.0, t_comm=1.0)
+    result = benchmark(choose_strategy, catalog.l5(4), 4, pricey)
+    benchmark.extra_info.update(best=result.best.label)
+    assert result.best.label == "nonduplicate"

@@ -1,0 +1,52 @@
+"""Table I: execution time of loops L5, L5', L5'' (simulated Transputer).
+
+Regenerates every cell of the paper's Table I on the simulated 16-node
+mesh and records simulated-vs-paper seconds.  The benchmark time is the
+cost of running the *simulation* (the reproduction artifact is in
+``extra_info``).
+
+Shape assertions (the reproduction criteria):
+- L5'' beats L5' at every (p, M);
+- both parallel variants beat sequential L5 for M >= 32;
+- every simulated cell is within 2x of the paper's measurement.
+"""
+
+import pytest
+
+from repro.perf import PAPER_TABLE1, simulate_l5, simulate_l5_doubleprime, simulate_l5_prime
+
+MS = (16, 32, 64, 128, 256)
+
+
+@pytest.mark.parametrize("m", MS)
+def test_l5_sequential(benchmark, m):
+    sim = benchmark(simulate_l5, m)
+    paper = PAPER_TABLE1[("L5", 1, m)]
+    benchmark.extra_info.update(
+        loop="L5", p=1, M=m, simulated_s=sim.total_time, paper_s=paper)
+    assert 0.5 < sim.total_time / paper < 2.0
+
+
+@pytest.mark.parametrize("p", (4, 16))
+@pytest.mark.parametrize("m", MS)
+def test_l5_prime(benchmark, m, p):
+    sim = benchmark(simulate_l5_prime, m, p)
+    paper = PAPER_TABLE1[("L5'", p, m)]
+    benchmark.extra_info.update(
+        loop="L5'", p=p, M=m, simulated_s=sim.total_time, paper_s=paper)
+    assert 0.5 < sim.total_time / paper < 2.0
+    seq = simulate_l5(m).total_time
+    if m >= 32:
+        assert sim.total_time < seq
+
+
+@pytest.mark.parametrize("p", (4, 16))
+@pytest.mark.parametrize("m", MS)
+def test_l5_doubleprime(benchmark, m, p):
+    sim = benchmark(simulate_l5_doubleprime, m, p)
+    paper = PAPER_TABLE1[("L5''", p, m)]
+    benchmark.extra_info.update(
+        loop="L5''", p=p, M=m, simulated_s=sim.total_time, paper_s=paper)
+    assert 0.5 < sim.total_time / paper < 2.0
+    # the headline ordering of Table I
+    assert sim.total_time < simulate_l5_prime(m, p).total_time

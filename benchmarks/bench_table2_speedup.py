@@ -1,0 +1,49 @@
+"""Table II: speedups of L5' and L5'' over sequential L5.
+
+Regenerates the paper's speedup grid from the simulator.  Shape
+criteria: speedups grow with M, stay below p, and L5'' dominates L5'
+(the paper's small-M p=16 cells show the same ordering).
+"""
+
+import pytest
+
+from repro.perf import PAPER_TABLE2, simulate_l5, simulate_l5_doubleprime, simulate_l5_prime
+
+MS = (16, 32, 64, 128, 256)
+
+
+def _speedup(loop: str, p: int, m: int) -> float:
+    seq = simulate_l5(m).total_time
+    sim = (simulate_l5_prime(m, p) if loop == "L5'"
+           else simulate_l5_doubleprime(m, p))
+    return seq / sim.total_time
+
+
+@pytest.mark.parametrize("loop", ("L5'", "L5''"))
+@pytest.mark.parametrize("p", (4, 16))
+def test_speedup_grid(benchmark, loop, p):
+    def compute():
+        return {m: _speedup(loop, p, m) for m in MS}
+
+    speedups = benchmark(compute)
+    paper = {m: PAPER_TABLE2[(loop, p, m)] for m in MS}
+    benchmark.extra_info.update(loop=loop, p=p,
+                                simulated={m: round(s, 2) for m, s in speedups.items()},
+                                paper=paper)
+    values = [speedups[m] for m in MS]
+    # monotone growth with M, bounded by p (Table II shape)
+    assert all(a < b for a, b in zip(values, values[1:]))
+    assert all(v < p for v in values)
+    # large-M cells within 15% of the paper
+    assert abs(speedups[256] / paper[256] - 1) < 0.15
+
+
+@pytest.mark.parametrize("p", (4, 16))
+@pytest.mark.parametrize("m", MS)
+def test_l5pp_speedup_dominates(benchmark, p, m):
+    def compute():
+        return _speedup("L5''", p, m), _speedup("L5'", p, m)
+
+    spp, sp = benchmark(compute)
+    benchmark.extra_info.update(p=p, M=m, l5pp=round(spp, 2), l5p=round(sp, 2))
+    assert spp > sp

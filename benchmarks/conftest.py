@@ -1,0 +1,13 @@
+"""Benchmark-suite configuration.
+
+Each bench regenerates one of the paper's tables or figures (see
+DESIGN.md's per-experiment index) and attaches the paper-vs-reproduced
+numbers to ``benchmark.extra_info`` so they land in the JSON report.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def scalars():
+    return {"D": 2.0, "F": 3.0, "G": 1.5, "K": 0.5}

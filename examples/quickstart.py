@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: communication-free partitioning of the paper's loop L1.
+
+Walks the full pipeline on Example 1 of the paper:
+
+1. parse the nested loop,
+2. analyze its reference pattern (H matrices, data-referenced vectors),
+3. build the non-duplicate partition (Theorem 1): Psi = span{(1,1)},
+   seven iteration blocks,
+4. execute the blocks on simulated processors and verify the result is
+   bit-identical to sequential execution with ZERO interprocessor
+   communication.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Strategy,
+    build_plan,
+    data_referenced_vectors,
+    extract_references,
+    parse,
+    to_source,
+    verify_plan,
+)
+from repro.viz import fig02_l1_data_partition, fig03_l1_iteration_partition
+
+SOURCE = """
+for i = 1 to 4 {
+  for j = 1 to 4 {
+    S1: A[2*i, j] = C[i, j] * 7;
+    S2: B[j, i + 1] = A[2*i - 2, j - 1] + C[i - 1, j - 1];
+  }
+}
+"""
+
+
+def main() -> None:
+    nest = parse(SOURCE, name="L1")
+    print("input loop:\n" + to_source(nest) + "\n")
+
+    # --- reference analysis -------------------------------------------------
+    model = extract_references(nest)
+    for name, info in model.arrays.items():
+        drvs = [tuple(int(x) for x in d.vector)
+                for d in data_referenced_vectors(info)]
+        print(f"array {name}: H = {info.h!r}, data-referenced vectors {drvs}")
+    print()
+
+    # --- partitioning (Theorem 1, non-duplicate data) -----------------------
+    plan = build_plan(nest, Strategy.NONDUPLICATE)
+    print(plan.summary())
+    print()
+    for b in plan.blocks:
+        print(f"  block {b.index}: base {b.base_point}, iterations {b.iterations}")
+    print()
+
+    # --- the partitions behind Figs. 2 and 3 -------------------------------
+    print(fig03_l1_iteration_partition())
+    print()
+    print(fig02_l1_data_partition())
+    print()
+
+    # --- end-to-end verification ------------------------------------------
+    report = verify_plan(plan).raise_on_failure()
+    print(f"parallel execution on {report.num_blocks} processors: "
+          f"{report.executed_iterations} iterations, "
+          f"{report.remote_accesses} remote accesses, "
+          f"results identical to sequential: {report.equal}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+Kept so environments without PEP-517 wheel support (e.g. offline boxes
+lacking the `wheel` package) can still do `pip install -e . --no-build-isolation`
+or fall back to a `.pth`-based source install (see README).
+"""
+
+from setuptools import setup
+
+setup()

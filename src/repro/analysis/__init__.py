@@ -1,0 +1,58 @@
+"""Reference-pattern and dependence analysis (Sections II-III of the paper).
+
+- :mod:`~repro.analysis.references`: extract ``A[H i + c]`` reference
+  functions and offsets; verify *uniformly generated* references.
+- :mod:`~repro.analysis.drv`: data-referenced vectors (Definition 1).
+- :mod:`~repro.analysis.dependence`: exact dependence existence and
+  classification (flow / anti / output / input) on the integer solution
+  lattice of ``H t = r``.
+- :mod:`~repro.analysis.refgraph`: the data reference graph ``G^A``
+  (Definition 6).
+- :mod:`~repro.analysis.trace`: the sequential access trace.
+- :mod:`~repro.analysis.redundancy`: redundant-computation elimination,
+  ``N(S_k)`` sets, ``Val`` sets and false-dependence detection
+  (Section III.C).
+"""
+
+from repro.analysis.references import (
+    ArrayInfo,
+    NonUniformReferenceError,
+    Reference,
+    ReferenceModel,
+    extract_references,
+)
+from repro.analysis.drv import data_referenced_vectors
+from repro.analysis.dependence import (
+    Dependence,
+    DependenceKind,
+    all_dependences,
+    dependence_between,
+    has_flow_dependence,
+    is_fully_duplicable,
+)
+from repro.analysis.refgraph import DataReferenceGraph, build_reference_graph
+from repro.analysis.trace import AccessEvent, Computation, SequentialTrace, build_trace
+from repro.analysis.redundancy import RedundancyAnalysis, analyze_redundancy
+
+__all__ = [
+    "ArrayInfo",
+    "NonUniformReferenceError",
+    "Reference",
+    "ReferenceModel",
+    "extract_references",
+    "data_referenced_vectors",
+    "Dependence",
+    "DependenceKind",
+    "all_dependences",
+    "dependence_between",
+    "has_flow_dependence",
+    "is_fully_duplicable",
+    "DataReferenceGraph",
+    "build_reference_graph",
+    "AccessEvent",
+    "Computation",
+    "SequentialTrace",
+    "build_trace",
+    "RedundancyAnalysis",
+    "analyze_redundancy",
+]

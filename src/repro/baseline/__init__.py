@@ -1,0 +1,26 @@
+"""Baseline comparator: Ramanujam & Sadayappan hyperplane partitioning.
+
+The paper claims (Section III.A) that its method extracts more
+parallelism than Ramanujam & Sadayappan's compile-time technique [18],
+which (a) applies only to For-all loops and (b) partitions iterations
+and data along ``(n-1)``-dimensional hyperplanes, yielding a
+1-dimensional family of blocks.  :mod:`~repro.baseline.hyperplane`
+reimplements that scheme so benches can compare degrees of parallelism.
+"""
+
+from repro.baseline.hyperplane import HyperplaneResult, hyperplane_partition
+from repro.baseline.naive import (
+    MotivationComparison,
+    NaiveResult,
+    compare_with_commfree,
+    naive_partition,
+)
+
+__all__ = [
+    "HyperplaneResult",
+    "hyperplane_partition",
+    "NaiveResult",
+    "MotivationComparison",
+    "naive_partition",
+    "compare_with_commfree",
+]

@@ -1,0 +1,89 @@
+"""Communication-free hyperplane partitioning for For-all loops
+(Ramanujam & Sadayappan, IEEE TPDS 1991 -- the paper's comparator [18]).
+
+Scheme (specialized to uniformly generated references, matching the
+comparison in Section III.A of Chen & Sheu):
+
+1. The loop must be a **For-all loop**: no flow/anti/output dependence
+   may cross iterations (all cross-iteration reuse is read-only).
+2. Iterations are grouped by ``(n-1)``-dimensional hyperplanes
+   ``q · i = const``.  For the partition to be communication-free with
+   non-duplicate data, any two iterations sharing an array element must
+   lie on the same hyperplane: the normal ``q`` must be orthogonal to
+   the loop's sharing space (which coincides with the non-duplicate
+   partitioning space ``Psi`` of Theorem 1).
+3. Such a ``q`` exists iff ``dim(Psi) <= n - 1``; the parallelism is
+   the number of distinct hyperplane values -- a *1-dimensional* family
+   of blocks, versus Chen & Sheu's ``n - dim(Psi)``-dimensional family.
+
+``hyperplane_partition`` returns the best hyperplane (the one with the
+most blocks) or an inapplicability verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.dependence import is_forall_loop
+from repro.analysis.references import ReferenceModel, extract_references
+from repro.core.strategy import Strategy, partitioning_space
+from repro.lang.ast import LoopNest
+from repro.ratlinalg.matrix import RatVec
+
+
+@dataclass
+class HyperplaneResult:
+    """Outcome of the baseline partitioner."""
+
+    applicable: bool
+    reason: str
+    normal: Optional[RatVec] = None           # the hyperplane normal q
+    num_blocks: int = 0                        # distinct q·i values
+    blocks: Optional[dict[object, list[tuple[int, ...]]]] = None
+
+    @property
+    def degree_of_parallelism(self) -> int:
+        return self.num_blocks if self.applicable else 1
+
+
+def hyperplane_partition(nest: LoopNest,
+                         model: Optional[ReferenceModel] = None) -> HyperplaneResult:
+    """Run the baseline on a loop nest; see module docstring."""
+    if model is None:
+        model = extract_references(nest)
+    if not is_forall_loop(model):
+        return HyperplaneResult(
+            applicable=False,
+            reason="not a For-all loop (a flow/anti/output dependence crosses "
+                   "iterations); Ramanujam & Sadayappan's method does not apply",
+        )
+    breakdown = partitioning_space(model, strategy=Strategy.NONDUPLICATE)
+    psi = breakdown.psi
+    n = nest.depth
+    if psi.dim > n - 1:
+        return HyperplaneResult(
+            applicable=False,
+            reason=f"sharing space has dimension {psi.dim} = n; no "
+                   "communication-free hyperplane exists",
+        )
+    # Candidate normals: the orthogonal complement of Psi.  Pick the one
+    # producing the most hyperplane values over the iteration space.
+    candidates = [v.primitive() for v in psi.orthogonal_complement().basis()]
+    best: Optional[HyperplaneResult] = None
+    for q in candidates:
+        groups: dict[object, list[tuple[int, ...]]] = {}
+        for it in model.space.iterate():
+            key = q.dot(RatVec(it))
+            groups.setdefault(key, []).append(it)
+        result = HyperplaneResult(
+            applicable=True,
+            reason="communication-free hyperplane found",
+            normal=q,
+            num_blocks=len(groups),
+            blocks=groups,
+        )
+        if best is None or result.num_blocks > best.num_blocks:
+            best = result
+    assert best is not None
+    return best

@@ -1,0 +1,148 @@
+"""Naive block partitioning: the "what if we ignore the reference
+pattern" baseline motivating the paper.
+
+Chunk the iteration space into ``p`` contiguous blocks (outermost-index
+slabs, the classic default of early parallelizers) and place each
+array element on the processor of the *first* iteration writing it
+(owner-computes; read-only data on the first reader).  Every access to
+an element owned elsewhere then costs an interprocessor message.
+
+``naive_partition`` counts those remote accesses exactly on the
+sequential trace, and ``naive_cost`` turns them into time under the
+machine cost model -- the overhead the communication-free technique
+eliminates.  Intra-block dependence order is preserved by construction
+(slabs execute their iterations in lexicographic order), but slabs must
+synchronize on cross-block flow dependences; we report those too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.references import ReferenceModel, extract_references
+from repro.analysis.trace import build_trace
+from repro.lang.ast import LoopNest
+from repro.machine.cost import CostModel, TRANSPUTER
+
+
+@dataclass
+class NaiveResult:
+    """Remote-access accounting for the naive chunked partition."""
+
+    p: int
+    chunks: list[list[tuple[int, ...]]]
+    owner_of_iteration: dict[tuple[int, ...], int]
+    remote_reads: int = 0
+    remote_writes: int = 0
+    cross_block_flows: int = 0
+    local_accesses: int = 0
+    element_owner: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def remote_accesses(self) -> int:
+        return self.remote_reads + self.remote_writes
+
+    @property
+    def communication_free(self) -> bool:
+        return self.remote_accesses == 0
+
+    def cost(self, cost: CostModel = TRANSPUTER) -> float:
+        """Time for the remote traffic: one 1-word message per access.
+
+        Deliberately charitable to the baseline (no contention, single
+        hop); even so the startup term swamps the compute savings.
+        """
+        return self.remote_accesses * (cost.t_start + cost.t_comm)
+
+
+def naive_partition(nest: LoopNest, p: int,
+                    model: Optional[ReferenceModel] = None) -> NaiveResult:
+    """Chunk iterations into ``p`` contiguous slabs and count remote accesses."""
+    if model is None:
+        model = extract_references(nest)
+    points = model.space.points()
+    n = len(points)
+    chunks: list[list[tuple[int, ...]]] = []
+    base = n // p
+    extra = n % p
+    idx = 0
+    for pid in range(p):
+        size = base + (1 if pid < extra else 0)
+        chunks.append(points[idx:idx + size])
+        idx += size
+
+    owner_of_iteration = {
+        it: pid for pid, chunk in enumerate(chunks) for it in chunk
+    }
+
+    result = NaiveResult(p=p, chunks=chunks,
+                         owner_of_iteration=owner_of_iteration)
+
+    trace = build_trace(model)
+    element_owner: dict = {}
+    last_writer_pid: dict = {}
+    for comp in trace.computations:
+        _stmt, it = comp.comp
+        pid = owner_of_iteration[it]
+        for element, _ref in comp.read_elements:
+            owner = element_owner.setdefault(element, pid)
+            if owner == pid:
+                result.local_accesses += 1
+            else:
+                result.remote_reads += 1
+            lw = last_writer_pid.get(element)
+            if lw is not None and lw != pid:
+                result.cross_block_flows += 1
+        element = comp.write_element
+        owner = element_owner.setdefault(element, pid)
+        if owner == pid:
+            result.local_accesses += 1
+        else:
+            result.remote_writes += 1
+        last_writer_pid[element] = pid
+    result.element_owner = element_owner
+    return result
+
+
+@dataclass
+class MotivationComparison:
+    """Naive-vs-communication-free comparison for one loop."""
+
+    naive: NaiveResult
+    commfree_blocks: int
+    commfree_remote: int
+    naive_comm_time: float
+    compute_time_per_pe: float
+
+    @property
+    def comm_to_compute_ratio(self) -> float:
+        if self.compute_time_per_pe == 0:
+            return float("inf") if self.naive_comm_time else 0.0
+        return self.naive_comm_time / self.compute_time_per_pe
+
+
+def compare_with_commfree(nest: LoopNest, p: int,
+                          cost: CostModel = TRANSPUTER,
+                          strategy=None) -> MotivationComparison:
+    """Quantify the paper's motivation on one loop.
+
+    The communication-free plan (best strategy unless given) has zero
+    remote accesses by construction; the naive chunking pays
+    ``naive_comm_time`` of messaging against a per-processor compute
+    time of ``iterations/p * t_comp``.
+    """
+    from repro.core.plan import build_plan
+    from repro.core.strategy import Strategy
+
+    model = extract_references(nest)
+    naive = naive_partition(nest, p, model=model)
+    plan = build_plan(nest, strategy or Strategy.DUPLICATE, model=model)
+    compute = model.space.size() / p * cost.t_comp
+    return MotivationComparison(
+        naive=naive,
+        commfree_blocks=plan.num_blocks,
+        commfree_remote=0,
+        naive_comm_time=naive.cost(cost),
+        compute_time_per_pe=compute,
+    )

@@ -1,0 +1,320 @@
+"""Command-line compiler driver.
+
+    python -m repro analyze   <file|--loop L1>         reference analysis
+    python -m repro partition <file|--loop L1> [...]   partition + render
+    python -m repro transform <file|--loop L4> [...]   parallel form
+    python -m repro verify    <file|--loop L1> [...]   end-to-end check
+    python -m repro select    <file|--loop L5> -p 16   strategy selection
+    python -m repro figures                            regenerate Figs. 1-10
+    python -m repro tables                             Tables I & II
+
+Loops come from a mini-language source file or the built-in catalog
+(``--loop``).  Strategy flags: ``--duplicate`` (all arrays),
+``--duplicate-arrays A,B`` (subset), ``--eliminate`` (Section III.C).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis import (
+    analyze_redundancy,
+    build_reference_graph,
+    data_referenced_vectors,
+    extract_references,
+    is_fully_duplicable,
+)
+from repro.core import Strategy, build_plan
+from repro.lang import catalog, parse, to_source
+from repro.lang.ast import LoopNest
+from repro.machine.cost import TRANSPUTER
+from repro.mapping import assign_blocks, shape_grid, workload_stats
+from repro.perf import choose_strategy, table1_rows, table2_rows
+from repro.perf.tables import format_rows
+from repro.runtime import verify_plan
+from repro.transform import to_pseudocode, to_spmd_pseudocode, transform_nest
+from repro.viz import figures as figmod
+from repro.viz import render_data_partition, render_iteration_partition
+
+
+def _load_nest(args) -> LoopNest:
+    if args.loop:
+        fn = catalog.ALL_LOOPS.get(args.loop)
+        if fn is None:
+            raise SystemExit(
+                f"unknown catalog loop {args.loop!r}; available: "
+                f"{', '.join(sorted(catalog.ALL_LOOPS))}")
+        return fn()
+    if not args.file:
+        raise SystemExit("give a source file or --loop NAME")
+    with open(args.file) as fh:
+        return parse(fh.read(), name=args.file)
+
+
+def _strategy_kwargs(args) -> dict:
+    kwargs: dict = {}
+    if getattr(args, "duplicate", False) or getattr(args, "duplicate_arrays", None):
+        kwargs["strategy"] = Strategy.DUPLICATE
+        if getattr(args, "duplicate_arrays", None):
+            kwargs["duplicate_arrays"] = set(args.duplicate_arrays.split(","))
+    else:
+        kwargs["strategy"] = Strategy.NONDUPLICATE
+    if getattr(args, "eliminate", False):
+        kwargs["eliminate_redundant"] = True
+    return kwargs
+
+
+def cmd_analyze(args, out) -> int:
+    nest = _load_nest(args)
+    model = extract_references(nest)
+    print(to_source(nest), file=out)
+    print(file=out)
+    for name, info in model.arrays.items():
+        drvs = [tuple(int(x) for x in d.vector)
+                for d in data_referenced_vectors(info)]
+        dup = ("fully duplicable"
+               if is_fully_duplicable(info, model.space)
+               else "partially duplicable")
+        print(f"array {name}: H = {info.h!r}", file=out)
+        print(f"  references: "
+              f"{[r.describe(nest.indices) for r in info.references]}", file=out)
+        print(f"  data-referenced vectors: {drvs}", file=out)
+        print(f"  {dup}", file=out)
+        g = build_reference_graph(model, name)
+        for s, d, k in g.edge_names():
+            print(f"  edge {s} -> {d} [{k}]", file=out)
+    if args.eliminate:
+        red = analyze_redundancy(model)
+        print(file=out)
+        print(red.summary(), file=out)
+    return 0
+
+
+def cmd_partition(args, out) -> int:
+    nest = _load_nest(args)
+    plan = build_plan(nest, **_strategy_kwargs(args))
+    print(plan.summary(), file=out)
+    print(file=out)
+    if nest.depth == 2:
+        print(render_iteration_partition(plan.blocks,
+                                         title="iteration -> block"), file=out)
+        for name, dblocks in plan.data_blocks.items():
+            info = plan.model.arrays[name]
+            if info.rank == 2:
+                print(file=out)
+                print(render_data_partition(dblocks, title=f"array {name}"),
+                      file=out)
+    else:
+        for b in plan.blocks[:12]:
+            print(f"  block {b.index}: base {b.base_point}, "
+                  f"{len(b)} iterations", file=out)
+        if plan.num_blocks > 12:
+            print(f"  ... {plan.num_blocks - 12} more blocks", file=out)
+    return 0
+
+
+def cmd_transform(args, out) -> int:
+    nest = _load_nest(args)
+    plan = build_plan(nest, **_strategy_kwargs(args))
+    tnest = transform_nest(nest, plan.psi)
+    if args.processors:
+        grid = shape_grid(args.processors, tnest.k)
+        print(to_spmd_pseudocode(tnest, grid), file=out)
+        print(file=out)
+        stats = workload_stats(assign_blocks(tnest, grid))
+        print(stats.summary(), file=out)
+    else:
+        print(to_pseudocode(tnest), file=out)
+    return 0
+
+
+def cmd_verify(args, out) -> int:
+    nest = _load_nest(args)
+    plan = build_plan(nest, **_strategy_kwargs(args))
+    scalars = {}
+    if args.scalars:
+        for part in args.scalars.split(","):
+            k, v = part.split("=")
+            scalars[k.strip()] = float(v)
+    report = verify_plan(plan, scalars=scalars)
+    print(f"blocks: {report.num_blocks}", file=out)
+    print(f"executed iterations: {report.executed_iterations}", file=out)
+    print(f"skipped (redundant) computations: "
+          f"{report.skipped_computations}", file=out)
+    print(f"remote accesses: {report.remote_accesses}", file=out)
+    print(f"parallel == sequential: {report.equal}", file=out)
+    print("OK" if report.ok else "FAILED", file=out)
+    return 0 if report.ok else 1
+
+
+def cmd_select(args, out) -> int:
+    nest = _load_nest(args)
+    result = choose_strategy(nest, args.processors, cost=TRANSPUTER,
+                             consider_elimination=args.eliminate)
+    print(result.table(), file=out)
+    print(f"\nbest: {result.best.label} "
+          f"({result.best.blocks} blocks)", file=out)
+    return 0
+
+
+def cmd_program(args, out) -> int:
+    from repro.lang import parse_multi
+    from repro.program import Program, plan_program, verify_program
+
+    with open(args.file) as fh:
+        nests = parse_multi(fh.read())
+    program = Program(nests=nests, name=args.file)
+    strategy = None
+    if args.duplicate:
+        strategy = Strategy.DUPLICATE
+    pplan = plan_program(program, p=args.processors, cost=TRANSPUTER,
+                         strategy=strategy,
+                         consider_elimination=args.eliminate)
+    print(pplan.summary(), file=out)
+    scalars = {}
+    if args.scalars:
+        for part in args.scalars.split(","):
+            k, v = part.split("=")
+            scalars[k.strip()] = float(v)
+    verification = verify_program(pplan, scalars=scalars)
+    print(f"phase-parallel == sequential: {verification.ok}", file=out)
+    return 0 if verification.ok else 1
+
+
+def cmd_report(args, out) -> int:
+    from repro.report import compile_report
+
+    nest = _load_nest(args)
+    scalars = {}
+    if args.scalars:
+        for part in args.scalars.split(","):
+            k, v = part.split("=")
+            scalars[k.strip()] = float(v)
+    rep = compile_report(nest, p=args.processors,
+                         consider_elimination=not args.no_eliminate,
+                         scalars=scalars)
+    print(rep.render(), file=out)
+    ok = rep.verification is None or rep.verification.ok
+    return 0 if ok else 1
+
+
+def cmd_figures(args, out) -> int:
+    for fn in (figmod.fig01_l1_dataspaces, figmod.fig02_l1_data_partition,
+               figmod.fig03_l1_iteration_partition,
+               figmod.fig04_l2_data_partition,
+               figmod.fig05_l2_iteration_partition,
+               figmod.fig07_l3_reference_graph,
+               figmod.fig08_l3_data_partition,
+               figmod.fig09_l3_iteration_partition,
+               figmod.fig10_l4_processor_assignment):
+        print(str(fn()), file=out)
+        print(file=out)
+    return 0
+
+
+def cmd_selftest(args, out) -> int:
+    from repro.selftest import run_selftest
+
+    failures = run_selftest(out=out)
+    return 1 if failures else 0
+
+
+def cmd_tables(args, out) -> int:
+    print("Table I: execution time (s), simulated vs paper", file=out)
+    print(format_rows(table1_rows(),
+                      ["loop", "p", "M", "simulated_s", "paper_s"]), file=out)
+    print(file=out)
+    print("Table II: speedup, simulated vs paper", file=out)
+    print(format_rows(table2_rows(),
+                      ["loop", "p", "M", "simulated_speedup",
+                       "paper_speedup"]), file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_loop_args(p):
+        p.add_argument("file", nargs="?", help="mini-language source file")
+        p.add_argument("--loop", help="catalog loop name (L1..L5, ...)")
+
+    def add_strategy_args(p):
+        p.add_argument("--duplicate", action="store_true",
+                       help="duplicate-data strategy (Theorem 2)")
+        p.add_argument("--duplicate-arrays",
+                       help="comma-separated arrays to duplicate")
+        p.add_argument("--eliminate", action="store_true",
+                       help="eliminate redundant computations (Sec. III.C)")
+
+    p = sub.add_parser("analyze", help="reference-pattern analysis")
+    add_loop_args(p)
+    p.add_argument("--eliminate", action="store_true")
+    p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser("partition", help="communication-free partition")
+    add_loop_args(p)
+    add_strategy_args(p)
+    p.set_defaults(fn=cmd_partition)
+
+    p = sub.add_parser("transform", help="parallel (forall) form")
+    add_loop_args(p)
+    add_strategy_args(p)
+    p.add_argument("-p", "--processors", type=int, default=0,
+                   help="emit SPMD code for this many processors")
+    p.set_defaults(fn=cmd_transform)
+
+    p = sub.add_parser("verify", help="parallel == sequential check")
+    add_loop_args(p)
+    add_strategy_args(p)
+    p.add_argument("--scalars", help="bindings, e.g. 'D=2,F=3'")
+    p.set_defaults(fn=cmd_verify)
+
+    p = sub.add_parser("select", help="cost-based strategy selection")
+    add_loop_args(p)
+    p.add_argument("-p", "--processors", type=int, default=16)
+    p.add_argument("--eliminate", action="store_true")
+    p.set_defaults(fn=cmd_select)
+
+    p = sub.add_parser("program", help="plan + verify a multi-loop program file")
+    p.add_argument("file", help="program file (sequence of loop nests)")
+    p.add_argument("-p", "--processors", type=int, default=4)
+    p.add_argument("--duplicate", action="store_true",
+                   help="force the duplicate strategy for every phase")
+    p.add_argument("--eliminate", action="store_true",
+                   help="let the per-phase selector consider elimination")
+    p.add_argument("--scalars", help="bindings, e.g. 'D=2,F=3'")
+    p.set_defaults(fn=cmd_program)
+
+    p = sub.add_parser("report", help="full pipeline report for one loop")
+    add_loop_args(p)
+    p.add_argument("-p", "--processors", type=int, default=16)
+    p.add_argument("--no-eliminate", action="store_true",
+                   help="skip the redundancy-elimination comparison")
+    p.add_argument("--scalars", help="bindings, e.g. 'D=2,F=3'")
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("figures", help="regenerate Figures 1-10")
+    p.set_defaults(fn=cmd_figures)
+
+    p = sub.add_parser("tables", help="regenerate Tables I-II")
+    p.set_defaults(fn=cmd_tables)
+
+    p = sub.add_parser("selftest",
+                       help="re-check every paper claim (PASS/FAIL per claim)")
+    p.set_defaults(fn=cmd_selftest)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args, out or sys.stdout)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

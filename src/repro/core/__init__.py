@@ -1,0 +1,53 @@
+"""Communication-free partitioning: the paper's primary contribution.
+
+- :mod:`~repro.core.refspace`: reference spaces ``Psi_A`` (Def. 4),
+  reduced spaces ``Psi_A^r`` (Def. 5 / Thm 2), and the minimal variants
+  of Section III.C (Thms 3-4);
+- :mod:`~repro.core.strategy`: strategy selection (non-duplicate /
+  duplicate, optional per-array duplication, optional redundancy
+  elimination) and the combined partitioning space;
+- :mod:`~repro.core.partition`: the iteration partition ``P_Psi(I^n)``
+  (Def. 2) and data partitions ``P_Psi(A)`` (Def. 3);
+- :mod:`~repro.core.plan`: the :class:`PartitionPlan` orchestrator and
+  static communication-freedom checks.
+"""
+
+from repro.core.refspace import (
+    minimal_reduced_reference_space,
+    minimal_reference_space,
+    reduced_reference_space,
+    reference_space,
+)
+from repro.core.strategy import Strategy, SpaceBreakdown, partitioning_space
+from repro.core.partition import (
+    DataBlock,
+    IterationBlock,
+    data_partition,
+    iteration_partition,
+)
+from repro.core.plan import (
+    PartitionPlan,
+    build_plan,
+    check_data_blocks_disjoint,
+    check_no_interblock_flow,
+    check_partition_covers_space,
+)
+
+__all__ = [
+    "reference_space",
+    "reduced_reference_space",
+    "minimal_reference_space",
+    "minimal_reduced_reference_space",
+    "Strategy",
+    "SpaceBreakdown",
+    "partitioning_space",
+    "IterationBlock",
+    "DataBlock",
+    "iteration_partition",
+    "data_partition",
+    "PartitionPlan",
+    "build_plan",
+    "check_partition_covers_space",
+    "check_data_blocks_disjoint",
+    "check_no_interblock_flow",
+]

@@ -1,0 +1,211 @@
+"""The :class:`PartitionPlan` orchestrator and its static checks.
+
+``build_plan`` runs the whole Section II-III pipeline: extract
+references, (optionally) eliminate redundant computations, pick the
+partitioning space for the requested strategy, partition iterations and
+data.  The three ``check_*`` functions assert the paper's guarantees on
+the concrete result:
+
+- the blocks partition the iteration space (Definition 2);
+- under a non-duplicate strategy, data blocks are pairwise disjoint;
+- no flow dependence crosses block boundaries (communication-freedom,
+  Theorems 1-4) -- checked against the exact sequential trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.analysis.redundancy import RedundancyAnalysis
+from repro.analysis.references import ReferenceModel, extract_references
+from repro.analysis.trace import CompId, SequentialTrace, build_trace
+from repro.core.partition import (
+    DataBlock,
+    IterationBlock,
+    all_data_partitions,
+    block_index_map,
+    iteration_partition,
+)
+from repro.core.strategy import SpaceBreakdown, Strategy, partitioning_space
+from repro.lang.ast import LoopNest
+from repro.ratlinalg.span import Subspace
+
+
+@dataclass
+class PartitionPlan:
+    """Everything needed to place and run a communication-free loop."""
+
+    nest: LoopNest
+    model: ReferenceModel
+    breakdown: SpaceBreakdown
+    blocks: list[IterationBlock]
+    data_blocks: dict[str, list[DataBlock]]
+    _block_of: dict[tuple[int, ...], int] = field(default_factory=dict, repr=False)
+
+    @property
+    def psi(self) -> Subspace:
+        return self.breakdown.psi
+
+    @property
+    def strategy(self) -> Strategy:
+        return self.breakdown.strategy
+
+    @property
+    def live(self) -> Optional[set[CompId]]:
+        red = self.breakdown.redundancy
+        return red.live if red is not None else None
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def degree_of_parallelism(self) -> int:
+        """Number of independently executable blocks."""
+        return len(self.blocks)
+
+    def block_of(self, iteration) -> int:
+        return self._block_of[tuple(iteration)]
+
+    def owners_of_element(self, array: str, element: tuple[int, ...]) -> list[int]:
+        """Block indices whose data block holds ``element`` (1 for non-dup)."""
+        return [db.block_index for db in self.data_blocks[array]
+                if element in db.elements]
+
+    def replication_factor(self, array: str) -> float:
+        """Average number of copies per referenced element of ``array``."""
+        total = sum(len(db) for db in self.data_blocks[array])
+        distinct = len({e for db in self.data_blocks[array] for e in db.elements})
+        return total / distinct if distinct else 0.0
+
+    def executes(self, stmt_index: int, iteration: tuple[int, ...]) -> bool:
+        """Does the parallel program execute this computation?
+
+        With redundancy elimination, redundant computations are dropped.
+        """
+        live = self.live
+        return live is None or (stmt_index, iteration) in live
+
+    def summary(self) -> str:
+        b = self.breakdown
+        lines = [
+            f"loop {self.nest.name or '<anon>'}: depth {self.nest.depth}, "
+            f"{self.model.space.size()} iterations",
+            f"strategy: {b.strategy.value}"
+            + (f", duplicated={sorted(b.duplicated_arrays)}" if b.duplicated_arrays else "")
+            + (", redundancy-eliminated" if b.eliminate_redundant else ""),
+            f"Psi: {b.psi!r} (dim {b.dim}, {b.parallel_dims} forall dims)",
+            f"blocks: {self.num_blocks}",
+        ]
+        for name, space in b.per_array.items():
+            lines.append(f"  Psi_{name}: {space!r}")
+        return "\n".join(lines)
+
+
+def build_plan(
+    nest: LoopNest,
+    strategy: Strategy = Strategy.NONDUPLICATE,
+    duplicate_arrays: Optional[Iterable[str]] = None,
+    eliminate_redundant: bool = False,
+    model: Optional[ReferenceModel] = None,
+) -> PartitionPlan:
+    """Run the full partitioning pipeline on a loop nest."""
+    if model is None:
+        model = extract_references(nest)
+    breakdown = partitioning_space(
+        model,
+        strategy=strategy,
+        duplicate_arrays=duplicate_arrays,
+        eliminate_redundant=eliminate_redundant,
+    )
+    blocks = iteration_partition(model.space, breakdown.psi)
+    live = breakdown.redundancy.live if breakdown.redundancy is not None else None
+    data_blocks = all_data_partitions(model, blocks, live=live)
+    plan = PartitionPlan(
+        nest=nest,
+        model=model,
+        breakdown=breakdown,
+        blocks=blocks,
+        data_blocks=data_blocks,
+        _block_of=block_index_map(blocks),
+    )
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# static checks (the paper's guarantees, validated on the concrete instance)
+# ---------------------------------------------------------------------------
+
+def check_partition_covers_space(plan: PartitionPlan) -> None:
+    """Blocks are disjoint and their union is the iteration space."""
+    seen: set[tuple[int, ...]] = set()
+    for b in plan.blocks:
+        for it in b.iterations:
+            if it in seen:
+                raise AssertionError(f"iteration {it} appears in two blocks")
+            seen.add(it)
+    expected = set(plan.model.space.points())
+    if seen != expected:
+        missing = expected - seen
+        extra = seen - expected
+        raise AssertionError(
+            f"partition mismatch: missing={sorted(missing)[:5]} extra={sorted(extra)[:5]}"
+        )
+
+
+def check_data_blocks_disjoint(plan: PartitionPlan) -> None:
+    """Non-duplicate guarantee: each element lives in at most one block.
+
+    Only meaningful for arrays *not* in the duplicated set.
+    """
+    for name, dblocks in plan.data_blocks.items():
+        if name in plan.breakdown.duplicated_arrays:
+            continue
+        owner: dict[tuple[int, ...], int] = {}
+        for db in dblocks:
+            for e in db.elements:
+                if e in owner and owner[e] != db.block_index:
+                    raise AssertionError(
+                        f"element {name}{list(e)} in blocks {owner[e]} and "
+                        f"{db.block_index} under a non-duplicate strategy"
+                    )
+                owner[e] = db.block_index
+
+
+def check_no_interblock_flow(plan: PartitionPlan,
+                             trace: Optional[SequentialTrace] = None) -> None:
+    """No executed read depends on a value written in another block.
+
+    This is communication-freedom: on the exact sequential trace
+    (restricted to live computations when redundancy is eliminated),
+    every read's producing write -- the last *executed* write to the
+    element before the read -- must be in the same iteration block.
+    """
+    if trace is None:
+        trace = build_trace(plan.model)
+    live = plan.live
+    for element, events in trace.timelines.items():
+        last_writer_block: Optional[int] = None
+        for ev in events:
+            k, it = ev.comp
+            if live is not None and (k, it) not in live:
+                continue
+            blk = plan.block_of(it)
+            if ev.is_write:
+                last_writer_block = blk
+            else:
+                if last_writer_block is not None and last_writer_block != blk:
+                    raise AssertionError(
+                        f"flow dependence crosses blocks: {element} written in "
+                        f"block {last_writer_block}, read in block {blk} at {ev.comp}"
+                    )
+    # For non-duplicate strategies every shared access (not just flow)
+    # must stay inside one block, which is implied by disjoint data
+    # blocks -- checked separately.
+
+
+def check_all(plan: PartitionPlan) -> None:
+    check_partition_covers_space(plan)
+    check_data_blocks_disjoint(plan)
+    check_no_interblock_flow(plan)

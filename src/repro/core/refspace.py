@@ -1,0 +1,131 @@
+"""Reference spaces: Definitions 4-5 and the minimal spaces of Sec. III.C.
+
+Four spaces per array ``A``:
+
+======================  ==============================================
+``reference_space``     ``Psi_A`` = span(Ker(H_A) ∪ {t_j}) over all
+                        data-referenced vectors whose equation
+                        ``H_A t = r_j`` passes Definition 4's two
+                        conditions (non-duplicate data, Theorem 1).
+``reduced_...``         ``Psi_A^r``: span(φ) for fully duplicable
+                        arrays; Ker ∪ {flow-dependence solutions} for
+                        partially duplicable ones (Theorem 2).
+``minimal_...``         ``Psi_A^min``: only vectors contributed by
+                        *useful* dependences after redundant-computation
+                        elimination (Theorem 3).
+``minimal_reduced_...`` ``Psi_A^min^r``: only useful *flow* dependences
+                        (Theorem 4).
+======================  ==============================================
+
+The paper assumes nonsingular ``H_A`` in Section III.C; we generalize by
+adding ``Ker(H_A)`` whenever any useful dependence exists on the array
+(for singular ``H`` every dependence-vector set is a coset of
+``Ker(H_A)``, so the spanned space is the faithful generalization and
+coincides with the paper's in the nonsingular case).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.dependence import (
+    DependenceKind,
+    dependence_between,
+    is_fully_duplicable,
+)
+from repro.analysis.drv import data_referenced_vectors
+from repro.analysis.redundancy import RedundancyAnalysis
+from repro.analysis.references import ArrayInfo
+from repro.lang.space import IterationSpace
+from repro.ratlinalg.lattice import IntLattice
+from repro.ratlinalg.matrix import RatVec
+from repro.ratlinalg.rref import nullspace
+from repro.ratlinalg.smith import solve_diophantine
+from repro.ratlinalg.solve import solve_particular
+from repro.ratlinalg.span import Subspace
+
+
+def _condition2_holds(info: ArrayInfo, r: RatVec, space: IterationSpace) -> bool:
+    """Definition 4 condition (2): some integer solution of ``H t = r``
+    is a difference of two iterations of the space."""
+    sol = solve_diophantine(info.h, r)
+    if sol is None:
+        return False
+    lat = IntLattice(list(sol.lattice_basis), sol.particular)
+    lo, hi = space.difference_box()
+    if space.is_rectangular():
+        return lat.any_point_in_box(lo, hi) is not None
+    return lat.any_point_in_box_where(lo, hi, space.pair_exists) is not None
+
+
+def reference_space(info: ArrayInfo, space: IterationSpace) -> Subspace:
+    """``Psi_A`` (Definition 4)."""
+    n = info.depth
+    vectors: list[RatVec] = list(nullspace(info.h))
+    for drv in data_referenced_vectors(info):
+        t = solve_particular(info.h, drv.vector)  # condition (1)
+        if t is None:
+            continue
+        if not _condition2_holds(info, drv.vector, space):  # condition (2)
+            continue
+        vectors.append(t)
+    return Subspace(n, vectors)
+
+
+def reduced_reference_space(info: ArrayInfo, space: IterationSpace) -> Subspace:
+    """``Psi_A^r`` (Definition 5 / Theorem 2).
+
+    Fully duplicable arrays (no flow dependence) reduce to ``span(φ)``;
+    partially duplicable arrays keep ``Ker(H_A)`` plus the particular
+    solutions of the equations whose data-referenced vectors lead to
+    flow dependences.
+    """
+    n = info.depth
+    flow_vectors: list[RatVec] = []
+    for w in info.writes():
+        for r in info.reads():
+            if dependence_between(info, w, r, space) is None:
+                continue
+            t = solve_particular(info.h, w.offset - r.offset)
+            if t is not None:
+                flow_vectors.append(t)
+    if not flow_vectors:
+        return Subspace.zero(n)  # fully duplicable
+    return Subspace(n, list(nullspace(info.h)) + flow_vectors)
+
+
+def _minimal(info: ArrayInfo, redundancy: RedundancyAnalysis,
+             flow_only: bool) -> Subspace:
+    n = info.depth
+    vectors = redundancy.useful_vectors(info.name, flow_only=flow_only)
+    has_useful = any(
+        dep.array == info.name
+        and (not flow_only or dep.kind is DependenceKind.FLOW)
+        for dep in redundancy.useful_edges
+    )
+    if has_useful:
+        vectors = vectors + list(nullspace(info.h))
+    return Subspace(n, vectors)
+
+
+def minimal_reference_space(info: ArrayInfo,
+                            redundancy: RedundancyAnalysis) -> Subspace:
+    """``Psi_A^min`` (Theorem 3): vectors of useful dependences only.
+
+    Note: for the *non-duplicate* combined space, singular ``H_A``
+    additionally requires ``Ker(H_A)`` even without useful edges (two
+    iterations can touch one element through a single live reference);
+    :func:`repro.core.strategy.partitioning_space` handles that.
+    """
+    return _minimal(info, redundancy, flow_only=False)
+
+
+def minimal_reduced_reference_space(info: ArrayInfo,
+                                    redundancy: RedundancyAnalysis) -> Subspace:
+    """``Psi_A^min^r`` (Theorem 4): useful *flow* dependences only."""
+    return _minimal(info, redundancy, flow_only=True)
+
+
+def kernel_space(info: ArrayInfo) -> Subspace:
+    """``Ker(H_A)`` as a subspace of the iteration space."""
+    return Subspace(info.depth, nullspace(info.h))

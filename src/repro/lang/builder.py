@@ -1,0 +1,128 @@
+"""Programmatic construction of loop nests (alternative to parsing).
+
+Example -- the paper's loop L1::
+
+    from repro.lang import builder as b
+
+    nest = b.nest(
+        b.loop("i", 1, 4),
+        b.loop("j", 1, 4),
+        body=[
+            b.assign(b.ref("A", b.lin((2, "i")), b.lin("j")),
+                     b.mul(b.ref("C", b.lin("i"), b.lin("j")), b.const(7)),
+                     label="S1"),
+        ],
+    )
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+from repro.lang.ast import ArrayRef, Assign, BinOp, Const, Expr, LoopNest, Name, UnaryOp
+
+ExprLike = Union[Expr, int, str]
+
+
+def const(v: int) -> Const:
+    return Const(int(v))
+
+
+def name(ident: str) -> Name:
+    return Name(ident)
+
+
+def _coerce(e: ExprLike) -> Expr:
+    if isinstance(e, Expr):
+        return e
+    if isinstance(e, int):
+        return Const(e)
+    if isinstance(e, str):
+        return Name(e)
+    raise TypeError(f"cannot coerce {e!r} to an expression")
+
+
+def add(a: ExprLike, b: ExprLike) -> BinOp:
+    return BinOp("+", _coerce(a), _coerce(b))
+
+
+def sub(a: ExprLike, b: ExprLike) -> BinOp:
+    return BinOp("-", _coerce(a), _coerce(b))
+
+
+def mul(a: ExprLike, b: ExprLike) -> BinOp:
+    return BinOp("*", _coerce(a), _coerce(b))
+
+
+def div(a: ExprLike, b: ExprLike) -> BinOp:
+    return BinOp("/", _coerce(a), _coerce(b))
+
+
+def neg(a: ExprLike) -> UnaryOp:
+    return UnaryOp("-", _coerce(a))
+
+
+def lin(*terms: Union[ExprLike, tuple[int, str]], const: int = 0) -> Expr:
+    """Build an affine expression from terms.
+
+    Each term is an index name (coefficient 1), an int, an expression,
+    or a ``(coefficient, index)`` pair; ``const`` adds a trailing
+    constant.  ``lin((2, "i"), const=-2)`` is ``2*i - 2``.
+    """
+    # Each part is (expr, negate): negative coefficients/constants combine
+    # by subtraction, matching what the parser produces for "2*i - 2".
+    parts: list[tuple[Expr, bool]] = []
+    for t in terms:
+        if isinstance(t, tuple):
+            coeff, idx = t
+            if coeff == 1:
+                parts.append((Name(idx), False))
+            elif coeff == -1:
+                parts.append((Name(idx), True))
+            elif coeff < 0:
+                parts.append((BinOp("*", Const(-coeff), Name(idx)), True))
+            else:
+                parts.append((BinOp("*", Const(coeff), Name(idx)), False))
+        else:
+            parts.append((_coerce(t), False))
+    if const:
+        parts.append((Const(abs(const)), const < 0))
+    expr: Expr | None = None
+    for p, negate in parts:
+        if expr is None:
+            expr = UnaryOp("-", p) if negate else p
+        else:
+            expr = BinOp("-" if negate else "+", expr, p)
+    if expr is None:
+        expr = Const(0)
+    return expr
+
+
+def ref(array: str, *subscripts: ExprLike) -> ArrayRef:
+    return ArrayRef(array=array, subscripts=tuple(_coerce(s) for s in subscripts))
+
+
+def assign(lhs: ArrayRef, rhs: ExprLike, label: str = "") -> Assign:
+    return Assign(lhs=lhs, rhs=_coerce(rhs), label=label)
+
+
+@dataclass(frozen=True)
+class LoopSpec:
+    index: str
+    lower: Expr
+    upper: Expr
+
+
+def loop(index: str, lower: ExprLike, upper: ExprLike) -> LoopSpec:
+    return LoopSpec(index=index, lower=_coerce(lower), upper=_coerce(upper))
+
+
+def nest(*loops: LoopSpec, body: Sequence[Assign], name: str = "") -> LoopNest:
+    return LoopNest(
+        indices=tuple(l.index for l in loops),
+        lowers=tuple(l.lower for l in loops),
+        uppers=tuple(l.upper for l in loops),
+        statements=tuple(body),
+        name=name,
+    )

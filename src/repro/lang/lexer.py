@@ -1,0 +1,125 @@
+"""Tokenizer for the loop mini-language."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+
+class TokenType(enum.Enum):
+    FOR = "for"
+    TO = "to"
+    STEP = "step"
+    IDENT = "ident"
+    INT = "int"
+    ASSIGN = "="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LBRACE = "{"
+    RBRACE = "}"
+    COMMA = ","
+    SEMI = ";"
+    COLON = ":"
+    EOF = "eof"
+
+
+KEYWORDS = {"for": TokenType.FOR, "to": TokenType.TO, "step": TokenType.STEP}
+
+SINGLE_CHARS = {
+    "=": TokenType.ASSIGN,
+    "+": TokenType.PLUS,
+    "-": TokenType.MINUS,
+    "*": TokenType.STAR,
+    "/": TokenType.SLASH,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    ",": TokenType.COMMA,
+    ";": TokenType.SEMI,
+    ":": TokenType.COLON,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.name}, {self.text!r}, {self.line}:{self.col})"
+
+
+class LexError(ValueError):
+    """Raised for characters the mini-language does not understand."""
+
+
+class Lexer:
+    """Hand-rolled scanner; supports ``#``-to-end-of-line comments."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def _peek(self) -> str:
+        return self.source[self.pos] if self.pos < len(self.source) else ""
+
+    def _advance(self) -> str:
+        ch = self.source[self.pos]
+        self.pos += 1
+        if ch == "\n":
+            self.line += 1
+            self.col = 1
+        else:
+            self.col += 1
+        return ch
+
+    def tokens(self) -> Iterator[Token]:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+                continue
+            if ch == "#":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+                continue
+            line, col = self.line, self.col
+            if ch.isdigit():
+                text = ""
+                while self.pos < len(self.source) and self._peek().isdigit():
+                    text += self._advance()
+                yield Token(TokenType.INT, text, line, col)
+                continue
+            if ch.isalpha() or ch == "_":
+                text = ""
+                while self.pos < len(self.source) and (
+                    self._peek().isalnum() or self._peek() == "_"
+                ):
+                    text += self._advance()
+                yield Token(KEYWORDS.get(text, TokenType.IDENT), text, line, col)
+                continue
+            if ch in SINGLE_CHARS:
+                self._advance()
+                yield Token(SINGLE_CHARS[ch], ch, line, col)
+                continue
+            raise LexError(f"unexpected character {ch!r} at line {line}, col {col}")
+        yield Token(TokenType.EOF, "", self.line, self.col)
+
+
+def tokenize(source: str) -> list[Token]:
+    """All tokens of ``source`` including the trailing EOF token."""
+    return list(Lexer(source).tokens())

@@ -1,0 +1,129 @@
+"""Loop normalization: remove non-unit steps.
+
+The paper's model (Section II) assumes *normalized* loops -- every
+index runs ``1 .. u_j`` with step 1.  Real source loops may step by a
+constant ``s > 1``; :func:`normalize_steps` rewrites
+
+    for i = lo to hi step s { body(i) }
+
+into the normalized
+
+    for i = 1 to floor((hi - lo)/s) + 1 { body(lo + (i - 1)*s) }
+
+by substituting the affine re-indexing ``i -> lo + (i - 1)*s`` into
+every subscript, bound and body expression.  Affine (index-dependent)
+bounds are supported only with step 1 -- the trip count
+``floor((hi - lo)/s) + 1`` of a stepped loop is not affine otherwise,
+which would leave the paper's model; such loops raise
+:class:`NormalizationError`.
+
+The parser applies this automatically, so every :class:`LoopNest` in
+the system is normalized by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.lang.affine import NotAffineError, affine_of
+from repro.lang.ast import ArrayRef, Assign, BinOp, Const, Expr, LoopNest, Name, UnaryOp
+
+
+class NormalizationError(ValueError):
+    """The loop cannot be normalized within the affine model."""
+
+
+def substitute(expr: Expr, mapping: Mapping[str, Expr]) -> Expr:
+    """Structurally substitute names by expressions."""
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, Name):
+        return mapping.get(expr.ident, expr)
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, substitute(expr.operand, mapping))
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op,
+                     substitute(expr.left, mapping),
+                     substitute(expr.right, mapping))
+    if isinstance(expr, ArrayRef):
+        return ArrayRef(expr.array,
+                        tuple(substitute(s, mapping) for s in expr.subscripts))
+    raise TypeError(f"cannot substitute into {expr!r}")
+
+
+def _reindex_expr(lo: Expr, step: int, var: str) -> Expr:
+    """The replacement expression ``lo + (var - 1) * step``."""
+    shifted = BinOp("-", Name(var), Const(1))
+    if step != 1:
+        shifted = BinOp("*", shifted, Const(step))
+    return BinOp("+", lo, shifted)
+
+
+@dataclass(frozen=True)
+class RawLoopLevel:
+    """One pre-normalization loop level."""
+
+    index: str
+    lower: Expr
+    upper: Expr
+    step: int = 1
+
+
+def normalize_steps(levels: Sequence[RawLoopLevel],
+                    statements: Sequence[Assign],
+                    name: str = "") -> LoopNest:
+    """Build a normalized :class:`LoopNest` from raw (stepped) levels.
+
+    Levels with step 1 are kept as-is (general affine bounds allowed);
+    levels with step > 1 require constant bounds and are rebased to
+    ``1 .. trip_count`` with the re-indexing substituted everywhere.
+    """
+    indices = tuple(l.index for l in levels)
+    mapping: dict[str, Expr] = {}
+    lowers: list[Expr] = []
+    uppers: list[Expr] = []
+    for k, level in enumerate(levels):
+        if level.step == 0:
+            raise NormalizationError(f"loop {level.index!r} has step 0")
+        if level.step < 0:
+            raise NormalizationError(
+                f"loop {level.index!r} has negative step {level.step}; "
+                "reverse loops are outside the normalized model")
+        # bounds may reference outer indices: apply their substitutions
+        lo = substitute(level.lower, mapping)
+        hi = substitute(level.upper, mapping)
+        if level.step == 1:
+            lowers.append(lo)
+            uppers.append(hi)
+            continue
+        try:
+            lo_aff = affine_of(lo, indices)
+            hi_aff = affine_of(hi, indices)
+        except NotAffineError as exc:
+            raise NormalizationError(str(exc)) from exc
+        if not (lo_aff.is_constant() and hi_aff.is_constant()):
+            raise NormalizationError(
+                f"loop {level.index!r} has step {level.step} with "
+                "index-dependent bounds; the trip count is not affine")
+        lo_c, hi_c = lo_aff.const, hi_aff.const
+        if lo_c.denominator != 1 or hi_c.denominator != 1:
+            raise NormalizationError("fractional constant bounds")
+        trips = max(0, (int(hi_c) - int(lo_c)) // level.step + 1)
+        mapping[level.index] = _reindex_expr(Const(int(lo_c)), level.step,
+                                             level.index)
+        lowers.append(Const(1))
+        uppers.append(Const(trips))
+    if not mapping:
+        return LoopNest(indices, tuple(lowers), tuple(uppers),
+                        tuple(statements), name=name)
+    new_statements = tuple(
+        Assign(
+            lhs=substitute(s.lhs, mapping),  # type: ignore[arg-type]
+            rhs=substitute(s.rhs, mapping),
+            label=s.label,
+        )
+        for s in statements
+    )
+    return LoopNest(indices, tuple(lowers), tuple(uppers),
+                    new_statements, name=name)

@@ -1,0 +1,56 @@
+"""Pretty-printer: AST back to mini-language source.
+
+``parse(to_source(nest))`` round-trips to an equal AST (modulo redundant
+parentheses, which the printer inserts conservatively by precedence).
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import ArrayRef, Assign, BinOp, Const, Expr, LoopNest, Name, UnaryOp
+
+_PRECEDENCE = {"+": 1, "-": 1, "*": 2, "/": 2}
+
+
+def expr_to_source(expr: Expr, parent_prec: int = 0, right_side: bool = False) -> str:
+    if isinstance(expr, Const):
+        return str(expr.value)
+    if isinstance(expr, Name):
+        return expr.ident
+    if isinstance(expr, ArrayRef):
+        subs = ", ".join(expr_to_source(s) for s in expr.subscripts)
+        return f"{expr.array}[{subs}]"
+    if isinstance(expr, UnaryOp):
+        inner = expr_to_source(expr.operand, parent_prec=3)
+        text = f"-{inner}"
+        return f"({text})" if parent_prec >= 2 else text
+    if isinstance(expr, BinOp):
+        prec = _PRECEDENCE[expr.op]
+        left = expr_to_source(expr.left, prec, right_side=False)
+        right = expr_to_source(expr.right, prec, right_side=True)
+        text = f"{left} {expr.op} {right}"
+        # '-' and '/' are left-associative: parenthesize equal-precedence
+        # right operands too.
+        needs = parent_prec > prec or (parent_prec == prec and right_side)
+        return f"({text})" if needs else text
+    raise TypeError(f"cannot print {expr!r}")
+
+
+def stmt_to_source(stmt: Assign) -> str:
+    label = f"{stmt.label}: " if stmt.label else ""
+    return f"{label}{expr_to_source(stmt.lhs)} = {expr_to_source(stmt.rhs)};"
+
+
+def to_source(nest: LoopNest, indent: str = "  ") -> str:
+    """Render a :class:`LoopNest` as parseable mini-language source."""
+    lines: list[str] = []
+    for k, idx in enumerate(nest.indices):
+        pad = indent * k
+        lo = expr_to_source(nest.lowers[k])
+        hi = expr_to_source(nest.uppers[k])
+        lines.append(f"{pad}for {idx} = {lo} to {hi} {{")
+    body_pad = indent * nest.depth
+    for s in nest.statements:
+        lines.append(f"{body_pad}{stmt_to_source(s)}")
+    for k in range(nest.depth - 1, -1, -1):
+        lines.append(f"{indent * k}}}")
+    return "\n".join(lines)

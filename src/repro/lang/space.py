@@ -1,0 +1,140 @@
+"""Iteration spaces ``I^n`` of loop nests.
+
+Provides exact enumeration (lexicographic order), membership tests, the
+bounding box, and the *difference box* used by Definition 4 condition
+(2): the set of possible ``i_2 - i_1`` vectors.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import ceil, floor
+from typing import Iterator, Optional, Sequence
+
+from repro.lang.affine import AffineExpr, affine_of
+from repro.lang.ast import LoopNest
+from repro.ratlinalg.matrix import RatVec
+
+
+class IterationSpace:
+    """The set of iterations of a :class:`LoopNest`, with exact queries."""
+
+    def __init__(self, nest: LoopNest):
+        self.nest = nest
+        self.depth = nest.depth
+        self._lowers: list[AffineExpr] = [
+            affine_of(lo, nest.indices) for lo in nest.lowers
+        ]
+        self._uppers: list[AffineExpr] = [
+            affine_of(hi, nest.indices) for hi in nest.uppers
+        ]
+        self._points_cache: Optional[list[tuple[int, ...]]] = None
+        self._box_cache: Optional[tuple[tuple[int, ...], tuple[int, ...]]] = None
+
+    # -- structural ----------------------------------------------------------
+    def is_rectangular(self) -> bool:
+        """True if every bound is a constant (paper examples are all rectangular)."""
+        return all(lo.is_constant() and hi.is_constant()
+                   for lo, hi in zip(self._lowers, self._uppers))
+
+    def bounds_at(self, prefix: Sequence[int], k: int) -> tuple[int, int]:
+        """(lower, upper) of loop ``k`` for the given values of indices[:k]."""
+        env = dict(zip(self.nest.indices[:k], prefix))
+        lo = self._lowers[k].eval({**env})
+        hi = self._uppers[k].eval({**env})
+        return ceil(lo), floor(hi)
+
+    # -- enumeration -----------------------------------------------------------
+    def iterate(self) -> Iterator[tuple[int, ...]]:
+        """All iterations in lexicographic (sequential-execution) order."""
+        point: list[int] = [0] * self.depth
+
+        def rec(k: int) -> Iterator[tuple[int, ...]]:
+            if k == self.depth:
+                yield tuple(point)
+                return
+            lo, hi = self.bounds_at(point[:k], k)
+            for v in range(lo, hi + 1):
+                point[k] = v
+                yield from rec(k + 1)
+
+        yield from rec(0)
+
+    def points(self) -> list[tuple[int, ...]]:
+        """Materialized iteration list (cached)."""
+        if self._points_cache is None:
+            self._points_cache = list(self.iterate())
+        return self._points_cache
+
+    def size(self) -> int:
+        if self.is_rectangular():
+            total = 1
+            for k in range(self.depth):
+                lo, hi = self.bounds_at((), k)
+                total *= max(0, hi - lo + 1)
+            return total
+        return len(self.points())
+
+    def __contains__(self, point) -> bool:
+        pt = tuple(int(x) for x in point)
+        if len(pt) != self.depth:
+            return False
+        if any(isinstance(x, Fraction) and x.denominator != 1 for x in point):
+            return False
+        for k in range(self.depth):
+            lo, hi = self.bounds_at(pt[:k], k)
+            if not lo <= pt[k] <= hi:
+                return False
+        return True
+
+    # -- boxes ------------------------------------------------------------------
+    def bounding_box(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Componentwise (min, max) over all iterations.
+
+        Computed by interval arithmetic over the affine bounds (exact for
+        rectangular spaces; a tight cover for affine-bounded ones, falling
+        back to an exact scan when the interval recursion cannot bound a
+        level).
+        """
+        if self._box_cache is not None:
+            return self._box_cache
+        if self.is_rectangular():
+            lo = tuple(self.bounds_at((), k)[0] for k in range(self.depth))
+            hi = tuple(self.bounds_at((), k)[1] for k in range(self.depth))
+        else:
+            pts = self.points()
+            if not pts:
+                lo = tuple(0 for _ in range(self.depth))
+                hi = tuple(-1 for _ in range(self.depth))
+            else:
+                lo = tuple(min(p[k] for p in pts) for k in range(self.depth))
+                hi = tuple(max(p[k] for p in pts) for k in range(self.depth))
+        self._box_cache = (lo, hi)
+        return self._box_cache
+
+    def difference_box(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """A box containing every possible ``i_2 - i_1`` difference.
+
+        Exact (equals the true difference set's bounding box) for
+        rectangular spaces.
+        """
+        lo, hi = self.bounding_box()
+        return (tuple(l - h for l, h in zip(lo, hi)),
+                tuple(h - l for l, h in zip(lo, hi)))
+
+    # -- Definition 4 condition (2) helper ------------------------------------------
+    def pair_exists(self, t: RatVec) -> bool:
+        """True iff ``t = i_2 - i_1`` for some iterations ``i_1, i_2`` in the space."""
+        if not t.is_integral():
+            return False
+        tv = t.to_ints()
+        if len(tv) != self.depth:
+            return False
+        if self.is_rectangular():
+            lo, hi = self.bounding_box()
+            return all(abs(tv[k]) <= hi[k] - lo[k] for k in range(self.depth))
+        for p in self.points():
+            shifted = tuple(p[k] + tv[k] for k in range(self.depth))
+            if shifted in self:
+                return True
+        return False

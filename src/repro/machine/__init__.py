@@ -1,0 +1,70 @@
+"""Distributed-memory multicomputer simulator.
+
+The paper evaluates on a 16-node Transputer multicomputer (mesh).  We
+simulate the same structure:
+
+- :mod:`~repro.machine.topology`: mesh / ring / star / complete
+  interconnects plus a *host* processor attached to node 0 (the paper's
+  host distributes initial data to the nodes);
+- :mod:`~repro.machine.cost`: the ``(t_comp, t_start, t_comm)`` cost
+  model, with Transputer-calibrated defaults fitted to Table I;
+- :mod:`~repro.machine.network`: message primitives with the paper's
+  accounting -- pipelined point-to-point sends
+  (``t_start + (w + h - 1) t_comm``) and store-and-forward multicast /
+  broadcast (``t_start + path * w * t_comm``), plus full message logs;
+- :mod:`~repro.machine.memory` / :mod:`~repro.machine.processor`: local
+  memories with ownership bookkeeping and per-processor counters;
+- :mod:`~repro.machine.machine`: the assembled :class:`Multicomputer`;
+- :mod:`~repro.machine.distribution`: host-to-node initial data
+  distribution schedules (scatter / multicast / broadcast), the three
+  patterns of loops L5, L5' and L5''.
+"""
+
+from repro.machine.cost import CostModel, TRANSPUTER, UNIT_COSTS
+from repro.machine.topology import (
+    CompleteTopology,
+    HOST,
+    Hypercube,
+    Mesh2D,
+    RingTopology,
+    StarTopology,
+    Topology,
+    Torus2D,
+)
+from repro.machine.message import Message
+from repro.machine.memory import LocalMemory, RemoteAccessError
+from repro.machine.processor import Processor
+from repro.machine.network import Network
+from repro.machine.machine import Multicomputer
+from repro.machine.distribution import (
+    DistributionOp,
+    DistributionSchedule,
+    broadcast_array,
+    multicast_groups,
+    scatter_slices,
+)
+
+__all__ = [
+    "CostModel",
+    "TRANSPUTER",
+    "UNIT_COSTS",
+    "Topology",
+    "Mesh2D",
+    "RingTopology",
+    "StarTopology",
+    "CompleteTopology",
+    "Hypercube",
+    "Torus2D",
+    "HOST",
+    "Message",
+    "LocalMemory",
+    "RemoteAccessError",
+    "Processor",
+    "Network",
+    "Multicomputer",
+    "DistributionOp",
+    "DistributionSchedule",
+    "scatter_slices",
+    "multicast_groups",
+    "broadcast_array",
+]

@@ -1,0 +1,52 @@
+"""The ``(t_comp, t_start, t_comm)`` cost model.
+
+Paper, Section IV: "assume that the time required to perform one
+iteration is t_comp; the time required to communicate including two
+parts is t_start, the startup time for communication; and t_comm is the
+time required to transmit a single datum from one processor to the
+neighboring one."
+
+``TRANSPUTER`` is calibrated against Table I:
+
+- sequential L5 times are almost exactly cubic: ``161.25s / 256^3``
+  gives ``t_comp ≈ 9.6 µs`` per multiply-add iteration;
+- the L5'' p=16 M=256 residual over compute (``10.65 - 10.07 ≈ 0.58s``)
+  against the T3 communication term fits ``t_comm ≈ 2.2 µs`` per word;
+- ``t_start = 200 µs`` is a typical Transputer-era software startup
+  and is small enough to stay consistent with every Table I cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation time constants (seconds)."""
+
+    t_comp: float   # one loop iteration
+    t_start: float  # communication startup
+    t_comm: float   # one word between neighbors
+
+    def compute(self, iterations: int) -> float:
+        return iterations * self.t_comp
+
+    def pipelined(self, words: int, hops: int) -> float:
+        """Wormhole/pipelined transfer: startup + (w + h - 1) per-word steps."""
+        if words <= 0:
+            return 0.0
+        return self.t_start + (words + max(hops, 1) - 1) * self.t_comm
+
+    def store_and_forward(self, words: int, hops: int) -> float:
+        """Whole-message per-hop forwarding: startup + h * w per-word steps."""
+        if words <= 0:
+            return 0.0
+        return self.t_start + max(hops, 1) * words * self.t_comm
+
+
+#: Calibrated to the paper's Transputer measurements (Table I); see module docstring.
+TRANSPUTER = CostModel(t_comp=9.6e-6, t_start=2.0e-4, t_comm=2.2e-6)
+
+#: Unit costs: makes simulated times equal to event counts (handy in tests).
+UNIT_COSTS = CostModel(t_comp=1.0, t_start=1.0, t_comm=1.0)

@@ -1,0 +1,130 @@
+"""Host-to-node initial data distribution schedules.
+
+The paper distinguishes three patterns for pushing initial array
+contents from the host into node memories:
+
+- :func:`scatter_slices` -- disjoint pieces, one pipelined send per
+  processor (array A in loop L5');
+- :func:`multicast_groups` -- shared pieces per processor group, one
+  store-and-forward multicast per group (arrays A and B in loop L5'',
+  multicast along mesh rows / columns);
+- :func:`broadcast_array` -- the whole array to everybody (array B in
+  loop L5').
+
+Each helper both *charges* the network and *populates* the target
+memories, recording per-processor arrival times so compute can be
+overlapped downstream if desired (the paper, and our makespan, simply
+serialize distribution before compute).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.machine.machine import Multicomputer
+from repro.machine.topology import HOST
+
+Coords = tuple[int, ...]
+InitFn = Callable[[Coords], float]
+
+
+@dataclass(frozen=True)
+class DistributionOp:
+    """One logical distribution step (for reporting/tests)."""
+
+    kind: str
+    array: str
+    dsts: tuple[int, ...]
+    words: int
+    time: float
+
+
+@dataclass
+class DistributionSchedule:
+    """The ordered list of distribution operations of one run."""
+
+    ops: list[DistributionOp] = field(default_factory=list)
+
+    @property
+    def total_time(self) -> float:
+        return sum(op.time for op in self.ops)
+
+    @property
+    def total_words(self) -> int:
+        return sum(op.words * len(op.dsts) for op in self.ops)
+
+    def by_array(self, array: str) -> list[DistributionOp]:
+        return [op for op in self.ops if op.array == array]
+
+
+def _materialize(machine: Multicomputer, pid: int, array: str,
+                 elements: Iterable[Coords], init: Optional[InitFn]) -> int:
+    mem = machine.processor(pid).memory
+    n = mem.allocate(array, elements, init=init)
+    machine.processor(pid).recv_time = machine.network.elapsed
+    return n
+
+
+def scatter_slices(
+    machine: Multicomputer,
+    array: str,
+    pieces: dict[int, Iterable[Coords]],
+    init: Optional[InitFn] = None,
+    schedule: Optional[DistributionSchedule] = None,
+) -> DistributionSchedule:
+    """Send a disjoint element set to each processor (pipelined sends)."""
+    schedule = schedule if schedule is not None else DistributionSchedule()
+    for pid in sorted(pieces):
+        elems = [tuple(int(x) for x in c) for c in pieces[pid]]
+        if not elems:
+            continue
+        t = machine.network.send(HOST, pid, len(elems), tag=f"scatter:{array}")
+        _materialize(machine, pid, array, elems, init)
+        schedule.ops.append(DistributionOp("scatter", array, (pid,), len(elems), t))
+    return schedule
+
+
+def multicast_groups(
+    machine: Multicomputer,
+    array: str,
+    groups: Sequence[tuple[Sequence[int], Iterable[Coords]]],
+    init: Optional[InitFn] = None,
+    schedule: Optional[DistributionSchedule] = None,
+) -> DistributionSchedule:
+    """Multicast one shared element set to each processor group."""
+    schedule = schedule if schedule is not None else DistributionSchedule()
+    for dsts, elements in groups:
+        elems = [tuple(int(x) for x in c) for c in elements]
+        if not elems or not dsts:
+            continue
+        t = machine.network.multicast(HOST, list(dsts), len(elems),
+                                      tag=f"multicast:{array}")
+        for pid in dsts:
+            _materialize(machine, pid, array, elems, init)
+        schedule.ops.append(
+            DistributionOp("multicast", array, tuple(sorted(dsts)), len(elems), t)
+        )
+    return schedule
+
+
+def broadcast_array(
+    machine: Multicomputer,
+    array: str,
+    elements: Iterable[Coords],
+    init: Optional[InitFn] = None,
+    schedule: Optional[DistributionSchedule] = None,
+) -> DistributionSchedule:
+    """Broadcast the whole element set to every node processor."""
+    schedule = schedule if schedule is not None else DistributionSchedule()
+    elems = [tuple(int(x) for x in c) for c in elements]
+    if not elems:
+        return schedule
+    t = machine.network.broadcast(HOST, len(elems), tag=f"broadcast:{array}")
+    for pid in range(machine.num_processors):
+        _materialize(machine, pid, array, elems, init)
+    schedule.ops.append(
+        DistributionOp("broadcast", array,
+                       tuple(range(machine.num_processors)), len(elems), t)
+    )
+    return schedule

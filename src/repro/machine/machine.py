@@ -1,0 +1,92 @@
+"""The assembled multicomputer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.machine.cost import CostModel, TRANSPUTER
+from repro.machine.network import Network
+from repro.machine.processor import Processor
+from repro.machine.topology import HOST, Mesh2D, Topology
+
+
+@dataclass
+class MachineStats:
+    """Aggregate statistics of one simulated run."""
+
+    distribution_time: float
+    max_compute_time: float
+    total_iterations: int
+    messages: int
+    words_sent: int
+    remote_accesses: int
+    memory_words: dict[int, int]
+
+    @property
+    def makespan(self) -> float:
+        return self.distribution_time + self.max_compute_time
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "distribution_time": self.distribution_time,
+            "max_compute_time": self.max_compute_time,
+            "makespan": self.makespan,
+            "total_iterations": self.total_iterations,
+            "messages": self.messages,
+            "words_sent": self.words_sent,
+            "remote_accesses": self.remote_accesses,
+            "memory_words": dict(self.memory_words),
+        }
+
+
+class Multicomputer:
+    """Processors + network; the simulation substrate.
+
+    The execution model mirrors the paper: a *distribution phase* where
+    the host pushes initial array data to node memories (serialized on
+    the host's channel), then a *compute phase* with zero communication
+    (enforced: any remote access raises), then result collection /
+    merging handled by the runtime layer.
+    """
+
+    def __init__(self, topology: Topology, cost: CostModel = TRANSPUTER):
+        self.topology = topology
+        self.cost = cost
+        self.network = Network(topology=topology, cost=cost)
+        self.processors = [Processor(pid=i, cost=cost) for i in topology.nodes()]
+
+    # -- convenience constructors --------------------------------------------
+    @staticmethod
+    def mesh(rows: int, cols: int, cost: CostModel = TRANSPUTER) -> "Multicomputer":
+        return Multicomputer(Mesh2D(rows, cols), cost=cost)
+
+    @property
+    def num_processors(self) -> int:
+        return len(self.processors)
+
+    def processor(self, pid: int) -> Processor:
+        return self.processors[pid]
+
+    # -- stats ------------------------------------------------------------------
+    def stats(self) -> MachineStats:
+        return MachineStats(
+            distribution_time=self.network.elapsed,
+            max_compute_time=max((p.compute_time for p in self.processors),
+                                 default=0.0),
+            total_iterations=sum(p.iterations for p in self.processors),
+            messages=self.network.log.count,
+            words_sent=self.network.log.total_words,
+            remote_accesses=sum(p.memory.remote_attempts for p in self.processors),
+            memory_words={p.pid: p.memory.words() for p in self.processors},
+        )
+
+    def makespan(self) -> float:
+        """Distribution (serialized on the host) + slowest processor's compute."""
+        return self.stats().makespan
+
+    def reset(self) -> None:
+        self.network.reset()
+        for p in self.processors:
+            p.reset()

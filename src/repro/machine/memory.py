@@ -1,0 +1,85 @@
+"""Per-processor local memories.
+
+A :class:`LocalMemory` stores array elements by coordinate tuple.  Every
+access is checked: reading or writing an element that was never
+allocated locally raises :class:`RemoteAccessError` -- in a real
+multicomputer that access would be an interprocessor message, and the
+whole point of the paper is that none occur.  The parallel executor
+runs with these checks on and asserts a zero remote-access count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+class RemoteAccessError(KeyError):
+    """An access fell outside the processor's allocated data blocks."""
+
+    def __init__(self, pid: int, array: str, coords: tuple[int, ...]):
+        super().__init__(f"PE{pid}: remote access to {array}{list(coords)}")
+        self.pid = pid
+        self.array = array
+        self.coords = coords
+
+
+@dataclass
+class LocalMemory:
+    """One processor's private memory: allocated elements + their values."""
+
+    pid: int
+    # array -> {coords -> value}
+    values: dict[str, dict[tuple[int, ...], float]] = field(default_factory=dict)
+    # array -> set of coords this processor owns (allocation map)
+    allocated: dict[str, set[tuple[int, ...]]] = field(default_factory=dict)
+    reads: int = 0
+    writes: int = 0
+    remote_attempts: int = 0
+    strict: bool = True
+
+    # -- allocation -------------------------------------------------------
+    def allocate(self, array: str, coords_iter: Iterable[tuple[int, ...]],
+                 init=None) -> int:
+        """Allocate elements locally; returns the number of words allocated.
+
+        ``init`` is an optional callable ``(coords) -> value`` supplying
+        initial contents (the host-distributed initial data).
+        """
+        store = self.values.setdefault(array, {})
+        alloc = self.allocated.setdefault(array, set())
+        n = 0
+        for c in coords_iter:
+            c = tuple(int(x) for x in c)
+            if c not in alloc:
+                alloc.add(c)
+                n += 1
+            store[c] = float(init(c)) if init is not None else 0.0
+        return n
+
+    def holds(self, array: str, coords: tuple[int, ...]) -> bool:
+        return coords in self.allocated.get(array, ())
+
+    def words(self) -> int:
+        return sum(len(s) for s in self.allocated.values())
+
+    # -- access -------------------------------------------------------------
+    def load(self, array: str, coords: tuple[int, ...]) -> float:
+        coords = tuple(int(x) for x in coords)
+        if not self.holds(array, coords):
+            self.remote_attempts += 1
+            if self.strict:
+                raise RemoteAccessError(self.pid, array, coords)
+            return 0.0
+        self.reads += 1
+        return self.values[array][coords]
+
+    def store(self, array: str, coords: tuple[int, ...], value: float) -> None:
+        coords = tuple(int(x) for x in coords)
+        if not self.holds(array, coords):
+            self.remote_attempts += 1
+            if self.strict:
+                raise RemoteAccessError(self.pid, array, coords)
+            return
+        self.writes += 1
+        self.values[array][coords] = float(value)

@@ -1,0 +1,78 @@
+"""Message records for the simulator's communication log."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Message:
+    """One logged communication operation.
+
+    ``kind`` is ``send`` / ``multicast`` / ``broadcast``; ``dsts`` has a
+    single entry for sends.  ``words`` is the message size in array
+    elements (the paper's "data"), ``hops`` the routing distance used
+    for costing, and ``time`` the resulting channel time.
+    """
+
+    kind: str
+    src: int
+    dsts: tuple[int, ...]
+    words: int
+    hops: int
+    time: float
+    tag: str = ""
+
+    def __post_init__(self):
+        if self.kind not in ("send", "multicast", "broadcast"):
+            raise ValueError(f"unknown message kind {self.kind!r}")
+        if self.words < 0:
+            raise ValueError("negative message size")
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (for external trace analysis)."""
+        return {
+            "kind": self.kind,
+            "src": self.src,
+            "dsts": list(self.dsts),
+            "words": self.words,
+            "hops": self.hops,
+            "time": self.time,
+            "tag": self.tag,
+        }
+
+
+@dataclass
+class MessageLog:
+    """Accumulates messages and aggregate statistics."""
+
+    messages: list[Message] = field(default_factory=list)
+
+    def record(self, msg: Message) -> None:
+        self.messages.append(msg)
+
+    @property
+    def count(self) -> int:
+        return len(self.messages)
+
+    @property
+    def total_words(self) -> int:
+        return sum(m.words for m in self.messages)
+
+    @property
+    def total_time(self) -> float:
+        return sum(m.time for m in self.messages)
+
+    def by_kind(self, kind: str) -> list[Message]:
+        return [m for m in self.messages if m.kind == kind]
+
+    def to_json(self, indent: int = 0) -> str:
+        """The full message trace as a JSON array."""
+        import json
+
+        return json.dumps([m.to_dict() for m in self.messages],
+                          indent=indent or None)
+
+    def clear(self) -> None:
+        self.messages.clear()

@@ -1,0 +1,92 @@
+"""Network primitives with the paper's cost accounting.
+
+Three operations, matching how Section IV costs the initial data
+distribution of loops L5' and L5'':
+
+``send``
+    point-to-point, *pipelined* ("in a pipelined fashion"):
+    ``t_start + (w + hops - 1) * t_comm``.
+``multicast``
+    one message delivered to a set of nodes by *pipelined* chaining
+    through them (wormhole-style cut-through):
+    ``t_start + (w + chain_hops - 1) * t_comm`` -- the paper's
+    "multicasting in a pipelined fashion", whose per-array total for
+    L5'' is ``O(sqrt(p) t_start + 2 M^2 t_comm)``: the word term
+    dominates the hop term, exactly as in a pipelined chain.
+``broadcast``
+    whole-array flood to every node, costed along the diameter:
+    ``t_start + diameter * w * t_comm`` -- the paper's
+    ``O(t_start + 2*sqrt(p)*M^2*t_comm)`` for distributing array B
+    of L5'.
+
+The host serializes its outgoing operations (it has one injection
+channel), so a schedule's elapsed time is the sum of its operations'
+times; per-destination arrival times are tracked so processors can
+start computing when their data is in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.machine.cost import CostModel
+from repro.machine.message import Message, MessageLog
+from repro.machine.topology import Topology
+
+
+@dataclass
+class Network:
+    """The interconnect: topology + cost model + message log."""
+
+    topology: Topology
+    cost: CostModel
+    log: MessageLog = field(default_factory=MessageLog)
+    clock: float = 0.0  # host injection channel time
+
+    # -- primitives -----------------------------------------------------------
+    def send(self, src: int, dst: int, words: int, tag: str = "") -> float:
+        """Pipelined point-to-point transfer; returns its channel time."""
+        if words <= 0:
+            return 0.0
+        hops = self.topology.hops(src, dst)
+        t = self.cost.pipelined(words, hops)
+        self._record("send", src, (dst,), words, hops, t, tag)
+        return t
+
+    def multicast(self, src: int, dsts: Sequence[int], words: int,
+                  tag: str = "") -> float:
+        """Pipelined chain delivery of one message to ``dsts``."""
+        dsts = tuple(sorted(set(dsts)))
+        if words <= 0 or not dsts:
+            return 0.0
+        hops = max(1, self.topology.chain_length(src, list(dsts)))
+        t = self.cost.pipelined(words, hops)
+        self._record("multicast", src, dsts, words, hops, t, tag)
+        return t
+
+    def broadcast(self, src: int, words: int, tag: str = "") -> float:
+        """Store-and-forward flood of one message to every node processor."""
+        if words <= 0:
+            return 0.0
+        dsts = tuple(self.topology.nodes())
+        hops = max(1, self.topology.diameter_from(src))
+        t = self.cost.store_and_forward(words, hops)
+        self._record("broadcast", src, dsts, words, hops, t, tag)
+        return t
+
+    # -- bookkeeping ------------------------------------------------------------
+    def _record(self, kind: str, src: int, dsts: tuple[int, ...], words: int,
+                hops: int, t: float, tag: str) -> None:
+        self.clock += t
+        self.log.record(Message(kind=kind, src=src, dsts=dsts, words=words,
+                                hops=hops, time=t, tag=tag))
+
+    @property
+    def elapsed(self) -> float:
+        """Total serialized channel time of all operations so far."""
+        return self.clock
+
+    def reset(self) -> None:
+        self.clock = 0.0
+        self.log.clear()

@@ -1,0 +1,40 @@
+"""Node processors: local memory + time accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.cost import CostModel
+from repro.machine.memory import LocalMemory
+
+
+@dataclass
+class Processor:
+    """One node of the multicomputer."""
+
+    pid: int
+    cost: CostModel
+    memory: LocalMemory = field(default=None)  # type: ignore[assignment]
+    compute_time: float = 0.0
+    recv_time: float = 0.0     # time at which all its initial data has arrived
+    iterations: int = 0
+
+    def __post_init__(self):
+        if self.memory is None:
+            self.memory = LocalMemory(pid=self.pid)
+
+    def charge_iterations(self, n: int) -> None:
+        """Account ``n`` loop iterations of compute time."""
+        self.iterations += n
+        self.compute_time += self.cost.compute(n)
+
+    @property
+    def finish_time(self) -> float:
+        """Data arrival + local compute (no communication during execution)."""
+        return self.recv_time + self.compute_time
+
+    def reset(self) -> None:
+        self.compute_time = 0.0
+        self.recv_time = 0.0
+        self.iterations = 0
+        self.memory = LocalMemory(pid=self.pid)

@@ -1,0 +1,168 @@
+"""Interconnect topologies.
+
+Node processors are numbered ``0 .. p-1``; the special :data:`HOST`
+node (-1) models the paper's host processor, attached to node 0 (a
+corner of the mesh).  Hop counts come from exact shortest paths on the
+topology graph (networkx), so routing distance is topology-accurate.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterable
+
+import networkx as nx
+
+#: The host processor's node id.
+HOST = -1
+
+
+class Topology:
+    """Base class: a connected undirected graph over nodes + HOST."""
+
+    def __init__(self, num_nodes: int, edges: Iterable[tuple[int, int]],
+                 host_attach: int = 0):
+        if num_nodes < 1:
+            raise ValueError("need at least one node")
+        self.num_nodes = num_nodes
+        self.graph = nx.Graph()
+        self.graph.add_nodes_from(range(num_nodes))
+        self.graph.add_edges_from(edges)
+        self.graph.add_edge(HOST, host_attach)
+        if not nx.is_connected(self.graph):
+            raise ValueError("topology graph is not connected")
+        self._hops = dict(nx.all_pairs_shortest_path_length(self.graph))
+
+    # -- queries -----------------------------------------------------------
+    def nodes(self) -> list[int]:
+        return list(range(self.num_nodes))
+
+    def hops(self, a: int, b: int) -> int:
+        """Shortest-path hop count between two nodes (0 for a == b)."""
+        return self._hops[a][b]
+
+    def neighbors(self, a: int) -> list[int]:
+        return sorted(n for n in self.graph.neighbors(a))
+
+    def diameter_from(self, src: int) -> int:
+        """Longest shortest path from ``src`` to any node processor."""
+        return max(self.hops(src, n) for n in self.nodes())
+
+    def chain_length(self, src: int, dsts: list[int]) -> int:
+        """Greedy nearest-neighbor path length visiting all ``dsts`` from ``src``.
+
+        Used to cost a store-and-forward multicast chain; exact optimal
+        routing is a TSP, the greedy chain is the standard practical
+        schedule and is optimal for row/column sets on a mesh.
+        """
+        remaining = set(dsts)
+        remaining.discard(src)
+        total = 0
+        cur = src
+        while remaining:
+            nxt = min(remaining, key=lambda d: (self.hops(cur, d), d))
+            total += self.hops(cur, nxt)
+            remaining.remove(nxt)
+            cur = nxt
+        return total
+
+    def describe(self) -> str:
+        return f"{type(self).__name__}(p={self.num_nodes})"
+
+
+class Mesh2D(Topology):
+    """A ``rows x cols`` 2-D mesh; node ``r*cols + c``; host at node 0."""
+
+    def __init__(self, rows: int, cols: int):
+        self.rows, self.cols = rows, cols
+        edges = []
+        for r in range(rows):
+            for c in range(cols):
+                n = r * cols + c
+                if c + 1 < cols:
+                    edges.append((n, n + 1))
+                if r + 1 < rows:
+                    edges.append((n, n + cols))
+        super().__init__(rows * cols, edges)
+
+    def coords(self, node: int) -> tuple[int, int]:
+        return divmod(node, self.cols)
+
+    def node_at(self, r: int, c: int) -> int:
+        if not (0 <= r < self.rows and 0 <= c < self.cols):
+            raise IndexError(f"({r},{c}) outside {self.rows}x{self.cols} mesh")
+        return r * self.cols + c
+
+    def row_nodes(self, r: int) -> list[int]:
+        return [self.node_at(r, c) for c in range(self.cols)]
+
+    def col_nodes(self, c: int) -> list[int]:
+        return [self.node_at(r, c) for r in range(self.rows)]
+
+    def describe(self) -> str:
+        return f"Mesh2D({self.rows}x{self.cols})"
+
+
+class RingTopology(Topology):
+    def __init__(self, num_nodes: int):
+        edges = [(i, (i + 1) % num_nodes) for i in range(num_nodes)]
+        if num_nodes == 1:
+            edges = []
+        super().__init__(num_nodes, edges)
+
+
+class StarTopology(Topology):
+    """All nodes attached to node 0 (host also at node 0)."""
+
+    def __init__(self, num_nodes: int):
+        super().__init__(num_nodes, [(0, i) for i in range(1, num_nodes)])
+
+
+class CompleteTopology(Topology):
+    def __init__(self, num_nodes: int):
+        edges = [(i, j) for i in range(num_nodes) for j in range(i + 1, num_nodes)]
+        super().__init__(num_nodes, edges)
+
+
+class Hypercube(Topology):
+    """A ``2^dim``-node binary hypercube (Transputer-era alternative).
+
+    Nodes are adjacent iff their ids differ in exactly one bit; hop
+    distance is Hamming distance, diameter ``dim``.
+    """
+
+    def __init__(self, dim: int):
+        if dim < 0:
+            raise ValueError("hypercube dimension must be >= 0")
+        self.dim = dim
+        n = 1 << dim
+        edges = [(i, i ^ (1 << b)) for i in range(n) for b in range(dim)
+                 if i < (i ^ (1 << b))]
+        super().__init__(n, edges)
+
+    def describe(self) -> str:
+        return f"Hypercube(dim={self.dim}, p={self.num_nodes})"
+
+
+class Torus2D(Topology):
+    """A 2-D torus (mesh with wrap-around links): halves the diameter."""
+
+    def __init__(self, rows: int, cols: int):
+        self.rows, self.cols = rows, cols
+        edges = set()
+        for r in range(rows):
+            for c in range(cols):
+                n = r * cols + c
+                right = r * cols + (c + 1) % cols
+                down = ((r + 1) % rows) * cols + c
+                if right != n:
+                    edges.add((min(n, right), max(n, right)))
+                if down != n:
+                    edges.add((min(n, down), max(n, down)))
+        super().__init__(rows * cols, sorted(edges))
+
+    def coords(self, node: int) -> tuple[int, int]:
+        return divmod(node, self.cols)
+
+    def describe(self) -> str:
+        return f"Torus2D({self.rows}x{self.cols})"

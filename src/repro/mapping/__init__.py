@@ -1,0 +1,25 @@
+"""Processor assignment (Section IV, second half).
+
+- :mod:`~repro.mapping.grid`: shaping ``p`` processors into a
+  ``p_1 x ... x p_k`` grid with the paper's rule
+  ``p_i = floor(p^(1/k))`` for ``i < k`` and
+  ``p_k = floor(p / floor(p^(1/k))^(k-1))``;
+- :mod:`~repro.mapping.cyclic`: the mod-based cyclic assignment of
+  forall points (iteration blocks) to grid processors;
+- :mod:`~repro.mapping.balance`: workload metrics quantifying the
+  paper's load-balancing claim ("neighboring iteration blocks have
+  almost the same number of iterations").
+"""
+
+from repro.mapping.grid import ProcessorGrid, shape_grid
+from repro.mapping.cyclic import CyclicAssignment, assign_blocks
+from repro.mapping.balance import WorkloadStats, workload_stats
+
+__all__ = [
+    "ProcessorGrid",
+    "shape_grid",
+    "CyclicAssignment",
+    "assign_blocks",
+    "WorkloadStats",
+    "workload_stats",
+]

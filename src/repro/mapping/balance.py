@@ -1,0 +1,55 @@
+"""Workload balance metrics for a processor assignment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mapping.cyclic import CyclicAssignment
+
+
+@dataclass(frozen=True)
+class WorkloadStats:
+    """Per-processor iteration-count statistics."""
+
+    loads: dict[tuple[int, ...], int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.loads.values())
+
+    @property
+    def max_load(self) -> int:
+        return max(self.loads.values()) if self.loads else 0
+
+    @property
+    def min_load(self) -> int:
+        return min(self.loads.values()) if self.loads else 0
+
+    @property
+    def mean_load(self) -> float:
+        return self.total / len(self.loads) if self.loads else 0.0
+
+    @property
+    def imbalance(self) -> float:
+        """``max / mean`` -- 1.0 is perfectly balanced."""
+        mean = self.mean_load
+        return self.max_load / mean if mean else 1.0
+
+    @property
+    def efficiency(self) -> float:
+        """Parallel efficiency upper bound: ``total / (p * max)``.
+
+        The makespan is driven by the most loaded processor; with no
+        communication the best achievable speedup is ``total / max``.
+        """
+        denom = len(self.loads) * self.max_load
+        return self.total / denom if denom else 1.0
+
+    def summary(self) -> str:
+        return (f"p={len(self.loads)} total={self.total} "
+                f"max={self.max_load} min={self.min_load} "
+                f"imbalance={self.imbalance:.3f} efficiency={self.efficiency:.3f}")
+
+
+def workload_stats(assignment: CyclicAssignment) -> WorkloadStats:
+    return WorkloadStats(loads=assignment.loads())

@@ -1,0 +1,77 @@
+"""Cyclic (mod-based) assignment of forall points to grid processors.
+
+The paper's processor ``PE_{a_1,...,a_k}`` executes the forall points
+whose ``j``-th coordinate ``v`` satisfies ``v ≡ a_j (mod p_j)`` -- that
+is the effect of starting at ``l'_j + (a_j - (l'_j mod p_j)) mod p_j``
+and stepping by ``p_j``.  Neighboring blocks land on different
+processors, which balances the workload because neighboring blocks have
+almost the same number of iterations (Fig. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from repro.mapping.grid import ProcessorGrid
+from repro.transform.loopnest import TransformedNest
+
+
+def owner_of_point(point: tuple[int, ...], grid: ProcessorGrid) -> tuple[int, ...]:
+    """Grid coordinates of the processor owning a forall point."""
+    if len(point) != grid.k:
+        raise ValueError(f"point arity {len(point)} vs grid rank {grid.k}")
+    return tuple(v % d for v, d in zip(point, grid.dims))
+
+
+@dataclass
+class CyclicAssignment:
+    """A complete block -> processor mapping for one transformed nest."""
+
+    grid: ProcessorGrid
+    # processor grid coords -> list of forall points it executes
+    points_of: dict[tuple[int, ...], list[tuple[int, ...]]] = field(default_factory=dict)
+    # forall point -> iteration count (workload)
+    weights: dict[tuple[int, ...], int] = field(default_factory=dict)
+
+    def owner(self, point: tuple[int, ...]) -> tuple[int, ...]:
+        return owner_of_point(point, self.grid)
+
+    def owner_id(self, point: tuple[int, ...]) -> int:
+        return self.grid.linear_id(self.owner(point))
+
+    def load_of(self, proc: tuple[int, ...]) -> int:
+        return sum(self.weights[pt] for pt in self.points_of.get(proc, ()))
+
+    def loads(self) -> dict[tuple[int, ...], int]:
+        return {proc: self.load_of(proc) for proc in self.grid.coords()}
+
+    def start_value(self, lower: int, dim: int, a: int) -> int:
+        """The paper's stepped-forall start: ``l' + (a - (l' mod p)) mod p``."""
+        p = self.grid.dims[dim]
+        return lower + (a - (lower % p)) % p
+
+
+def assign_blocks(
+    tnest: TransformedNest,
+    grid: ProcessorGrid,
+    points: Optional[Iterable[tuple[int, ...]]] = None,
+) -> CyclicAssignment:
+    """Assign every (non-empty or empty) forall point cyclically.
+
+    ``points`` defaults to the transformed nest's full forall domain;
+    weights are the per-block iteration counts.
+    """
+    if grid.k != tnest.k:
+        raise ValueError(
+            f"grid rank {grid.k} does not match the nest's {tnest.k} forall dims"
+        )
+    assignment = CyclicAssignment(grid=grid)
+    pts = list(points) if points is not None else list(tnest.iterate_blocks())
+    for pt in pts:
+        w = sum(1 for _ in tnest.iterations_of_block(pt))
+        assignment.weights[pt] = w
+        assignment.points_of.setdefault(assignment.owner(pt), []).append(pt)
+    for proc in grid.coords():
+        assignment.points_of.setdefault(proc, [])
+    return assignment

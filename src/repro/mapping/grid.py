@@ -1,0 +1,94 @@
+"""Processor grids.
+
+The paper numbers ``p`` processors as a ``k``-dimensional grid matching
+the ``k`` forall dimensions of the transformed nest, with
+
+    p_i = floor(p^(1/k))                 for 1 <= i <= k-1,
+    p_k = floor(p / floor(p^(1/k))^(k-1)).
+
+Note the rule may leave processors unused when ``p`` is not a perfect
+``k``-th power (e.g. p=10, k=2 gives a 3x3 grid using 9); that is the
+paper's stated trade-off, which we reproduce faithfully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+def _integer_kth_root(p: int, k: int) -> int:
+    """``floor(p^(1/k))`` computed exactly (no float rounding)."""
+    if p < 1 or k < 1:
+        raise ValueError("p and k must be positive")
+    r = max(1, round(p ** (1.0 / k)))
+    while r ** k > p:
+        r -= 1
+    while (r + 1) ** k <= p:
+        r += 1
+    return r
+
+
+@dataclass(frozen=True)
+class ProcessorGrid:
+    """A ``p_1 x ... x p_k`` grid of processors."""
+
+    dims: tuple[int, ...]
+
+    @property
+    def k(self) -> int:
+        return len(self.dims)
+
+    @property
+    def size(self) -> int:
+        total = 1
+        for d in self.dims:
+            total *= d
+        return total
+
+    def coords(self) -> Iterator[tuple[int, ...]]:
+        """All processor coordinates in row-major order."""
+        def rec(depth: int, acc: list[int]) -> Iterator[tuple[int, ...]]:
+            if depth == self.k:
+                yield tuple(acc)
+                return
+            for a in range(self.dims[depth]):
+                acc.append(a)
+                yield from rec(depth + 1, acc)
+                acc.pop()
+
+        yield from rec(0, [])
+
+    def linear_id(self, coords: tuple[int, ...]) -> int:
+        """Row-major linearization of grid coordinates."""
+        idx = 0
+        for a, d in zip(coords, self.dims):
+            if not 0 <= a < d:
+                raise IndexError(f"coords {coords} outside grid {self.dims}")
+            idx = idx * d + a
+        return idx
+
+    def from_linear(self, pid: int) -> tuple[int, ...]:
+        if not 0 <= pid < self.size:
+            raise IndexError(f"processor id {pid} outside grid of size {self.size}")
+        coords = []
+        for d in reversed(self.dims):
+            coords.append(pid % d)
+            pid //= d
+        return tuple(reversed(coords))
+
+
+def shape_grid(p: int, k: int) -> ProcessorGrid:
+    """The paper's grid-shaping rule for ``p`` processors, ``k`` forall dims.
+
+    ``k = 0`` (no parallelism: the whole space is one block) yields the
+    degenerate single-processor grid.
+    """
+    if k == 0:
+        return ProcessorGrid(dims=())
+    if k == 1:
+        return ProcessorGrid(dims=(p,))
+    root = _integer_kth_root(p, k)
+    dims = [root] * (k - 1)
+    dims.append(p // (root ** (k - 1)))
+    return ProcessorGrid(dims=tuple(dims))

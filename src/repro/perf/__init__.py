@@ -1,0 +1,56 @@
+"""Performance study (Section IV + Tables I/II).
+
+- :mod:`~repro.perf.model`: the paper's analytic complexity formulas
+  ``T1``, ``T2``, ``T3`` for matrix multiplication;
+- :mod:`~repro.perf.matmul`: the simulated Transputer-mesh study of
+  loops L5, L5' and L5'' (message-level simulation, compute charged per
+  iteration);
+- :mod:`~repro.perf.tables`: the paper's Table I / Table II data and
+  comparison helpers;
+- :mod:`~repro.perf.general`: cost estimation for *any* plan on *any*
+  machine size (generalizing the matmul study);
+- :mod:`~repro.perf.selector`: automatic strategy selection by
+  estimated makespan (the paper's "can be appropriately estimated").
+"""
+
+from repro.perf.model import t1_sequential, t2_duplicate_b, t3_duplicate_ab
+from repro.perf.matmul import (
+    MatmulSim,
+    simulate_l5,
+    simulate_l5_prime,
+    simulate_l5_doubleprime,
+    run_study,
+)
+from repro.perf.tables import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    paper_time,
+    paper_speedup,
+    table1_rows,
+    table2_rows,
+)
+from repro.perf.general import PlanEstimate, estimate_plan, mesh_for
+from repro.perf.selector import Candidate, SelectionResult, choose_strategy
+
+__all__ = [
+    "PlanEstimate",
+    "estimate_plan",
+    "mesh_for",
+    "Candidate",
+    "SelectionResult",
+    "choose_strategy",
+    "t1_sequential",
+    "t2_duplicate_b",
+    "t3_duplicate_ab",
+    "MatmulSim",
+    "simulate_l5",
+    "simulate_l5_prime",
+    "simulate_l5_doubleprime",
+    "run_study",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "paper_time",
+    "paper_speedup",
+    "table1_rows",
+    "table2_rows",
+]

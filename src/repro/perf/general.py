@@ -1,0 +1,144 @@
+"""General plan cost estimation: any loop, any strategy, any machine size.
+
+Generalizes the L5/L5'/L5'' study: given a :class:`PartitionPlan`, a
+processor count and a cost model, estimate the paper's two phases:
+
+- **distribution**: every array element must reach the processors whose
+  blocks hold it.  Elements are grouped by their destination set and
+  shipped with the cheapest matching primitive -- a pipelined *send*
+  for a single destination, a *broadcast* when every processor needs
+  the group, a pipelined *multicast* otherwise.  On L5 this reduces
+  exactly to the paper's scatter / broadcast / row-column-multicast
+  patterns.
+- **compute**: executed computations per processor (redundant ones are
+  skipped) at ``t_comp`` each, makespan = slowest processor.
+
+The estimate powers :mod:`repro.perf.selector`, implementing the
+paper's closing remark that "determining which kind of duplication of
+array is suitable for replicating ... can be appropriately estimated".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import isqrt
+from typing import Optional
+
+from repro.core.plan import PartitionPlan
+from repro.machine.cost import CostModel, TRANSPUTER
+from repro.machine.machine import Multicomputer
+from repro.machine.topology import HOST, Mesh2D
+from repro.mapping.cyclic import assign_blocks
+from repro.mapping.grid import ProcessorGrid, shape_grid
+from repro.transform.loopnest import TransformedNest, transform_nest
+
+
+@dataclass
+class PlanEstimate:
+    """Estimated cost of executing a plan on ``p`` processors."""
+
+    plan: PartitionPlan
+    p: int
+    distribution_time: float
+    compute_time: float
+    messages: int
+    words_sent: int
+    memory_words: int
+    loads: dict[int, int] = field(repr=False, default_factory=dict)
+
+    @property
+    def makespan(self) -> float:
+        return self.distribution_time + self.compute_time
+
+    @property
+    def imbalance(self) -> float:
+        if not self.loads:
+            return 1.0
+        mx = max(self.loads.values())
+        mean = sum(self.loads.values()) / len(self.loads)
+        return mx / mean if mean else 1.0
+
+
+def mesh_for(p: int) -> Mesh2D:
+    """The squarest 2-D mesh with exactly ``p`` nodes."""
+    r = isqrt(p)
+    while p % r:
+        r -= 1
+    return Mesh2D(r, p // r)
+
+
+def block_to_pid_map(plan: PartitionPlan, tnest: TransformedNest,
+                     grid: ProcessorGrid) -> dict[int, int]:
+    """Plan-block -> linear processor id via the cyclic assignment."""
+    mapping: dict[int, int] = {}
+    for b in plan.blocks:
+        pt = tnest.block_of_iteration(b.iterations[0])
+        owner = tuple(v % d for v, d in zip(pt, grid.dims))
+        mapping[b.index] = grid.linear_id(owner)
+    return mapping
+
+
+def estimate_plan(
+    plan: PartitionPlan,
+    p: int,
+    cost: CostModel = TRANSPUTER,
+    tnest: Optional[TransformedNest] = None,
+) -> PlanEstimate:
+    """Estimate distribution + compute cost of ``plan`` on ``p`` processors."""
+    if tnest is None:
+        tnest = transform_nest(plan.nest, plan.psi)
+    grid = shape_grid(p, tnest.k)
+    actual_p = max(1, grid.size)
+    machine = Multicomputer(mesh_for(actual_p), cost=cost)
+    mapping = block_to_pid_map(plan, tnest, grid)
+
+    # -- distribution: group elements by destination-pid set ----------------
+    net = machine.network
+    memory_words = 0
+    for name, dblocks in plan.data_blocks.items():
+        dest_groups: dict[frozenset[int], int] = {}
+        owners: dict[tuple[int, ...], set[int]] = {}
+        for db in dblocks:
+            pid = mapping[db.block_index]
+            for e in db.elements:
+                owners.setdefault(e, set()).add(pid)
+        for e, pids in owners.items():
+            key = frozenset(pids)
+            dest_groups[key] = dest_groups.get(key, 0) + 1
+            memory_words += len(pids)
+        for dsts, words in sorted(dest_groups.items(),
+                                  key=lambda kv: sorted(kv[0])):
+            if len(dsts) == actual_p and actual_p > 1:
+                net.broadcast(HOST, words, tag=f"bcast:{name}")
+            elif len(dsts) == 1:
+                net.send(HOST, next(iter(dsts)), words, tag=f"scatter:{name}")
+            else:
+                net.multicast(HOST, sorted(dsts), words, tag=f"mcast:{name}")
+
+    # -- compute ----------------------------------------------------------
+    loads: dict[int, int] = {pid: 0 for pid in range(actual_p)}
+    live = plan.live
+    nstmts = len(plan.nest.statements)
+    for b in plan.blocks:
+        pid = mapping[b.index]
+        if live is None:
+            executed = len(b.iterations) * nstmts
+        else:
+            executed = sum(1 for it in b.iterations for k in range(nstmts)
+                           if (k, it) in live)
+        loads[pid] += executed
+    # one "iteration" of the paper's t_comp covers all statements of the
+    # body; charge per executed statement scaled by 1/nstmts to keep the
+    # unit comparable across plans that skip statements.
+    compute = max(loads.values()) / nstmts * cost.t_comp if loads else 0.0
+
+    st = machine.stats()
+    return PlanEstimate(
+        plan=plan, p=actual_p,
+        distribution_time=st.distribution_time,
+        compute_time=compute,
+        messages=st.messages,
+        words_sent=st.words_sent,
+        memory_words=memory_words,
+        loads=loads,
+    )

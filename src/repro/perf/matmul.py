@@ -1,0 +1,127 @@
+"""Simulated Transputer-mesh study of loops L5 / L5' / L5''.
+
+Message-level simulation: the host's distribution operations are issued
+on a real :class:`~repro.machine.network.Network` over the mesh (so hop
+counts and serialization come from the topology), and compute is
+charged per iteration.  Arrays are *not* materialized element-by-element
+here -- Table I reaches ``M = 256`` (16.7M iterations), far beyond what
+a functional interpreter should execute; functional correctness of the
+very same plans is established separately on small instances by
+:mod:`repro.runtime.verify`.
+
+The three variants mirror the paper exactly:
+
+- **L5** (non-duplicate): sequential on one node; host ships whole A
+  and B to it.
+- **L5'** (duplicate B): A rows dealt cyclically over all ``p``
+  processors with pipelined sends; whole B broadcast; each processor
+  runs ``M^3/p`` iterations.
+- **L5''** (duplicate A and B): mesh rows share A row-groups, mesh
+  columns share B column-groups, each group multicast once; each
+  processor runs ``M^3/p`` iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import isqrt
+
+from repro.machine.cost import CostModel, TRANSPUTER
+from repro.machine.machine import Multicomputer
+from repro.machine.topology import HOST, Mesh2D
+
+
+@dataclass
+class MatmulSim:
+    """Result of one simulated matmul run."""
+
+    variant: str
+    m: int
+    p: int
+    distribution_time: float
+    compute_time: float       # makespan of the compute phase (max over PEs)
+    messages: int
+    words_sent: int
+
+    @property
+    def total_time(self) -> float:
+        return self.distribution_time + self.compute_time
+
+    def speedup_over(self, sequential_compute: float) -> float:
+        return sequential_compute / self.total_time
+
+
+def _mesh_machine(p: int, cost: CostModel) -> Multicomputer:
+    sq = isqrt(p)
+    if sq * sq == p:
+        return Multicomputer(Mesh2D(sq, sq), cost=cost)
+    return Multicomputer(Mesh2D(1, p), cost=cost)
+
+
+def simulate_l5(m: int, cost: CostModel = TRANSPUTER,
+                include_distribution: bool = False) -> MatmulSim:
+    """Sequential execution on one node.
+
+    Table I's ``p = 1`` row counts only computation ("we consider only
+    the computation time, not including the time of allocating arrays
+    A and B"), hence ``include_distribution`` defaults off.
+    """
+    machine = _mesh_machine(1, cost)
+    if include_distribution:
+        machine.network.send(HOST, 0, m * m, tag="A")
+        machine.network.send(HOST, 0, m * m, tag="B")
+    machine.processor(0).charge_iterations(m ** 3)
+    st = machine.stats()
+    return MatmulSim("L5", m, 1, st.distribution_time, st.max_compute_time,
+                     st.messages, st.words_sent)
+
+
+def simulate_l5_prime(m: int, p: int, cost: CostModel = TRANSPUTER) -> MatmulSim:
+    """L5': duplicate only B.  Scatter A row-cyclically; broadcast B."""
+    if m % p:
+        raise ValueError(f"M={m} must be a multiple of p={p} (paper assumption)")
+    machine = _mesh_machine(p, cost)
+    rows_per_pe = m // p
+    for pid in range(p):
+        machine.network.send(HOST, pid, rows_per_pe * m, tag="A")
+    machine.network.broadcast(HOST, m * m, tag="B")
+    for pid in range(p):
+        machine.processor(pid).charge_iterations(rows_per_pe * m * m)
+    st = machine.stats()
+    return MatmulSim("L5'", m, p, st.distribution_time, st.max_compute_time,
+                     st.messages, st.words_sent)
+
+
+def simulate_l5_doubleprime(m: int, p: int,
+                            cost: CostModel = TRANSPUTER) -> MatmulSim:
+    """L5'': duplicate A and B.  Row multicasts of A, column multicasts of B."""
+    sq = isqrt(p)
+    if sq * sq != p:
+        raise ValueError(f"p={p} must be a perfect square for the mesh variant")
+    if m % sq:
+        raise ValueError(f"M={m} must be a multiple of sqrt(p)={sq}")
+    machine = _mesh_machine(p, cost)
+    mesh: Mesh2D = machine.topology  # type: ignore[assignment]
+    group_words = (m // sq) * m
+    for r in range(sq):
+        machine.network.multicast(HOST, mesh.row_nodes(r), group_words, tag="A")
+    for c in range(sq):
+        machine.network.multicast(HOST, mesh.col_nodes(c), group_words, tag="B")
+    per_pe = (m // sq) * (m // sq) * m
+    for pid in range(p):
+        machine.processor(pid).charge_iterations(per_pe)
+    st = machine.stats()
+    return MatmulSim("L5''", m, p, st.distribution_time, st.max_compute_time,
+                     st.messages, st.words_sent)
+
+
+def run_study(ms=(16, 32, 64, 128, 256), ps=(4, 16),
+              cost: CostModel = TRANSPUTER) -> dict[tuple[str, int, int], MatmulSim]:
+    """The full Table-I grid: L5 at p=1 plus L5'/L5'' at each p."""
+    out: dict[tuple[str, int, int], MatmulSim] = {}
+    for m in ms:
+        out[("L5", 1, m)] = simulate_l5(m, cost)
+        for p in ps:
+            out[("L5'", p, m)] = simulate_l5_prime(m, p, cost)
+            out[("L5''", p, m)] = simulate_l5_doubleprime(m, p, cost)
+    return out

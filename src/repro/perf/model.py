@@ -1,0 +1,55 @@
+"""The paper's analytic time formulas for matrix multiplication (Sec. IV).
+
+With ``p`` processors on a ``sqrt(p) x sqrt(p)`` mesh and problem size
+``M`` (``M`` a multiple of ``p`` resp. ``sqrt(p)``):
+
+- sequential (non-duplicate forces it):
+  ``T1 = M^3 t_comp + 2 (t_start + M^2 t_comm)``
+- duplicate B only (loop L5'):
+  ``T2 = M^3/p t_comp + (p t_start + M^2 t_comm)
+        + (t_start + 2 sqrt(p) M^2 t_comm)``
+- duplicate A and B (loop L5''):
+  ``T3 = M^3/p t_comp + 2 (sqrt(p) t_start + 2 M^2 t_comm)``
+
+These are the big-O expressions of the paper instantiated with unit
+constants; the simulator (:mod:`repro.perf.matmul`) reproduces the same
+structure from actual message events.
+"""
+
+from __future__ import annotations
+
+from math import isqrt
+
+from repro.machine.cost import CostModel
+
+
+def _sqrt_p(p: int) -> int:
+    r = isqrt(p)
+    if r * r != p:
+        raise ValueError(f"p={p} is not a perfect square (mesh assumption)")
+    return r
+
+
+def t1_sequential(m: int, cost: CostModel, include_distribution: bool = True) -> float:
+    """``T1``: whole A and B to one node, then M^3 iterations there."""
+    t = (m ** 3) * cost.t_comp
+    if include_distribution:
+        t += 2 * (cost.t_start + (m ** 2) * cost.t_comm)
+    return t
+
+
+def t2_duplicate_b(m: int, p: int, cost: CostModel) -> float:
+    """``T2`` (loop L5'): scatter A row-cyclically, broadcast whole B."""
+    sq = _sqrt_p(p)
+    compute = (m ** 3) / p * cost.t_comp
+    scatter_a = p * cost.t_start + (m ** 2) * cost.t_comm
+    broadcast_b = cost.t_start + 2 * sq * (m ** 2) * cost.t_comm
+    return compute + scatter_a + broadcast_b
+
+
+def t3_duplicate_ab(m: int, p: int, cost: CostModel) -> float:
+    """``T3`` (loop L5''): row/column multicasts of A and B."""
+    sq = _sqrt_p(p)
+    compute = (m ** 3) / p * cost.t_comp
+    per_array = sq * cost.t_start + 2 * (m ** 2) * cost.t_comm
+    return compute + 2 * per_array

@@ -1,0 +1,122 @@
+"""Automatic strategy selection by estimated cost.
+
+Enumerates the strategy space for a loop -- non-duplicate, plus every
+subset of its *fully duplicable* arrays under the duplicate strategy
+(optionally with redundancy elimination) -- estimates each candidate
+with :func:`repro.perf.general.estimate_plan`, and returns the ranking.
+
+This realizes the paper's Section IV conclusion: the choice between
+L5-style, L5'-style and L5''-style allocations "can be appropriately
+estimated such that parallelized programs can gain better performance".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import chain, combinations
+from typing import Iterable, Optional
+
+from repro.analysis.dependence import is_fully_duplicable
+from repro.analysis.references import extract_references
+from repro.core.plan import PartitionPlan, build_plan
+from repro.core.strategy import Strategy
+from repro.lang.ast import LoopNest
+from repro.machine.cost import CostModel, TRANSPUTER
+from repro.perf.general import PlanEstimate, estimate_plan
+
+
+@dataclass
+class Candidate:
+    """One evaluated strategy."""
+
+    label: str
+    duplicate_arrays: frozenset[str]
+    eliminate_redundant: bool
+    plan: PartitionPlan
+    estimate: PlanEstimate
+
+    @property
+    def makespan(self) -> float:
+        return self.estimate.makespan
+
+    @property
+    def blocks(self) -> int:
+        return self.plan.num_blocks
+
+
+@dataclass
+class SelectionResult:
+    """The full ranking; ``best`` is the minimum-makespan candidate."""
+
+    candidates: list[Candidate]
+
+    @property
+    def best(self) -> Candidate:
+        return self.candidates[0]
+
+    def table(self) -> str:
+        lines = [f"{'strategy':<24} {'blocks':>6} {'makespan(s)':>12} "
+                 f"{'comm(s)':>10} {'mem(words)':>10}"]
+        for c in self.candidates:
+            lines.append(
+                f"{c.label:<24} {c.blocks:>6} {c.makespan:>12.6f} "
+                f"{c.estimate.distribution_time:>10.6f} "
+                f"{c.estimate.memory_words:>10}")
+        return "\n".join(lines)
+
+
+def _powerset(items: Iterable[str]) -> Iterable[frozenset[str]]:
+    items = sorted(items)
+    return (frozenset(c) for c in chain.from_iterable(
+        combinations(items, r) for r in range(len(items) + 1)))
+
+
+def choose_strategy(
+    nest: LoopNest,
+    p: int,
+    cost: CostModel = TRANSPUTER,
+    consider_elimination: bool = False,
+    max_candidates: int = 32,
+) -> SelectionResult:
+    """Evaluate the strategy space and rank by estimated makespan.
+
+    Ties break toward less replication (memory), then fewer blocks --
+    no reason to pay duplication for zero gain (the paper's L1 verdict).
+    """
+    model = extract_references(nest)
+    # Any array may be duplicated: fully duplicable ones drop their whole
+    # reference space, partially duplicable ones keep only flow vectors.
+    array_names = sorted(model.arrays)
+    candidates: list[Candidate] = []
+    seen_spaces: set[tuple] = set()
+
+    def add(label: str, dup: frozenset[str], elim: bool) -> None:
+        if len(candidates) >= max_candidates:
+            return
+        strategy = Strategy.DUPLICATE if dup else Strategy.NONDUPLICATE
+        plan = build_plan(nest, strategy,
+                          duplicate_arrays=dup if dup else None,
+                          eliminate_redundant=elim, model=model)
+        # duplicating more arrays without changing Psi changes nothing:
+        # keep only the first (least-duplication) candidate per space.
+        key = (plan.psi, elim)
+        if key in seen_spaces:
+            return
+        seen_spaces.add(key)
+        est = estimate_plan(plan, p, cost=cost)
+        candidates.append(Candidate(label=label, duplicate_arrays=dup,
+                                    eliminate_redundant=elim,
+                                    plan=plan, estimate=est))
+
+    elim_options = (False, True) if consider_elimination else (False,)
+    for elim in elim_options:
+        suffix = "+elim" if elim else ""
+        for dup in _powerset(array_names):
+            label = ("nonduplicate" if not dup
+                     else "duplicate{" + ",".join(sorted(dup)) + "}") + suffix
+            add(label, dup, elim)
+
+    candidates.sort(key=lambda c: (c.makespan, c.estimate.memory_words,
+                                   len(c.duplicate_arrays),
+                                   c.eliminate_redundant, -c.blocks, c.label))
+    return SelectionResult(candidates=candidates)

@@ -1,0 +1,109 @@
+"""The paper's measured Tables I and II, plus regeneration helpers.
+
+``PAPER_TABLE1[(loop, p, M)]`` is the measured execution time in
+seconds on the authors' 16-node Transputer machine; ``PAPER_TABLE2``
+the derived speedups.  ``table1_rows`` / ``table2_rows`` regenerate the
+same grids from the simulator for side-by-side comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.machine.cost import CostModel, TRANSPUTER
+from repro.perf.matmul import run_study
+
+MS = (16, 32, 64, 128, 256)
+
+#: Table I -- execution time of loops L5, L5', L5'' (seconds).
+PAPER_TABLE1: dict[tuple[str, int, int], float] = {
+    ("L5", 1, 16): 0.0399, ("L5", 1, 32): 0.3162, ("L5", 1, 64): 2.5241,
+    ("L5", 1, 128): 20.1691, ("L5", 1, 256): 161.2546,
+    ("L5'", 4, 16): 0.0144, ("L5'", 4, 32): 0.0956, ("L5'", 4, 64): 0.6961,
+    ("L5'", 4, 128): 5.2895, ("L5'", 4, 256): 41.3058,
+    ("L5''", 4, 16): 0.0127, ("L5''", 4, 32): 0.0855, ("L5''", 4, 64): 0.6467,
+    ("L5''", 4, 128): 5.1405, ("L5''", 4, 256): 40.7988,
+    ("L5'", 16, 16): 0.0135, ("L5'", 16, 32): 0.0543, ("L5'", 16, 64): 0.2869,
+    ("L5'", 16, 128): 1.7908, ("L5'", 16, 256): 12.3584,
+    ("L5''", 16, 16): 0.0080, ("L5''", 16, 32): 0.0326, ("L5''", 16, 64): 0.2043,
+    ("L5''", 16, 128): 1.4326, ("L5''", 16, 256): 10.6513,
+}
+
+#: Table II -- speedup of L5' and L5'' over sequential L5.
+PAPER_TABLE2: dict[tuple[str, int, int], float] = {
+    ("L5'", 4, 16): 2.77, ("L5'", 4, 32): 3.31, ("L5'", 4, 64): 3.63,
+    ("L5'", 4, 128): 3.81, ("L5'", 4, 256): 3.89,
+    ("L5''", 4, 16): 3.14, ("L5''", 4, 32): 3.70, ("L5''", 4, 64): 3.90,
+    ("L5''", 4, 128): 3.92, ("L5''", 4, 256): 3.95,
+    ("L5'", 16, 16): 2.96, ("L5'", 16, 32): 5.82, ("L5'", 16, 64): 8.80,
+    ("L5'", 16, 128): 11.26, ("L5'", 16, 256): 13.05,
+    ("L5''", 16, 16): 4.99, ("L5''", 16, 32): 9.70, ("L5''", 16, 64): 12.35,
+    ("L5''", 16, 128): 14.08, ("L5''", 16, 256): 15.14,
+}
+
+
+def paper_time(loop: str, p: int, m: int) -> float:
+    return PAPER_TABLE1[(loop, p, m)]
+
+
+def paper_speedup(loop: str, p: int, m: int) -> float:
+    return PAPER_TABLE2[(loop, p, m)]
+
+
+def table1_rows(cost: CostModel = TRANSPUTER,
+                ms=MS, ps=(4, 16)) -> list[dict]:
+    """Simulated Table I rows with paper values attached."""
+    sims = run_study(ms=ms, ps=ps, cost=cost)
+    rows = []
+    for (loop, p, m), sim in sorted(sims.items(), key=lambda kv: (kv[0][1], kv[0][0], kv[0][2])):
+        rows.append({
+            "loop": loop,
+            "p": p,
+            "M": m,
+            "simulated_s": sim.total_time,
+            "paper_s": PAPER_TABLE1.get((loop, p, m)),
+            "distribution_s": sim.distribution_time,
+            "compute_s": sim.compute_time,
+        })
+    return rows
+
+
+def table2_rows(cost: CostModel = TRANSPUTER,
+                ms=MS, ps=(4, 16)) -> list[dict]:
+    """Simulated Table II (speedups) with paper values attached."""
+    sims = run_study(ms=ms, ps=ps, cost=cost)
+    rows = []
+    for p in ps:
+        for loop in ("L5'", "L5''"):
+            for m in ms:
+                seq = sims[("L5", 1, m)].total_time
+                sim = sims[(loop, p, m)]
+                rows.append({
+                    "loop": loop,
+                    "p": p,
+                    "M": m,
+                    "simulated_speedup": seq / sim.total_time,
+                    "paper_speedup": PAPER_TABLE2.get((loop, p, m)),
+                })
+    return rows
+
+
+def format_rows(rows: list[dict], columns: Optional[list[str]] = None) -> str:
+    """Plain-text table rendering for benches and examples."""
+    if not rows:
+        return "(empty)"
+    columns = columns or list(rows[0].keys())
+    widths = {c: max(len(c), *(len(_fmt(r.get(c))) for r in rows)) for c in columns}
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append("  ".join(_fmt(r.get(c)).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def _fmt(v) -> str:
+    if v is None:
+        return "-"
+    if isinstance(v, float):
+        return f"{v:.4f}"
+    return str(v)

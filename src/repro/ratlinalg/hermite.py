@@ -1,0 +1,102 @@
+"""Column-style Hermite normal form.
+
+``hermite_normal_form(A)`` returns ``(H, U)`` with ``H = A @ U``, ``U``
+unimodular, and ``H`` in column HNF: zero columns last, each nonzero
+column's pivot (first nonzero entry, positive) strictly lower than the
+previous column's, and entries right of a pivot reduced modulo it.
+
+Used to put integer lattice bases into canonical form (two bases span
+the same lattice iff their HNFs agree), complementing the Smith normal
+form used for solvability.
+"""
+
+from __future__ import annotations
+
+from repro.ratlinalg.matrix import RatMat
+
+
+def hermite_normal_form(m: RatMat) -> tuple[RatMat, RatMat]:
+    """Column HNF of an integer matrix; see module docstring."""
+    if not m.is_integral():
+        raise ValueError("Hermite normal form requires an integer matrix")
+    nrows, ncols = m.shape
+    a = [[int(x) for x in row] for row in m.rows()]
+    u = [[int(i == j) for j in range(ncols)] for i in range(ncols)]
+
+    def swap_cols(i, j):
+        for row in a:
+            row[i], row[j] = row[j], row[i]
+        for row in u:
+            row[i], row[j] = row[j], row[i]
+
+    def add_col(dst, src, k):
+        for row in a:
+            row[dst] += k * row[src]
+        for row in u:
+            row[dst] += k * row[src]
+
+    def negate_col(j):
+        for row in a:
+            row[j] = -row[j]
+        for row in u:
+            row[j] = -row[j]
+
+    col = 0
+    for row_idx in range(nrows):
+        if col == ncols:
+            break
+        # find a column (>= col) with a nonzero entry in this row; reduce
+        # all such columns against each other gcd-style.
+        while True:
+            nz = [j for j in range(col, ncols) if a[row_idx][j] != 0]
+            if not nz:
+                break
+            jmin = min(nz, key=lambda j: abs(a[row_idx][j]))
+            if jmin != col:
+                swap_cols(jmin, col)
+            progressed = False
+            for j in range(col + 1, ncols):
+                if a[row_idx][j] != 0:
+                    q = a[row_idx][j] // a[row_idx][col]
+                    add_col(j, col, -q)
+                    progressed = True
+            if not progressed:
+                break
+        if a[row_idx][col] == 0:
+            continue
+        if a[row_idx][col] < 0:
+            negate_col(col)
+        # reduce entries to the LEFT of the pivot column in this row
+        # (column HNF convention: previous pivot columns' entries in this
+        # row reduced modulo the pivot)
+        for j in range(col):
+            q = a[row_idx][j] // a[row_idx][col]
+            if q:
+                add_col(j, col, -q)
+        col += 1
+
+    return RatMat(a), RatMat(u)
+
+
+def lattice_canonical_basis(vectors) -> list:
+    """Canonical basis of the integer lattice spanned by ``vectors``.
+
+    Vectors are the *rows*; the result is the nonzero columns of the
+    column-HNF of their transpose, returned as row vectors.  Two
+    generating sets span the same lattice iff their canonical bases are
+    equal.
+    """
+    from repro.ratlinalg.matrix import RatVec
+
+    vecs = [v if isinstance(v, RatVec) else RatVec(v) for v in vectors]
+    vecs = [v for v in vecs if not v.is_zero()]
+    if not vecs:
+        return []
+    mat = RatMat(vecs).T  # columns are generators
+    h, _u = hermite_normal_form(mat)
+    out = []
+    for j in range(h.ncols):
+        colv = h.col(j)
+        if not colv.is_zero():
+            out.append(colv)
+    return out

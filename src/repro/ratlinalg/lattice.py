@@ -1,0 +1,156 @@
+"""Integer lattices and bounded lattice-point enumeration.
+
+Condition (2) of Definition 4 needs: "does the integer solution set
+``t0 + L`` of ``H t = r`` contain a vector ``t'`` that is a difference
+of two iterations ``i_2 - i_1`` with ``i_1, i_2 in I^n``?"  For a
+rectangular iteration space ``1 <= I_j <= u_j`` the difference set is
+the box ``[-(u_j - 1), u_j - 1]^n``, so the question reduces to finding
+a lattice point inside a box -- solved here by exact coefficient-range
+enumeration.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import ceil, floor
+from typing import Iterator, Optional, Sequence
+
+from repro.ratlinalg.matrix import RatMat, RatVec
+from repro.ratlinalg.smith import smith_normal_form
+
+
+def integer_kernel_basis(m: RatMat) -> list[RatVec]:
+    """Basis of the integer lattice ``Ker(m) ∩ Z^n`` for integral ``m``.
+
+    These are the last ``n - rank`` columns of the Smith-normal-form
+    ``V`` matrix; they span every integer solution of ``m t = 0``.
+    """
+    _, d, v = smith_normal_form(m)
+    ncols = m.ncols
+    rank = sum(1 for i in range(min(d.nrows, d.ncols)) if d[i, i] != 0)
+    return [v.col(j) for j in range(rank, ncols)]
+
+
+class IntLattice:
+    """An affine integer lattice ``offset + Z b_1 + ... + Z b_k``.
+
+    ``offset`` and each ``b_i`` are integer vectors of the same length.
+    The basis vectors must be linearly independent.
+    """
+
+    def __init__(self, basis: Sequence[RatVec], offset: RatVec):
+        if not offset.is_integral():
+            raise ValueError("lattice offset must be integral")
+        for b in basis:
+            if not b.is_integral():
+                raise ValueError("lattice basis vectors must be integral")
+            if len(b) != len(offset):
+                raise ValueError("dimension mismatch in lattice basis")
+        self.basis = tuple(basis)
+        self.offset = offset
+        self.ambient_dim = len(offset)
+        self.rank = len(self.basis)
+        if self.rank:
+            bt = RatMat(self.basis)          # k x n, rows are basis
+            gram = bt @ bt.T                 # k x k
+            try:
+                self._pseudo = gram.inverse() @ bt   # maps t-offset -> coeffs
+            except ZeroDivisionError as exc:
+                raise ValueError("lattice basis is linearly dependent") from exc
+        else:
+            self._pseudo = None
+
+    # ------------------------------------------------------------------
+    def coefficients_of(self, point: RatVec) -> Optional[RatVec]:
+        """Integer coefficients ``c`` with ``point = offset + B^T c``, or ``None``.
+
+        ``None`` means the point is not on the lattice (either off the
+        affine span or at non-integer coefficients).
+        """
+        delta = point - self.offset
+        if self.rank == 0:
+            return RatVec([]) if delta.is_zero() else None
+        c = self._pseudo @ delta
+        if not c.is_integral():
+            return None
+        recon = self.offset + sum(
+            (b * ci for b, ci in zip(self.basis, c)), RatVec.zero(self.ambient_dim)
+        )
+        return c if recon == point else None
+
+    def __contains__(self, point) -> bool:
+        if not isinstance(point, RatVec):
+            point = RatVec(point)
+        if not point.is_integral():
+            return False
+        return self.coefficients_of(point) is not None
+
+    # ------------------------------------------------------------------
+    def _coefficient_box(self, lo: RatVec, hi: RatVec) -> Optional[list[tuple[int, int]]]:
+        """Interval-arithmetic bounds on coefficients of lattice points in [lo, hi].
+
+        Complete: every lattice point inside the box has coefficients
+        within the returned ranges (the ranges may include spurious
+        candidates, filtered later).  Returns ``None`` for an empty
+        coefficient range.
+        """
+        ranges: list[tuple[int, int]] = []
+        for row_idx in range(self.rank):
+            p_row = self._pseudo.row(row_idx)
+            c_lo = Fraction(0)
+            c_hi = Fraction(0)
+            for j in range(self.ambient_dim):
+                coef = p_row[j]
+                a = lo[j] - self.offset[j]
+                b = hi[j] - self.offset[j]
+                if coef >= 0:
+                    c_lo += coef * a
+                    c_hi += coef * b
+                else:
+                    c_lo += coef * b
+                    c_hi += coef * a
+            lo_i, hi_i = ceil(c_lo), floor(c_hi)
+            if lo_i > hi_i:
+                return None
+            ranges.append((lo_i, hi_i))
+        return ranges
+
+    def points_in_box(self, lo: Sequence[int], hi: Sequence[int]) -> Iterator[RatVec]:
+        """Yield every lattice point ``t`` with ``lo <= t <= hi`` componentwise."""
+        lo_v = lo if isinstance(lo, RatVec) else RatVec(lo)
+        hi_v = hi if isinstance(hi, RatVec) else RatVec(hi)
+        if len(lo_v) != self.ambient_dim or len(hi_v) != self.ambient_dim:
+            raise ValueError("box dimension mismatch")
+
+        def in_box(t: RatVec) -> bool:
+            return all(lo_v[j] <= t[j] <= hi_v[j] for j in range(self.ambient_dim))
+
+        if self.rank == 0:
+            if in_box(self.offset):
+                yield self.offset
+            return
+        ranges = self._coefficient_box(lo_v, hi_v)
+        if ranges is None:
+            return
+
+        def rec(idx: int, acc: RatVec) -> Iterator[RatVec]:
+            if idx == self.rank:
+                if in_box(acc):
+                    yield acc
+                return
+            lo_i, hi_i = ranges[idx]
+            for c in range(lo_i, hi_i + 1):
+                yield from rec(idx + 1, acc + self.basis[idx] * c)
+
+        yield from rec(0, self.offset)
+
+    def any_point_in_box(self, lo: Sequence[int], hi: Sequence[int]) -> Optional[RatVec]:
+        """First lattice point inside the box, or ``None``."""
+        return next(self.points_in_box(lo, hi), None)
+
+    def any_point_in_box_where(self, lo, hi, predicate) -> Optional[RatVec]:
+        """First lattice point inside the box satisfying ``predicate``."""
+        for t in self.points_in_box(lo, hi):
+            if predicate(t):
+                return t
+        return None

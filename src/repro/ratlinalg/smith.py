@@ -1,0 +1,174 @@
+"""Smith normal form and integer (Diophantine) linear systems.
+
+Definition 4 condition (2) of the paper asks whether the solution set
+``t0 + Ker(H)`` of ``H t = r`` contains an *integer* vector that is the
+difference of two iterations.  Integer solvability of ``H t = r`` is a
+linear Diophantine question, decided exactly here via the Smith normal
+form ``D = U H V`` with unimodular ``U``, ``V``:
+
+- ``H t = r`` has an integer solution iff ``D y = U r`` does, i.e. iff
+  ``d_i | (U r)_i`` for every nonzero diagonal ``d_i`` and ``(U r)_i = 0``
+  for every zero row;
+- the set of integer solutions is ``t0 + L`` where ``L`` is the integer
+  lattice spanned by the last ``n - rank`` columns of ``V``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional, Sequence
+
+from repro.ratlinalg.matrix import RatMat, RatVec
+
+
+def _swap_rows(a, i, j):
+    a[i], a[j] = a[j], a[i]
+
+
+def _swap_cols(a, i, j):
+    for row in a:
+        row[i], row[j] = row[j], row[i]
+
+
+def _add_row(a, dst, src, k):
+    """row[dst] += k * row[src]"""
+    a[dst] = [x + k * y for x, y in zip(a[dst], a[src])]
+
+
+def _add_col(a, dst, src, k):
+    for row in a:
+        row[dst] += k * row[src]
+
+
+def _negate_row(a, i):
+    a[i] = [-x for x in a[i]]
+
+
+def _negate_col(a, j):
+    for row in a:
+        row[j] = -row[j]
+
+
+def smith_normal_form(m: RatMat) -> tuple[RatMat, RatMat, RatMat]:
+    """Smith normal form of an integer matrix.
+
+    Returns ``(U, D, V)`` with ``D = U @ m @ V`` diagonal, ``U`` and
+    ``V`` unimodular (det +-1), and each diagonal entry dividing the
+    next.  Raises :class:`ValueError` if ``m`` is not integral.
+    """
+    if not m.is_integral():
+        raise ValueError("Smith normal form requires an integer matrix")
+    a = [[int(x) for x in row] for row in m.rows()]
+    nrows, ncols = m.shape
+    u = [[int(i == j) for j in range(nrows)] for i in range(nrows)]
+    v = [[int(i == j) for j in range(ncols)] for i in range(ncols)]
+
+    def pivot_search(k: int) -> Optional[tuple[int, int]]:
+        best = None
+        for i in range(k, nrows):
+            for j in range(k, ncols):
+                if a[i][j] != 0 and (best is None or abs(a[i][j]) < abs(a[best[0]][best[1]])):
+                    best = (i, j)
+        return best
+
+    k = 0
+    while k < min(nrows, ncols):
+        pos = pivot_search(k)
+        if pos is None:
+            break
+        i, j = pos
+        if i != k:
+            _swap_rows(a, i, k)
+            _swap_rows(u, i, k)
+        if j != k:
+            _swap_cols(a, j, k)
+            _swap_cols(v, j, k)
+        # Reduce column k and row k until the pivot divides everything
+        # in its row/column, then clear them.
+        while True:
+            progressed = False
+            for i in range(k + 1, nrows):
+                if a[i][k] != 0:
+                    q = a[i][k] // a[k][k]
+                    _add_row(a, i, k, -q)
+                    _add_row(u, i, k, -q)
+                    if a[i][k] != 0:
+                        # remainder became new (smaller) pivot
+                        _swap_rows(a, i, k)
+                        _swap_rows(u, i, k)
+                        progressed = True
+            for j in range(k + 1, ncols):
+                if a[k][j] != 0:
+                    q = a[k][j] // a[k][k]
+                    _add_col(a, j, k, -q)
+                    _add_col(v, j, k, -q)
+                    if a[k][j] != 0:
+                        _swap_cols(a, j, k)
+                        _swap_cols(v, j, k)
+                        progressed = True
+            if not progressed:
+                break
+        # Divisibility fix-up: pivot must divide every remaining entry.
+        fixed = True
+        for i in range(k + 1, nrows):
+            for j in range(k + 1, ncols):
+                if a[i][j] % a[k][k] != 0:
+                    _add_row(a, k, i, 1)
+                    _add_row(u, k, i, 1)
+                    fixed = False
+                    break
+            if not fixed:
+                break
+        if not fixed:
+            continue  # redo reduction at the same k
+        if a[k][k] < 0:
+            _negate_row(a, k)
+            _negate_row(u, k)
+        k += 1
+
+    return RatMat(u), RatMat(a), RatMat(v)
+
+
+@dataclass(frozen=True)
+class DiophantineSolution:
+    """Integer solution set ``{ t0 + sum_i c_i b_i : c_i in Z }`` of ``A t = r``."""
+
+    particular: RatVec          # an integer particular solution t0
+    lattice_basis: tuple[RatVec, ...]  # integer basis of the solution lattice
+
+    @property
+    def dim(self) -> int:
+        return len(self.lattice_basis)
+
+
+def solve_diophantine(a: RatMat, r: RatVec) -> Optional[DiophantineSolution]:
+    """All integer solutions of ``a t = r``; ``None`` if there are none.
+
+    ``a`` must be integral; ``r`` may be rational (a non-integral ``r``
+    with integral ``a`` is simply unsolvable over Z unless the fractions
+    cancel, which they cannot -- we check and return ``None``).
+    """
+    if a.nrows != len(r):
+        raise ValueError(f"shape mismatch: {a.shape} vs rhs length {len(r)}")
+    if not all(x.denominator == 1 for x in r):
+        return None
+    u, d, v = smith_normal_form(a)
+    ur = u @ r
+    ncols = a.ncols
+    rank = sum(1 for i in range(min(d.nrows, d.ncols)) if d[i, i] != 0)
+    y = [Fraction(0)] * ncols
+    for i in range(len(ur)):
+        di = d[i, i] if i < min(d.nrows, d.ncols) else Fraction(0)
+        if di == 0:
+            if ur[i] != 0:
+                return None
+        else:
+            q = ur[i] / di
+            if q.denominator != 1:
+                return None
+            if i < ncols:
+                y[i] = q
+    t0 = v @ RatVec(y)
+    basis = tuple(v.col(j) for j in range(rank, ncols))
+    return DiophantineSolution(particular=t0, lattice_basis=basis)

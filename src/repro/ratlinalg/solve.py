@@ -1,0 +1,48 @@
+"""Rational linear system solving: particular solutions and full solution sets.
+
+``solve_particular(A, b)`` answers "does ``A t = b`` have any rational
+solution, and if so give me one" -- Definition 4 condition (1).  The
+full solution set ``t0 + Ker(A)`` is what condition (2) then filters for
+in-range integer points (see :mod:`repro.ratlinalg.smith` and
+:mod:`repro.ratlinalg.lattice`).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional
+
+from repro.ratlinalg.matrix import RatMat, RatVec
+from repro.ratlinalg.rref import nullspace, rref
+
+
+def solve_particular(a: RatMat, b: RatVec) -> Optional[RatVec]:
+    """One rational solution of ``a x = b``, or ``None`` if inconsistent.
+
+    The solution returned is the one with zeros in all free-variable
+    positions (the canonical RREF particular solution).
+    """
+    if a.nrows != len(b):
+        raise ValueError(f"shape mismatch: {a.shape} vs rhs of length {len(b)}")
+    aug = a.hstack(RatMat([[x] for x in b]))
+    R, pivots = rref(aug)
+    ncols = a.ncols
+    # Inconsistent iff some pivot lands in the augmented column.
+    if ncols in pivots:
+        return None
+    x = [Fraction(0)] * ncols
+    for row_idx, p in enumerate(pivots):
+        x[p] = R[row_idx, ncols]
+    return RatVec(x)
+
+
+def solve_full(a: RatMat, b: RatVec) -> Optional[tuple[RatVec, list[RatVec]]]:
+    """The full rational solution set of ``a x = b``.
+
+    Returns ``(t0, kernel_basis)`` describing ``{t0 + sum c_i k_i}``,
+    or ``None`` if the system is inconsistent.
+    """
+    t0 = solve_particular(a, b)
+    if t0 is None:
+        return None
+    return t0, nullspace(a)

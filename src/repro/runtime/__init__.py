@@ -1,0 +1,38 @@
+"""Execution runtimes.
+
+- :mod:`~repro.runtime.arrays`: :class:`DataSpace`, a numpy-backed
+  array with arbitrary (possibly negative) index origins, sized
+  automatically from the loop's access footprint;
+- :mod:`~repro.runtime.seq`: the sequential interpreter -- the golden
+  model every parallel execution is verified against;
+- :mod:`~repro.runtime.parallel`: the parallel executor: places data
+  blocks into simulated local memories, runs each iteration block on
+  its processor with *strict* locality checking (a remote access
+  raises), and timestamps writes for merging;
+- :mod:`~repro.runtime.merge`: last-writer merge of replicated copies
+  (the duplicate-data strategy's output-dependence semantics);
+- :mod:`~repro.runtime.verify`: one-call end-to-end verification.
+"""
+
+from repro.runtime.arrays import DataSpace, array_footprints, default_init, make_arrays
+from repro.runtime.seq import run_sequential, eval_expr
+from repro.runtime.parallel import ParallelResult, run_parallel
+from repro.runtime.merge import merge_copies
+from repro.runtime.verify import VerificationReport, verify_plan
+from repro.runtime.machine_run import MachineRun, run_on_machine
+
+__all__ = [
+    "DataSpace",
+    "array_footprints",
+    "default_init",
+    "make_arrays",
+    "run_sequential",
+    "eval_expr",
+    "ParallelResult",
+    "run_parallel",
+    "merge_copies",
+    "VerificationReport",
+    "verify_plan",
+    "MachineRun",
+    "run_on_machine",
+]

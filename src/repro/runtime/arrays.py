@@ -1,0 +1,144 @@
+"""Array storage for the interpreters.
+
+:class:`DataSpace` wraps a numpy ``float64`` array with per-dimension
+origin offsets so the paper's arbitrary subscript ranges (e.g. array A
+of L1 spanning ``[0:8, 0:4]``) map directly.  Footprints are computed
+exactly: a reference ``H i + c`` is affine, so its componentwise extrema
+over the iteration space's bounding box occur at box corners.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, Optional
+
+import numpy as np
+
+from repro.analysis.references import ReferenceModel
+from repro.ratlinalg.matrix import RatVec
+
+Coords = tuple[int, ...]
+
+
+class DataSpace:
+    """A dense array over ``[lo_1:hi_1, ..., lo_d:hi_d]`` (inclusive)."""
+
+    def __init__(self, name: str, lo: Coords, hi: Coords, fill: float = 0.0):
+        if len(lo) != len(hi):
+            raise ValueError("lo/hi rank mismatch")
+        if any(l > h for l, h in zip(lo, hi)):
+            raise ValueError(f"empty DataSpace bounds {lo}..{hi}")
+        self.name = name
+        self.lo = tuple(lo)
+        self.hi = tuple(hi)
+        shape = tuple(h - l + 1 for l, h in zip(lo, hi))
+        self.data = np.full(shape, fill, dtype=np.float64)
+
+    @property
+    def rank(self) -> int:
+        return len(self.lo)
+
+    def _pos(self, coords: Coords) -> tuple[int, ...]:
+        if len(coords) != self.rank:
+            raise IndexError(f"{self.name}: rank mismatch {coords}")
+        pos = tuple(int(c) - l for c, l in zip(coords, self.lo))
+        for p, s in zip(pos, self.data.shape):
+            if not 0 <= p < s:
+                raise IndexError(f"{self.name}{list(coords)} outside "
+                                 f"[{self.lo}..{self.hi}]")
+        return pos
+
+    def __getitem__(self, coords: Coords) -> float:
+        return float(self.data[self._pos(tuple(coords))])
+
+    def __setitem__(self, coords: Coords, value: float) -> None:
+        self.data[self._pos(tuple(coords))] = value
+
+    def __contains__(self, coords: Coords) -> bool:
+        try:
+            self._pos(tuple(coords))
+            return True
+        except IndexError:
+            return False
+
+    def coords_iter(self) -> Iterable[Coords]:
+        ranges = [range(l, h + 1) for l, h in zip(self.lo, self.hi)]
+        return itertools.product(*ranges)
+
+    def fill_with(self, fn: Callable[[Coords], float]) -> "DataSpace":
+        for c in self.coords_iter():
+            self[c] = fn(c)
+        return self
+
+    def copy(self) -> "DataSpace":
+        out = DataSpace(self.name, self.lo, self.hi)
+        out.data = self.data.copy()
+        return out
+
+    def allclose(self, other: "DataSpace", **kw) -> bool:
+        return (self.lo == other.lo and self.hi == other.hi
+                and np.allclose(self.data, other.data, **kw))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, DataSpace):
+            return NotImplemented
+        return (self.lo == other.lo and self.hi == other.hi
+                and np.array_equal(self.data, other.data))
+
+    def __repr__(self) -> str:
+        return f"DataSpace({self.name}[{self.lo}..{self.hi}])"
+
+
+def array_footprints(model: ReferenceModel) -> dict[str, tuple[Coords, Coords]]:
+    """Exact per-array (lo, hi) coordinate bounds over all references.
+
+    Evaluates every reference at every corner of the iteration bounding
+    box; affine maps attain componentwise extrema at corners, so this
+    covers every accessed element (and is tight for rectangular spaces).
+    """
+    lo_box, hi_box = model.space.bounding_box()
+    corners = list(itertools.product(*[(l, h) for l, h in zip(lo_box, hi_box)]))
+    out: dict[str, tuple[Coords, Coords]] = {}
+    for name, info in model.arrays.items():
+        lo: Optional[list[int]] = None
+        hi: Optional[list[int]] = None
+        for ref in info.references:
+            for corner in corners:
+                e = info.element_at(corner, ref.offset)
+                if lo is None:
+                    lo, hi = list(e), list(e)
+                else:
+                    lo = [min(a, b) for a, b in zip(lo, e)]
+                    hi = [max(a, b) for a, b in zip(hi, e)]
+        assert lo is not None and hi is not None
+        out[name] = (tuple(lo), tuple(hi))
+    return out
+
+
+def default_init(array: str) -> Callable[[Coords], float]:
+    """A deterministic, array-specific initializer.
+
+    Values vary across elements and arrays so that verification is
+    sensitive to misplaced reads; purely integer-combination based to
+    stay bit-reproducible.
+    """
+    salt = sum((i + 1) * ord(ch) for i, ch in enumerate(array)) % 97 + 3
+
+    def fn(coords: Coords) -> float:
+        acc = float(salt)
+        for j, c in enumerate(coords):
+            acc += (j + 2) * c * 0.25 + (c * c) * 0.0625
+        return acc
+
+    return fn
+
+
+def make_arrays(model: ReferenceModel,
+                init: Optional[Callable[[str], Callable[[Coords], float]]] = None,
+                ) -> dict[str, DataSpace]:
+    """Allocate and initialize all arrays of a model."""
+    init = init or default_init
+    out: dict[str, DataSpace] = {}
+    for name, (lo, hi) in array_footprints(model).items():
+        out[name] = DataSpace(name, lo, hi).fill_with(init(name))
+    return out

@@ -1,0 +1,38 @@
+"""Last-writer merge of replicated array copies.
+
+Under the duplicate-data strategy several processors hold (and may
+write) private copies of one element; the sequentially correct final
+value is the one produced by the lexicographically last writing
+computation -- exactly the output-dependence order the paper preserves.
+:func:`merge_copies` reconstructs global arrays by picking, per
+element, the copy with the greatest write timestamp (initial values
+where nobody wrote).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.runtime.arrays import Coords, DataSpace
+from repro.runtime.parallel import ParallelResult
+
+
+def merge_copies(result: ParallelResult,
+                 initial: dict[str, DataSpace]) -> dict[str, DataSpace]:
+    """Merge local copies into fresh global arrays.
+
+    ``initial`` must be the same initial arrays the parallel run was
+    seeded from (unwritten elements keep their initial values).
+    """
+    merged = {name: ds.copy() for name, ds in initial.items()}
+    # element -> (stamp, value) of the best writer seen so far
+    best: dict[tuple[str, Coords], tuple[int, float]] = {}
+    for (block, array, coords), stamp in result.write_stamps.items():
+        value = result.memories[block].values[array][coords]
+        key = (array, coords)
+        cur = best.get(key)
+        if cur is None or stamp > cur[0]:
+            best[key] = (stamp, value)
+    for (array, coords), (_stamp, value) in best.items():
+        merged[array][coords] = value
+    return merged

@@ -1,0 +1,41 @@
+"""Program transformation (Section IV): partitioned nest -> parallel form.
+
+Pipeline:
+
+1. :mod:`~repro.transform.basis` -- the gcd-normalized integer basis
+   ``Q`` of ``Ker(Psi)``, its row-echelon pivots ``y_j``, the inner
+   index choice ``z_i`` and the (invertible) change-of-variables matrix;
+2. :mod:`~repro.transform.loopnest` -- the executable
+   :class:`TransformedNest` with Fourier-Motzkin loop bounds: ``k``
+   outer ``forall`` dimensions (one point per iteration block) and ``g``
+   inner sequential dimensions;
+3. :mod:`~repro.transform.codegen` -- paper-style pseudocode and
+   executable Python source for the transformed nest.
+"""
+
+from repro.transform.basis import TransformBasis, build_transform_basis
+from repro.transform.loopnest import TransformedNest, transform_nest
+from repro.transform.codegen import to_pseudocode, to_python_source, compile_nest
+from repro.transform.spmd import (
+    compile_spmd,
+    iterations_of_processor,
+    to_spmd_pseudocode,
+    to_spmd_python_source,
+)
+from repro.transform.validate import TransformValidation, validate_transform
+
+__all__ = [
+    "TransformBasis",
+    "build_transform_basis",
+    "TransformedNest",
+    "transform_nest",
+    "to_pseudocode",
+    "to_python_source",
+    "compile_nest",
+    "to_spmd_pseudocode",
+    "to_spmd_python_source",
+    "compile_spmd",
+    "iterations_of_processor",
+    "TransformValidation",
+    "validate_transform",
+]

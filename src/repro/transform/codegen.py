@@ -1,0 +1,199 @@
+"""Code generation for transformed nests.
+
+Two targets:
+
+- :func:`to_pseudocode` -- the paper's ``forall`` presentation (loop
+  L4' style), with extended statements ``E_j`` recovering the original
+  indices;
+- :func:`to_python_source` / :func:`compile_nest` -- executable Python.
+  All bound arithmetic is integer-exact: a rational bound ``p/q`` is
+  emitted as floor/ceil divisions, and blocks with ``|det M| > 1``
+  guard the reconstruction of original indices with a divisibility
+  check.
+
+The compiled function has signature ``run(arrays, scalars)`` where
+``arrays`` maps names to objects indexable by coordinate tuples (e.g.
+:class:`repro.runtime.arrays.DataSpace`) and ``scalars`` maps free
+parameter names to numbers.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import lcm
+from typing import Callable
+
+from repro.lang.ast import ArrayRef, Assign, BinOp, Const, Expr, Name, UnaryOp
+from repro.ratlinalg.fm import AffineForm, LoopBound
+from repro.transform.loopnest import TransformedNest
+
+
+# ---------------------------------------------------------------------------
+# helpers: exact integer rendering of affine forms
+# ---------------------------------------------------------------------------
+
+def _integerize(form: AffineForm) -> tuple[list[int], int, int]:
+    """Rewrite ``form`` as ``(num_coeffs, num_const, den)`` with
+    ``form = (sum num_coeffs[j]*x_j + num_const) / den`` and ``den >= 1``."""
+    den = 1
+    for c in list(form.coeffs) + [form.const]:
+        den = lcm(den, c.denominator)
+    return ([int(c * den) for c in form.coeffs], int(form.const * den), den)
+
+
+def _linear_src(coeffs: list[int], const: int, names: list[str]) -> str:
+    parts: list[str] = []
+    for c, nm in zip(coeffs, names):
+        if c == 0:
+            continue
+        if c == 1:
+            parts.append(f"+ {nm}" if parts else nm)
+        elif c == -1:
+            parts.append(f"- {nm}" if parts else f"-{nm}")
+        elif c > 0:
+            parts.append(f"+ {c}*{nm}" if parts else f"{c}*{nm}")
+        else:
+            parts.append(f"- {-c}*{nm}" if parts else f"-{-c}*{nm}")
+    if const or not parts:
+        parts.append((f"+ {const}" if const > 0 else f"- {-const}")
+                     if parts else str(const))
+    return " ".join(parts)
+
+
+def _ceil_src(form: AffineForm, names: list[str]) -> str:
+    coeffs, const, den = _integerize(form)
+    body = _linear_src(coeffs, const, names)
+    if den == 1:
+        return body
+    return f"-((-({body})) // {den})"
+
+
+def _floor_src(form: AffineForm, names: list[str]) -> str:
+    coeffs, const, den = _integerize(form)
+    body = _linear_src(coeffs, const, names)
+    if den == 1:
+        return body
+    return f"({body}) // {den}"
+
+
+def _lower_src(bound: LoopBound, names: list[str]) -> str:
+    parts = [_ceil_src(f, names) for f in bound.lowers]
+    return parts[0] if len(parts) == 1 else "max(" + ", ".join(parts) + ")"
+
+
+def _upper_src(bound: LoopBound, names: list[str]) -> str:
+    parts = [_floor_src(f, names) for f in bound.uppers]
+    return parts[0] if len(parts) == 1 else "min(" + ", ".join(parts) + ")"
+
+
+# ---------------------------------------------------------------------------
+# statement rendering
+# ---------------------------------------------------------------------------
+
+def _expr_src(expr: Expr, index_names: set[str]) -> str:
+    if isinstance(expr, Const):
+        return str(expr.value)
+    if isinstance(expr, Name):
+        if expr.ident in index_names:
+            return expr.ident
+        return f"scalars[{expr.ident!r}]"
+    if isinstance(expr, ArrayRef):
+        subs = ", ".join(_expr_src(s, index_names) for s in expr.subscripts)
+        return f"arrays[{expr.array!r}][({subs},)]"
+    if isinstance(expr, UnaryOp):
+        return f"(-{_expr_src(expr.operand, index_names)})"
+    if isinstance(expr, BinOp):
+        return (f"({_expr_src(expr.left, index_names)} {expr.op} "
+                f"{_expr_src(expr.right, index_names)})")
+    raise TypeError(f"cannot render {expr!r}")
+
+
+def _stmt_src(stmt: Assign, index_names: set[str]) -> str:
+    subs = ", ".join(_expr_src(s, index_names) for s in stmt.lhs.subscripts)
+    return (f"arrays[{stmt.lhs.array!r}][({subs},)] = "
+            f"{_expr_src(stmt.rhs, index_names)}")
+
+
+# ---------------------------------------------------------------------------
+# pseudocode (paper style)
+# ---------------------------------------------------------------------------
+
+def to_pseudocode(tnest: TransformedNest) -> str:
+    """Paper-style ``forall`` rendering of the transformed nest."""
+    names = tnest.var_names
+    nest = tnest.nest
+    lines: list[str] = []
+    indent = ""
+    for depth, bound in enumerate(tnest.bounds):
+        var = names[depth]
+        kw = "forall" if depth < tnest.k else "for"
+        lo = _render_bound_forms(bound.lowers, names, "max")
+        hi = _render_bound_forms(bound.uppers, names, "min")
+        lines.append(f"{indent}{kw} {var} = {lo} to {hi}")
+        indent += "  "
+    eidx = 1
+    for m_pos in sorted(tnest.extended):
+        form = tnest.extended[m_pos]
+        lines.append(
+            f"{indent}E{eidx}: {nest.indices[m_pos]} := {form.render(names)} ;"
+        )
+        eidx += 1
+    from repro.lang.printer import stmt_to_source
+
+    for stmt in nest.statements:
+        lines.append(f"{indent}{stmt_to_source(stmt)}")
+    for depth in range(len(tnest.bounds) - 1, -1, -1):
+        indent = "  " * depth
+        lines.append(f"{indent}{'end-forall' if depth < tnest.k else 'end'}")
+    return "\n".join(lines)
+
+
+def _render_bound_forms(forms, names, agg: str) -> str:
+    rendered = [f.render(names) for f in forms]
+    if len(rendered) == 1:
+        return rendered[0]
+    return f"{agg}(" + ", ".join(rendered) + ")"
+
+
+# ---------------------------------------------------------------------------
+# executable Python
+# ---------------------------------------------------------------------------
+
+def to_python_source(tnest: TransformedNest, func_name: str = "run") -> str:
+    """Executable Python for the whole transformed nest (all blocks)."""
+    names = tnest.var_names
+    nest = tnest.nest
+    n = len(names)
+    out: list[str] = [f"def {func_name}(arrays, scalars=None):",
+                      "    scalars = scalars or {}"]
+    pad = "    "
+    for depth, bound in enumerate(tnest.bounds):
+        var = names[depth]
+        out.append(f"{pad}for {var} in range({_lower_src(bound, names)}, "
+                   f"{_upper_src(bound, names)} + 1):")
+        pad += "    "
+    # extended statements: recover every original index not serving as an
+    # inner loop variable; guard divisibility when |det M| > 1.
+    for m_pos in sorted(tnest.extended):
+        form = tnest.extended[m_pos]
+        coeffs, const, den = _integerize(form)
+        body = _linear_src(coeffs, const, names)
+        orig = nest.indices[m_pos]
+        if den == 1:
+            out.append(f"{pad}{orig} = {body}")
+        else:
+            out.append(f"{pad}_num = {body}")
+            out.append(f"{pad}if _num % {den}: continue")
+            out.append(f"{pad}{orig} = _num // {den}")
+    index_names = set(nest.indices) | set(names)
+    for stmt in nest.statements:
+        out.append(f"{pad}{_stmt_src(stmt, index_names)}")
+    return "\n".join(out) + "\n"
+
+
+def compile_nest(tnest: TransformedNest, func_name: str = "run") -> Callable:
+    """Compile :func:`to_python_source` output into a callable."""
+    src = to_python_source(tnest, func_name)
+    namespace: dict = {}
+    exec(compile(src, f"<generated {func_name}>", "exec"), namespace)
+    return namespace[func_name]

@@ -1,0 +1,153 @@
+"""The executable transformed loop nest (paper's loop L').
+
+:func:`transform_nest` turns a loop nest plus its partitioning space
+into a :class:`TransformedNest`: ``k`` outer *forall* loops (each point
+is one iteration block, independently executable) and ``g`` inner
+sequential loops, with exact Fourier-Motzkin bounds and the *extended
+statements* that recover the original index values.
+
+Within a block, the inner loops enumerate the block's iterations in the
+original lexicographic order (the inner indices are original index
+variables at increasing positions, and every earlier non-inner index is
+an affine function of the block point and the preceding inner indices),
+preserving all intra-block dependences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterator, Optional, Sequence
+
+from repro.lang.affine import AffineExpr, affine_of
+from repro.lang.ast import LoopNest
+from repro.ratlinalg.fm import AffineForm, FMSystem, LoopBound, bounds_for_order
+from repro.ratlinalg.matrix import RatMat, RatVec
+from repro.ratlinalg.span import Subspace
+from repro.transform.basis import TransformBasis, build_transform_basis
+
+
+@dataclass
+class TransformedNest:
+    """Parallel form of a partitioned nest; see module docstring."""
+
+    nest: LoopNest
+    basis: TransformBasis
+    bounds: list[LoopBound]          # parallel to var order: outer then inner
+    # extended statements: original index position -> affine form over the
+    # new variables (in loop order); only positions NOT among the inner
+    # indices appear (inner indices are loop variables themselves).
+    extended: dict[int, AffineForm] = field(default_factory=dict)
+
+    # -- structure -------------------------------------------------------
+    @property
+    def k(self) -> int:
+        return self.basis.k
+
+    @property
+    def g(self) -> int:
+        return self.basis.g
+
+    @property
+    def var_names(self) -> list[str]:
+        return list(self.basis.outer_names) + list(self.basis.inner_names)
+
+    # -- enumeration ---------------------------------------------------------
+    def iterate_blocks(self) -> Iterator[tuple[int, ...]]:
+        """All forall points (iteration-block coordinates), lexicographically.
+
+        Points whose inner domain turns out empty are still yielded --
+        they correspond to empty blocks and execute zero iterations,
+        matching the semantics of the generated forall code.
+        """
+        prefix: list[int] = []
+
+        def rec(depth: int) -> Iterator[tuple[int, ...]]:
+            if depth == self.k:
+                yield tuple(prefix)
+                return
+            for v in self.bounds[depth].range_for(prefix):
+                prefix.append(v)
+                yield from rec(depth + 1)
+                prefix.pop()
+
+        yield from rec(0)
+
+    def iterations_of_block(self, block: Sequence[int]) -> Iterator[tuple[int, ...]]:
+        """Original iterations of one forall point, in lexicographic order.
+
+        New-coordinate points without an integer original preimage are
+        skipped (possible only when ``|det M| > 1``).
+        """
+        coords: list[int] = list(block)
+
+        def rec(depth: int) -> Iterator[tuple[int, ...]]:
+            if depth == self.k + self.g:
+                orig = self.basis.original_iteration(coords)
+                if orig.is_integral():
+                    yield orig.to_ints()
+                return
+            for v in self.bounds[depth].range_for(coords):
+                coords.append(v)
+                yield from rec(depth + 1)
+                coords.pop()
+
+        yield from rec(self.k)
+
+    def all_iterations(self) -> Iterator[tuple[int, ...]]:
+        for blk in self.iterate_blocks():
+            yield from self.iterations_of_block(blk)
+
+    def block_of_iteration(self, iteration) -> tuple[int, ...]:
+        return self.basis.block_coords(iteration)
+
+    def block_sizes(self) -> dict[tuple[int, ...], int]:
+        return {blk: sum(1 for _ in self.iterations_of_block(blk))
+                for blk in self.iterate_blocks()}
+
+
+def _constraint_rows(nest: LoopNest) -> list[tuple[RatVec, Fraction]]:
+    """Original-bound constraints as (coeff-row over I, const), meaning
+    ``row · I + const >= 0``."""
+    rows: list[tuple[RatVec, Fraction]] = []
+    n = nest.depth
+    for m_pos in range(n):
+        lo = affine_of(nest.lowers[m_pos], nest.indices)
+        hi = affine_of(nest.uppers[m_pos], nest.indices)
+        unit = RatVec.unit(n, m_pos)
+        # I_m - lo(I) >= 0
+        rows.append((unit - lo.coeff_vector(), -lo.const))
+        # hi(I) - I_m >= 0
+        rows.append((hi.coeff_vector() - unit, hi.const))
+    return rows
+
+
+def transform_nest(nest: LoopNest,
+                   psi: Subspace,
+                   basis: Optional[TransformBasis] = None) -> TransformedNest:
+    """Build the executable parallel form for partitioning space ``psi``."""
+    if basis is None:
+        basis = build_transform_basis(psi, nest.indices)
+    n = nest.depth
+
+    # Express each original-bound constraint over the new variables:
+    # row·I + c >= 0  with  I = M^{-1} x  becomes  (row·M^{-1})·x + c >= 0.
+    system = FMSystem(n)
+    for row, const in _constraint_rows(nest):
+        new_row = RatVec(
+            sum((row[i] * basis.m_inv[i, j] for i in range(n)), Fraction(0))
+            for j in range(n)
+        )
+        system.add(list(new_row), const)
+
+    bounds = bounds_for_order(system, list(range(n)))
+
+    # Extended statements: I_m as an affine form over the new variables.
+    extended: dict[int, AffineForm] = {}
+    for m_pos in range(n):
+        if m_pos in basis.inner_positions:
+            continue
+        coeffs = tuple(basis.m_inv[m_pos, j] for j in range(n))
+        extended[m_pos] = AffineForm(coeffs, Fraction(0))
+
+    return TransformedNest(nest=nest, basis=basis, bounds=bounds, extended=extended)

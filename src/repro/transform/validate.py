@@ -1,0 +1,103 @@
+"""Transformation validation: the Section-IV correctness obligations.
+
+A transformed nest must (a) enumerate exactly the original iteration
+space with no duplicates (the one-to-one mapping the paper constructs
+the ``z_i`` selection for), (b) keep each forall point inside a single
+partition block, and (c) enumerate each block's iterations in the
+original lexicographic order (dependence preservation).
+:func:`validate_transform` checks all three on the concrete instance
+and returns a structured report; ``raise_on_failure`` turns it into an
+assertion for pipelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.plan import PartitionPlan
+from repro.transform.loopnest import TransformedNest
+
+
+@dataclass
+class TransformValidation:
+    """Outcome of validating one transformed nest."""
+
+    bijective: bool
+    lexicographic: bool
+    blocks_consistent: bool
+    missing: list[tuple[int, ...]] = field(default_factory=list)
+    duplicated: list[tuple[int, ...]] = field(default_factory=list)
+    extra: list[tuple[int, ...]] = field(default_factory=list)
+    disordered_blocks: list[tuple[int, ...]] = field(default_factory=list)
+    split_blocks: list[tuple[int, ...]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.bijective and self.lexicographic and self.blocks_consistent
+
+    def raise_on_failure(self) -> "TransformValidation":
+        if not self.ok:
+            problems = []
+            if self.missing:
+                problems.append(f"missing iterations {self.missing[:3]}")
+            if self.duplicated:
+                problems.append(f"duplicated iterations {self.duplicated[:3]}")
+            if self.extra:
+                problems.append(f"extra iterations {self.extra[:3]}")
+            if self.disordered_blocks:
+                problems.append(
+                    f"non-lexicographic blocks {self.disordered_blocks[:3]}")
+            if self.split_blocks:
+                problems.append(f"split blocks {self.split_blocks[:3]}")
+            raise AssertionError("transformation invalid: " + "; ".join(problems))
+        return self
+
+
+def validate_transform(tnest: TransformedNest,
+                       plan: Optional[PartitionPlan] = None
+                       ) -> TransformValidation:
+    """Check the three Section-IV obligations; see module docstring.
+
+    ``plan`` enables the block-consistency check (the forall points must
+    refine the plan's partition exactly); without it only bijection and
+    ordering are checked.
+    """
+    from repro.lang.space import IterationSpace
+
+    space = (plan.model.space if plan is not None
+             else IterationSpace(tnest.nest))
+    expected = set(space.points())
+
+    seen: dict[tuple[int, ...], int] = {}
+    disordered: list[tuple[int, ...]] = []
+    split: list[tuple[int, ...]] = []
+    for blk in tnest.iterate_blocks():
+        its = list(tnest.iterations_of_block(blk))
+        if its != sorted(its):
+            disordered.append(blk)
+        if plan is not None and its:
+            ids = {plan.block_of(it) for it in its if tuple(it) in expected}
+            if len(ids) > 1:
+                split.append(blk)
+            elif len(ids) == 1:
+                plan_block = plan.blocks[next(iter(ids))]
+                if set(map(tuple, its)) != set(plan_block.iterations):
+                    split.append(blk)
+        for it in its:
+            seen[tuple(it)] = seen.get(tuple(it), 0) + 1
+
+    missing = sorted(expected - set(seen))
+    duplicated = sorted(it for it, n in seen.items() if n > 1)
+    extra = sorted(set(seen) - expected)
+
+    return TransformValidation(
+        bijective=not (missing or duplicated or extra),
+        lexicographic=not disordered,
+        blocks_consistent=not split,
+        missing=missing,
+        duplicated=duplicated,
+        extra=extra,
+        disordered_blocks=disordered,
+        split_blocks=split,
+    )

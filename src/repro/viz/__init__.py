@@ -1,0 +1,40 @@
+"""ASCII rendering of partitions -- the data behind Figures 1-10.
+
+The paper's figures are diagrams of data spaces, partitioned data/
+iteration blocks, reference graphs and the processor assignment.  Their
+information content is the block structure, which we compute; these
+helpers render it as deterministic text artifacts that the figure
+benches regenerate and the tests pin down.
+"""
+
+from repro.viz.ascii import (
+    render_data_partition,
+    render_data_space,
+    render_iteration_partition,
+)
+from repro.viz.figures import (
+    fig01_l1_dataspaces,
+    fig02_l1_data_partition,
+    fig03_l1_iteration_partition,
+    fig04_l2_data_partition,
+    fig05_l2_iteration_partition,
+    fig07_l3_reference_graph,
+    fig08_l3_data_partition,
+    fig09_l3_iteration_partition,
+    fig10_l4_processor_assignment,
+)
+
+__all__ = [
+    "render_data_space",
+    "render_data_partition",
+    "render_iteration_partition",
+    "fig01_l1_dataspaces",
+    "fig02_l1_data_partition",
+    "fig03_l1_iteration_partition",
+    "fig04_l2_data_partition",
+    "fig05_l2_iteration_partition",
+    "fig07_l3_reference_graph",
+    "fig08_l3_data_partition",
+    "fig09_l3_iteration_partition",
+    "fig10_l4_processor_assignment",
+]

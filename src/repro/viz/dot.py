@@ -1,0 +1,59 @@
+"""Graphviz DOT export for data reference graphs (Figs. 6-7 as artifacts).
+
+Hand-rolled DOT writer (no graphviz dependency): write vertices in the
+paper's two-row layout (writes on top, reads below) with dependence
+kinds as edge labels and styles.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.refgraph import DataReferenceGraph
+from repro.lang.printer import expr_to_source
+
+_EDGE_STYLE = {
+    "flow": 'color="black" style="solid"',
+    "anti": 'color="black" style="dashed"',
+    "output": 'color="gray40" style="bold"',
+    "input": 'color="gray60" style="dotted"',
+}
+
+_KIND_SYMBOL = {
+    "flow": "δf",
+    "anti": "δa",
+    "output": "δo",
+    "input": "δi",
+}
+
+
+def _vertex_label(graph: DataReferenceGraph, ref) -> str:
+    subs = ", ".join(expr_to_source(s) for s in ref.ast.subscripts)
+    return f"{graph.vertex_name(ref)}: {ref.array}[{subs}]"
+
+
+def to_dot(graph: DataReferenceGraph, title: str = "") -> str:
+    """Render ``G^A`` as a DOT digraph string."""
+    lines = [f'digraph "{title or "G_" + graph.array}" {{',
+             "  rankdir=TB;",
+             '  node [shape=box, fontname="monospace"];']
+    if graph.writes:
+        lines.append("  { rank=source; "
+                     + "; ".join(f'"{graph.vertex_name(w)}"'
+                                 for w in graph.writes) + "; }")
+    if graph.reads:
+        lines.append("  { rank=sink; "
+                     + "; ".join(f'"{graph.vertex_name(r)}"'
+                                 for r in graph.reads) + "; }")
+    for ref in list(graph.writes) + list(graph.reads):
+        name = graph.vertex_name(ref)
+        lines.append(f'  "{name}" [label="{_vertex_label(graph, ref)}"];')
+    for dep in graph.edges:
+        src = graph.vertex_name(dep.src)
+        dst = graph.vertex_name(dep.dst)
+        kind = dep.kind.value
+        t = tuple(int(x) for x in dep.witness)
+        lines.append(
+            f'  "{src}" -> "{dst}" '
+            f'[label="{_KIND_SYMBOL[kind]} t={t}", {_EDGE_STYLE[kind]}];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,158 @@
+"""Exact dependence testing and classification."""
+
+import pytest
+
+from repro.analysis import (
+    DependenceKind,
+    all_dependences,
+    dependence_between,
+    extract_references,
+    has_flow_dependence,
+    is_fully_duplicable,
+)
+from repro.analysis.dependence import access_precedes, is_forall_loop
+from repro.lang import catalog, parse
+
+
+def model_of(src):
+    return extract_references(parse(src))
+
+
+class TestAccessPrecedes:
+    def test_statement_order(self, l1):
+        model = extract_references(l1)
+        refs = model.all_references()
+        s1_write = next(r for r in refs if r.stmt_index == 0 and r.is_write)
+        s2_read = next(r for r in refs if r.stmt_index == 1 and not r.is_write)
+        assert access_precedes(s1_write, s2_read)
+        assert not access_precedes(s2_read, s1_write)
+
+    def test_read_before_write_same_statement(self, l5):
+        model = extract_references(l5)
+        c = model.arrays["C"]
+        w = c.writes()[0]
+        r = c.reads()[0]
+        assert access_precedes(r, w)
+        assert not access_precedes(w, r)
+
+
+class TestDependenceBetween:
+    def test_l1_flow_on_a(self, l1):
+        model = extract_references(l1)
+        info = model.arrays["A"]
+        w, r = info.writes()[0], info.reads()[0]
+        dep = dependence_between(info, w, r, model.space)
+        assert dep is not None and dep.kind is DependenceKind.FLOW
+        assert tuple(int(x) for x in dep.witness) == (1, 1)
+
+    def test_l1_no_reverse_flow(self, l1):
+        model = extract_references(l1)
+        info = model.arrays["A"]
+        w, r = info.writes()[0], info.reads()[0]
+        dep = dependence_between(info, r, w, model.space)
+        assert dep is None  # t = (-1,-1) is lexicographically negative
+
+    def test_l2_inconsistent_system_no_dep(self, l2):
+        # A[i+j-1,i+j-1] vs A[i+j-1,i+j]: H t = (0,-1) unsolvable
+        model = extract_references(l2)
+        info = model.arrays["A"]
+        w2 = info.writes()[1]
+        r1 = info.reads()[0]
+        assert dependence_between(info, w2, r1, model.space) is None
+        assert dependence_between(info, r1, w2, model.space) is None
+
+    def test_l2_non_integer_solution_no_dep(self, l2):
+        # B: t = (1/2, 1) is not integral -> no dependence on B
+        model = extract_references(l2)
+        info = model.arrays["B"]
+        a, b = info.references
+        assert dependence_between(info, a, b, model.space) is None
+
+    def test_l5_flow_on_c_along_k(self, l5):
+        model = extract_references(l5)
+        info = model.arrays["C"]
+        w, r = info.writes()[0], info.reads()[0]
+        dep = dependence_between(info, w, r, model.space)
+        assert dep is not None and dep.kind is DependenceKind.FLOW
+        t = dep.witness
+        assert t[0] == 0 and t[1] == 0 and t[2] > 0
+
+    def test_same_iteration_anti_on_c(self, l5):
+        model = extract_references(l5)
+        info = model.arrays["C"]
+        w, r = info.writes()[0], info.reads()[0]
+        dep = dependence_between(info, r, w, model.space)
+        assert dep is not None and dep.kind is DependenceKind.ANTI
+
+    def test_out_of_range_difference(self):
+        # offset difference 10 exceeds the 4-iteration space: no dependence
+        model = model_of("for i = 1 to 4 { A[i] = A[i - 10]; }")
+        info = model.arrays["A"]
+        w, r = info.writes()[0], info.reads()[0]
+        assert dependence_between(info, w, r, model.space) is None
+
+    def test_in_range_difference(self):
+        model = model_of("for i = 1 to 4 { A[i] = A[i - 3]; }")
+        info = model.arrays["A"]
+        w, r = info.writes()[0], info.reads()[0]
+        dep = dependence_between(info, w, r, model.space)
+        assert dep is not None and tuple(dep.witness) == (3,)
+
+    def test_triangular_space_exactness(self):
+        # In a triangular space, i2-i1=(0,3) requires j and j+3 <= i:
+        # only possible at i=4, which exists -> dependence present for n=4
+        nest = parse("for i = 1 to 4 { for j = 1 to i { T[i,j] = T[i,j-3]; } }")
+        model = extract_references(nest)
+        info = model.arrays["T"]
+        w, r = info.writes()[0], info.reads()[0]
+        assert dependence_between(info, w, r, model.space) is not None
+        # with n=3 no row is long enough
+        nest3 = parse("for i = 1 to 3 { for j = 1 to i { T[i,j] = T[i,j-3]; } }")
+        m3 = extract_references(nest3)
+        i3 = m3.arrays["T"]
+        assert dependence_between(i3, i3.writes()[0], i3.reads()[0],
+                                  m3.space) is None
+
+
+class TestAggregates:
+    def test_all_dependences_l1(self, l1):
+        model = extract_references(l1)
+        deps = all_dependences(model)
+        kinds = {(d.array, d.kind) for d in deps}
+        assert ("A", DependenceKind.FLOW) in kinds
+        assert ("C", DependenceKind.INPUT) in kinds
+        assert not any(d.array == "B" for d in deps)
+
+    def test_fully_duplicable_l2(self, l2):
+        model = extract_references(l2)
+        assert is_fully_duplicable(model.arrays["A"], model.space)
+        assert is_fully_duplicable(model.arrays["B"], model.space)
+
+    def test_fully_duplicable_l5(self, l5):
+        model = extract_references(l5)
+        assert is_fully_duplicable(model.arrays["A"], model.space)
+        assert is_fully_duplicable(model.arrays["B"], model.space)
+        assert not is_fully_duplicable(model.arrays["C"], model.space)
+        assert has_flow_dependence(model.arrays["C"], model.space)
+
+    def test_read_only_array_is_fully_duplicable(self, l1):
+        model = extract_references(l1)
+        assert is_fully_duplicable(model.arrays["B"], model.space)
+
+
+class TestForallDetection:
+    def test_l1_not_forall(self, l1):
+        assert not is_forall_loop(extract_references(l1))
+
+    def test_independent_is_forall(self):
+        assert is_forall_loop(extract_references(catalog.independent()))
+
+    def test_l2_is_forall(self, l2):
+        # all deps in L2 are intra-iteration or nonexistent across iterations?
+        model = extract_references(l2)
+        # L2 carries an output dependence between iterations (w1->w2, t=(1,0))
+        assert not is_forall_loop(model)
+
+    def test_input_deps_dont_block_forall(self):
+        model = model_of("for i = 1 to 4 { A[i] = B[i] + B[i - 1]; }")
+        assert is_forall_loop(model)

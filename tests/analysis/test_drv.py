@@ -1,0 +1,55 @@
+"""Data-referenced vectors (Definition 1)."""
+
+from repro.analysis import data_referenced_vectors, extract_references
+from repro.lang import parse
+
+
+def vectors_of(model, array):
+    return [tuple(int(x) for x in d.vector)
+            for d in data_referenced_vectors(model.arrays[array])]
+
+
+class TestPaperExamples:
+    def test_l1(self, l1):
+        model = extract_references(l1)
+        assert vectors_of(model, "A") == [(2, 1)]
+        assert vectors_of(model, "C") == [(1, 1)]
+        assert vectors_of(model, "B") == []  # single referenced variable
+
+    def test_l2_all_pairs(self, l2):
+        model = extract_references(l2)
+        vecs = set(vectors_of(model, "A"))
+        # paper's r1,r2,r3 up to sign/pair-order: {(1,1),(0,-1),(-1,0)}
+        assert {(1, 1), (0, 1), (1, 0)} == vecs
+        assert vectors_of(model, "B") == [(1, 1)]
+
+    def test_l5_zero_offset_pair_collapses(self, l5):
+        model = extract_references(l5)
+        assert vectors_of(model, "C") == []  # both refs share offset (0,0)
+        assert vectors_of(model, "A") == []
+        assert vectors_of(model, "B") == []
+
+
+class TestCombinatorics:
+    def test_pair_count(self):
+        nest = parse("""
+            for i = 1 to 2 {
+              A[i] = A[i - 1] + A[i - 2] + A[i - 3];
+            }
+        """)
+        model = extract_references(nest)
+        # s = 4 distinct referenced variables -> s(s-1)/2 = 6 vectors
+        assert len(data_referenced_vectors(model.arrays["A"])) == 6
+
+    def test_first_appearance_orientation(self):
+        nest = parse("for i = 1 to 2 { A[i + 5] = A[i]; }")
+        model = extract_references(nest)
+        [d] = data_referenced_vectors(model.arrays["A"])
+        assert tuple(d.vector) == (5,)
+        assert d.first.is_write and not d.second.is_write
+
+    def test_metadata(self, l1):
+        model = extract_references(l1)
+        [d] = data_referenced_vectors(model.arrays["A"])
+        assert d.array == "A"
+        assert d.first.stmt_index == 0 and d.second.stmt_index == 1

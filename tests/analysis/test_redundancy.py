@@ -1,0 +1,146 @@
+"""Redundant-computation elimination (Section III.C)."""
+
+from repro.analysis import analyze_redundancy, extract_references
+from repro.analysis.dependence import DependenceKind
+from repro.lang import catalog, parse
+
+
+def analyzed(src):
+    return analyze_redundancy(extract_references(parse(src)))
+
+
+class TestL3:
+    """The paper's worked example: N(S1) = {(i,4)}, N(S2) = I^2."""
+
+    def setup_method(self):
+        self.red = analyze_redundancy(extract_references(catalog.l3()))
+
+    def test_n_sets(self):
+        assert self.red.n_set(0) == {(i, 4) for i in range(1, 5)}
+        assert self.red.n_set(1) == {(i, j) for i in range(1, 5)
+                                     for j in range(1, 5)}
+
+    def test_redundant_set(self):
+        assert self.red.redundant_set(0) == {(i, j) for i in range(1, 5)
+                                             for j in range(1, 4)}
+        assert self.red.redundant_set(1) == set()
+
+    def test_useful_edges_match_paper(self):
+        g = self.red.graphs["A"]
+        useful = {(g.vertex_name(d.src), g.vertex_name(d.dst), d.kind.value)
+                  for d in self.red.useful_edges}
+        # paper: flow (w2,r2) and anti (r1,w2) survive.  Our r1 is the S1
+        # read A[i-1,j-1] (the paper's r2) and our r2 the S2 read
+        # A[i+1,j-2] (the paper's r1).
+        assert useful == {("w2", "r1", "flow"), ("r2", "w2", "anti")}
+
+    def test_false_edges_match_paper(self):
+        g = self.red.graphs["A"]
+        false = {(g.vertex_name(d.src), g.vertex_name(d.dst), d.kind.value)
+                 for d in self.red.false_edges}
+        assert false == {("w1", "w2", "output"), ("r2", "r1", "input"),
+                         ("r2", "w1", "anti"), ("w1", "r1", "flow")}
+
+    def test_useful_vectors(self):
+        vecs = {tuple(v) for v in self.red.useful_vectors("A")}
+        assert vecs == {(1, 0), (1, -1)}
+        flow = {tuple(v) for v in self.red.useful_vectors("A", flow_only=True)}
+        assert flow == {(1, 0)}
+
+    def test_val_sets(self):
+        w1 = self.red.model.arrays["A"].writes()[0]
+        val = self.red.val_set(w1)
+        assert val == {(i, 4) for i in range(1, 5)}
+
+    def test_summary_mentions_counts(self):
+        s = self.red.summary()
+        assert "4/16" in s and "16/16" in s
+
+
+class TestNoRedundancy:
+    def test_all_live_when_every_write_is_final(self, l1):
+        red = analyze_redundancy(extract_references(l1))
+        total = l1
+        size = red.model.space.size()
+        assert len(red.n_set(0)) == size
+        assert len(red.n_set(1)) == size
+        assert red.false_edges == []
+
+    def test_accumulation_all_live(self, l5):
+        red = analyze_redundancy(extract_references(l5))
+        assert len(red.n_set(0)) == red.model.space.size()
+
+
+class TestCase1DeadWrites:
+    def test_overwrite_without_read(self):
+        red = analyzed("""
+            for i = 1 to 4 {
+              A[1] = B[i];
+            }
+        """)
+        # only the last write (i=4) is live
+        assert red.n_set(0) == {(4,)}
+
+    def test_read_keeps_alive(self):
+        red = analyzed("""
+            for i = 1 to 4 {
+              A[1] = B[i];
+              C[i] = A[1];
+            }
+        """)
+        # every write is read before the next overwrite
+        assert len(red.n_set(0)) == 4
+
+
+class TestCase2TransitiveRedundancy:
+    def test_paper_substitution_example(self):
+        """The S1'..S4' illustration: S2'(2,2) and S1'(2,1) are redundant."""
+        red = analyze_redundancy(extract_references(catalog.l3_sub()))
+        # S2' writes B[i,j], overwritten by S4'(i,j+1) unread -> redundant
+        # except where no overwrite exists (j = 4).
+        assert (1, (2, 2)) not in red.live
+        assert (1, (2, 4)) in red.live
+        # S1' writes A[i,j]; A[2,1] is read only by the redundant S2'(2,2)
+        # before S3'(3,2) overwrites it -> S1'(2,1) is redundant.
+        assert (0, (2, 1)) not in red.live
+
+    def test_chain_of_dead_values(self):
+        red = analyzed("""
+            for i = 1 to 3 {
+              A[i] = B[i];
+              C[i] = A[i];
+              C[i] = 7;
+            }
+        """)
+        # C[i] from S2 is immediately overwritten by S3; the A[i] values
+        # feeding S2 are read nowhere else... but A[i] itself is never
+        # overwritten, so S1 stays live while S2 is redundant.
+        assert red.n_set(1) == set()
+        assert len(red.n_set(0)) == 3
+        assert len(red.n_set(2)) == 3
+
+
+class TestFalseDependenceDetection:
+    def test_edges_to_dead_code_are_false(self):
+        red = analyzed("""
+            for i = 1 to 4 {
+              A[i] = B[i];
+              A[i] = C[i];
+            }
+        """)
+        # S1's write is always overwritten unread: output edge is... the
+        # Val set of w1 is empty, so every edge touching w1 is false.
+        g = red.graphs["A"]
+        for dep in red.useful_edges:
+            assert g.vertex_name(dep.src) != "w1"
+            assert g.vertex_name(dep.dst) != "w1"
+
+    def test_useful_flow_preserved(self):
+        red = analyzed("""
+            for i = 1 to 4 {
+              A[i] = B[i];
+              C[i] = A[i - 1];
+            }
+        """)
+        kinds = {d.kind for d in red.useful_edges if d.array == "A"}
+        assert DependenceKind.FLOW in kinds

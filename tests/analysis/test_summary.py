@@ -1,0 +1,73 @@
+"""Dependence summary tables."""
+
+from repro.analysis import analyze_redundancy, extract_references
+from repro.analysis.summary import format_dependence_table, summarize_dependences
+from repro.lang import catalog, parse
+
+
+class TestSummarizeL3:
+    def setup_method(self):
+        self.model = extract_references(catalog.l3())
+        self.red = analyze_redundancy(self.model)
+        self.rows = summarize_dependences(self.model, self.red)
+
+    def test_six_dependences(self):
+        assert len(self.rows) == 6
+
+    def test_distances_unique_for_identity_h(self):
+        for r in self.rows:
+            assert r.lattice_rank == 0
+            assert r.distance is not None
+            assert r.distance == r.witness
+
+    def test_useful_classification(self):
+        useful = {(r.src, r.dst, r.kind) for r in self.rows
+                  if r.classification == "useful"}
+        # the flow w2 -> (S1's read) and the anti (S2's read) -> w2
+        assert useful == {("S2.W", "S1.R1", "flow"), ("S2.R1", "S2.W", "anti")}
+        assert sum(1 for r in self.rows if r.classification == "false") == 4
+
+    def test_loop_carried_flags(self):
+        flow = next(r for r in self.rows
+                    if r.kind == "flow" and r.classification == "useful")
+        assert flow.loop_carried
+        assert flow.distance == (1, 0)
+
+    def test_deterministic_order(self):
+        again = summarize_dependences(self.model, self.red)
+        assert again == self.rows
+
+
+class TestSummarizeSingular:
+    def test_l5_lattice_description(self):
+        model = extract_references(catalog.l5())
+        rows = summarize_dependences(model)
+        c_rows = [r for r in rows if r.array == "C"]
+        assert c_rows
+        for r in c_rows:
+            assert r.lattice_rank == 1      # Ker(H_C) is 1-dimensional
+            assert r.distance is None        # no unique distance
+            assert r.classification == ""    # no redundancy analysis given
+
+    def test_same_iteration_anti_not_carried(self):
+        model = extract_references(catalog.l5())
+        rows = summarize_dependences(model)
+        anti = [r for r in rows if r.kind == "anti" and r.array == "C"]
+        assert any(not r.loop_carried for r in anti)  # witness t = 0
+
+
+class TestFormatting:
+    def test_table_text(self):
+        model = extract_references(catalog.l3())
+        text = format_dependence_table(summarize_dependences(model))
+        assert "array" in text and "flow" in text and "S2.W" in text
+
+    def test_empty(self):
+        model = extract_references(parse("for i = 1 to 2 { A[i] = 1; }"))
+        assert format_dependence_table(summarize_dependences(model)) == \
+            "(no dependences)"
+
+    def test_lattice_notation(self):
+        model = extract_references(catalog.l5())
+        text = format_dependence_table(summarize_dependences(model))
+        assert "+L1" in text  # lattice-described distances

@@ -1,0 +1,80 @@
+"""Sequential trace construction."""
+
+from repro.analysis import build_trace, extract_references
+from repro.lang import parse
+
+
+def traced(src):
+    model = extract_references(parse(src))
+    return model, build_trace(model)
+
+
+class TestTraceStructure:
+    def test_computation_count(self, l1):
+        model = extract_references(l1)
+        trace = build_trace(model)
+        assert len(trace.computations) == 32  # 16 iterations x 2 statements
+
+    def test_execution_order(self, l1):
+        model = extract_references(l1)
+        trace = build_trace(model)
+        comps = trace.computations
+        assert [c.seq for c in comps] == list(range(len(comps)))
+        # iteration-major, statement-minor
+        assert comps[0].comp == (0, (1, 1))
+        assert comps[1].comp == (1, (1, 1))
+        assert comps[2].comp == (0, (1, 2))
+
+    def test_reads_then_write_times(self):
+        model, trace = traced("for i = 1 to 2 { A[i] = A[i]; }")
+        events = trace.timelines[("A", (1,))]
+        assert [(e.is_write) for e in events] == [False, True]
+        assert events[0].time < events[1].time
+
+    def test_elements_resolved(self, l1):
+        model = extract_references(l1)
+        trace = build_trace(model)
+        first = trace.computations[0]  # S1 at (1,1): A[2,1] = C[1,1]*7
+        assert first.write_element == ("A", (2, 1))
+        assert [e for e, _ in first.read_elements] == [("C", (1, 1))]
+
+    def test_timeline_ordering(self, l3):
+        model = extract_references(l3)
+        trace = build_trace(model)
+        for element, events in trace.timelines.items():
+            times = [e.time for e in events]
+            assert times == sorted(times)
+
+
+class TestTimelineQueries:
+    def test_writes_and_reads_of(self):
+        model, trace = traced("for i = 1 to 3 { A[i] = A[i - 1]; }")
+        assert len(trace.writes_to(("A", (1,)))) == 1
+        assert len(trace.reads_of(("A", (1,)))) == 1  # read by i=2
+        assert len(trace.reads_of(("A", (0,)))) == 1
+        assert trace.writes_to(("A", (0,))) == []
+
+    def test_last_write_before(self):
+        model, trace = traced("for i = 1 to 3 { A[1] = A[1] + 1; }")
+        events = trace.timelines[("A", (1,))]
+        # read at i=2 sees the write at i=1
+        read_i2 = [e for e in events if not e.is_write][1]
+        w = trace.last_write_before(("A", (1,)), read_i2.time)
+        assert w is not None and w.comp == (0, (1,))
+
+    def test_last_write_before_none(self):
+        model, trace = traced("for i = 1 to 2 { A[i] = B[i]; }")
+        ev = trace.reads_of(("B", (1,)))[0]
+        assert trace.last_write_before(("B", (1,)), ev.time) is None
+
+    def test_multi_statement_within_iteration(self):
+        model, trace = traced("""
+            for i = 1 to 2 {
+              A[i] = 1;
+              B[i] = A[i];
+            }
+        """)
+        # B's read of A[i] must see the same-iteration write by S1
+        read = trace.reads_of(("A", (1,)))[0]
+        w = trace.last_write_before(("A", (1,)), read.time)
+        assert w is not None and w.comp == (0, (1,))

@@ -1,0 +1,72 @@
+"""The naive chunking baseline and the motivation comparison."""
+
+import pytest
+
+from repro.baseline import compare_with_commfree, naive_partition
+from repro.core import Strategy, build_plan
+from repro.lang import catalog, parse
+from repro.machine.cost import TRANSPUTER, CostModel
+
+
+class TestNaivePartition:
+    def test_chunks_partition_space(self, l1):
+        res = naive_partition(l1, 4)
+        all_pts = [it for c in res.chunks for it in c]
+        assert len(all_pts) == 16
+        assert len(set(all_pts)) == 16
+        sizes = [len(c) for c in res.chunks]
+        assert max(sizes) - min(sizes) <= 1  # balanced chunking
+
+    def test_uneven_split(self):
+        res = naive_partition(catalog.l1(3), 4)  # 9 iterations over 4
+        assert [len(c) for c in res.chunks] == [3, 2, 2, 2]
+
+    def test_l1_chunking_pays_communication(self, l1):
+        """The diagonal flow of L1 crosses outer-index slabs."""
+        res = naive_partition(l1, 4)
+        assert res.remote_accesses > 0
+        assert res.cross_block_flows > 0
+        assert not res.communication_free
+
+    def test_independent_loop_still_local(self):
+        """Truly independent iterations: any chunking stays local."""
+        res = naive_partition(catalog.independent(4), 4)
+        assert res.remote_reads == 0 and res.remote_writes == 0
+        assert res.communication_free
+
+    def test_shared_read_data_counted(self):
+        # every iteration reads X[1]: 3 of 4 chunks access it remotely
+        nest = parse("for i = 1 to 4 { A[i] = X[1] + 1; }")
+        res = naive_partition(nest, 4)
+        assert res.remote_reads == 3
+
+    def test_cost_positive_when_remote(self, l1):
+        res = naive_partition(l1, 4)
+        assert res.cost(TRANSPUTER) > 0
+        assert res.cost(TRANSPUTER) == pytest.approx(
+            res.remote_accesses * (TRANSPUTER.t_start + TRANSPUTER.t_comm))
+
+    def test_single_processor_all_local(self, l1):
+        res = naive_partition(l1, 1)
+        assert res.communication_free
+
+
+class TestMotivationComparison:
+    def test_l1_naive_overhead_dominates(self):
+        """The paper's point: on a Transputer, naive chunking of L1 pays
+        more in messages than the whole per-processor compute."""
+        cmp = compare_with_commfree(catalog.l1(8), p=4)
+        assert cmp.commfree_remote == 0
+        assert cmp.naive.remote_accesses > 0
+        assert cmp.comm_to_compute_ratio > 1.0
+
+    def test_l4_wavefront(self):
+        cmp = compare_with_commfree(catalog.l4(), p=4,
+                                    strategy=Strategy.NONDUPLICATE)
+        assert cmp.naive.remote_accesses > 0
+        assert cmp.commfree_blocks == 37
+
+    def test_independent_no_overhead(self):
+        cmp = compare_with_commfree(catalog.independent(4), p=4)
+        assert cmp.naive_comm_time == 0.0
+        assert cmp.comm_to_compute_ratio == 0.0

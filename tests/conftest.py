@@ -1,0 +1,36 @@
+"""Shared fixtures: the paper's loops and standard scalar bindings."""
+
+import pytest
+
+from repro.lang import catalog
+
+
+@pytest.fixture
+def l1():
+    return catalog.l1()
+
+
+@pytest.fixture
+def l2():
+    return catalog.l2()
+
+
+@pytest.fixture
+def l3():
+    return catalog.l3()
+
+
+@pytest.fixture
+def l4():
+    return catalog.l4()
+
+
+@pytest.fixture
+def l5():
+    return catalog.l5()
+
+
+@pytest.fixture
+def scalars():
+    """Bindings for every free scalar appearing in the catalog loops."""
+    return {"D": 2.0, "F": 3.0, "G": 1.5, "K": 0.5}

@@ -1,0 +1,159 @@
+"""Every claim the paper makes about L1-L5, pinned in one place.
+
+This is the reproduction's ground-truth test: each section of the paper
+that states a concrete analysis result for a concrete loop is asserted
+here against the pipeline's output.
+"""
+
+import pytest
+
+from repro.analysis import extract_references
+from repro.baseline import hyperplane_partition
+from repro.core import Strategy, build_plan
+from repro.lang import catalog
+from repro.ratlinalg import RatVec, Subspace
+
+
+class TestSectionII:
+    """Example 1: reference functions and data-referenced vectors."""
+
+    def test_l1_uniformly_generated(self):
+        model = extract_references(catalog.l1())
+        assert set(model.arrays) == {"A", "B", "C"}
+
+    def test_l1_drvs(self):
+        from repro.analysis import data_referenced_vectors
+
+        model = extract_references(catalog.l1())
+        assert [tuple(d.vector) for d in
+                data_referenced_vectors(model.arrays["A"])] == [(2, 1)]
+        assert [tuple(d.vector) for d in
+                data_referenced_vectors(model.arrays["C"])] == [(1, 1)]
+
+
+class TestSectionIIIA:
+    """Non-duplicate partitioning (Theorem 1)."""
+
+    def test_l1_partitioning_space(self):
+        plan = build_plan(catalog.l1())
+        assert plan.psi == Subspace(2, [[1, 1]])
+        assert plan.num_blocks == 7
+
+    def test_l1_seven_data_blocks_each_array(self):
+        plan = build_plan(catalog.l1())
+        for name in ("A", "B", "C"):
+            nonempty = [db for db in plan.data_blocks[name] if len(db)]
+            assert len(nonempty) == 7
+
+    def test_l2_reference_spaces(self):
+        from repro.core import reference_space
+
+        model = extract_references(catalog.l2())
+        assert reference_space(model.arrays["A"], model.space).is_full()
+        assert reference_space(model.arrays["B"], model.space).is_zero()
+
+    def test_l2_nondup_sequential(self):
+        assert build_plan(catalog.l2()).num_blocks == 1
+
+    def test_more_parallelism_than_rs_on_l1(self):
+        """L1 is not a For-all loop: R&S cannot handle it; we get 7 blocks."""
+        baseline = hyperplane_partition(catalog.l1())
+        assert not baseline.applicable
+        assert build_plan(catalog.l1()).num_blocks == 7
+
+
+class TestSectionIIIB:
+    """Duplicate-data partitioning (Theorem 2)."""
+
+    def test_l1_duplication_changes_nothing(self):
+        nd = build_plan(catalog.l1())
+        d = build_plan(catalog.l1(), Strategy.DUPLICATE)
+        assert nd.psi == d.psi
+        assert [b.iterations for b in nd.blocks] == [b.iterations for b in d.blocks]
+
+    def test_l2_fully_duplicable_arrays(self):
+        from repro.analysis import is_fully_duplicable
+
+        model = extract_references(catalog.l2())
+        assert is_fully_duplicable(model.arrays["A"], model.space)
+        assert is_fully_duplicable(model.arrays["B"], model.space)
+
+    def test_l2_duplicate_fully_parallel(self):
+        plan = build_plan(catalog.l2(), Strategy.DUPLICATE)
+        assert plan.psi.is_zero()
+        assert plan.num_blocks == 16  # one block per iteration (Fig. 5)
+
+    def test_l2_fig4_block_assignment(self):
+        """Fig. 4: data blocks B^A_{i,j} and B^B_{i,j} per iteration."""
+        plan = build_plan(catalog.l2(), Strategy.DUPLICATE)
+        blk = plan.block_of((1, 1))
+        a_elems = plan.data_blocks["A"][blk].elements
+        assert a_elems == {(2, 2), (1, 2), (1, 1)}
+        b_elems = plan.data_blocks["B"][blk].elements
+        assert b_elems == {(2, 1), (1, 0)}
+
+
+class TestSectionIIIC:
+    """Redundancy elimination and minimal spaces (Theorems 3-4)."""
+
+    def test_l3_n_sets(self):
+        from repro.analysis import analyze_redundancy
+
+        red = analyze_redundancy(extract_references(catalog.l3()))
+        assert red.n_set(0) == {(i, 4) for i in range(1, 5)}
+        assert len(red.n_set(1)) == 16
+
+    def test_l3_minimal_spaces(self):
+        p_min = build_plan(catalog.l3(), eliminate_redundant=True)
+        assert p_min.psi == Subspace(2, [[1, 0], [1, -1]])
+        p_minr = build_plan(catalog.l3(), Strategy.DUPLICATE,
+                            eliminate_redundant=True)
+        assert p_minr.psi == Subspace(2, [[1, 0]])
+        assert p_minr.num_blocks == 4
+
+    def test_l3_without_elimination_sequential_even_duplicated(self):
+        plan = build_plan(catalog.l3(), Strategy.DUPLICATE)
+        assert plan.psi == Subspace(2, [[1, 0], [1, 1]])
+        assert plan.num_blocks == 1
+
+
+class TestSectionIV:
+    """Transformation, mapping, matmul strategies."""
+
+    def test_l4_partitioning_space(self):
+        plan = build_plan(catalog.l4())
+        assert plan.psi == Subspace(3, [[1, -1, 1]])
+
+    def test_l4_block_count_and_max(self):
+        plan = build_plan(catalog.l4())
+        assert plan.num_blocks == 37  # the 37 forall points of Fig. 10
+        assert max(len(b) for b in plan.blocks) == 4
+
+    def test_l5_reference_spaces(self):
+        from repro.core import reference_space
+
+        model = extract_references(catalog.l5())
+        assert reference_space(model.arrays["A"], model.space) == \
+            Subspace(3, [[0, 1, 0]])
+        assert reference_space(model.arrays["B"], model.space) == \
+            Subspace(3, [[1, 0, 0]])
+        assert reference_space(model.arrays["C"], model.space) == \
+            Subspace(3, [[0, 0, 1]])
+
+    def test_l5_strategies(self):
+        seq = build_plan(catalog.l5())
+        assert seq.num_blocks == 1
+        dup_b = build_plan(catalog.l5(), Strategy.DUPLICATE,
+                           duplicate_arrays={"B"})
+        assert dup_b.psi == Subspace(3, [[0, 1, 0], [0, 0, 1]])
+        assert dup_b.num_blocks == 4  # 1-D forall over i (L5')
+        dup_ab = build_plan(catalog.l5(), Strategy.DUPLICATE)
+        assert dup_ab.psi == Subspace(3, [[0, 0, 1]])
+        assert dup_ab.num_blocks == 16  # 2-D forall over (i,j) (L5'')
+
+    def test_l5_whole_b_replicated_in_l5prime(self):
+        plan = build_plan(catalog.l5(), Strategy.DUPLICATE,
+                          duplicate_arrays={"B"})
+        m = 4
+        for db in plan.data_blocks["B"]:
+            assert len(db.elements) == m * m  # every block holds ALL of B

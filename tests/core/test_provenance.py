@@ -1,0 +1,94 @@
+"""Partitioning-space provenance (the opt-report)."""
+
+import pytest
+
+from repro.analysis import extract_references
+from repro.core import Strategy, partitioning_space
+from repro.core.provenance import (
+    Contribution,
+    explain_partitioning_space,
+    render_contributions,
+)
+from repro.lang import catalog
+
+
+class TestNonDuplicateProvenance:
+    def test_l1_contributions(self):
+        model = extract_references(catalog.l1())
+        contribs = explain_partitioning_space(model)
+        by_array = {}
+        for c in contribs:
+            by_array.setdefault(c.array, []).append(c)
+        # A and C contribute their DRV solutions; B contributes nothing
+        assert any(c.origin == "drv" for c in by_array["A"])
+        assert any(c.origin == "drv" for c in by_array["C"])
+        assert "B" not in by_array
+        drv_a = next(c for c in by_array["A"] if c.origin == "drv")
+        assert "r=(2, 1)" in drv_a.detail
+        assert tuple(int(x) for x in drv_a.vector) == (1, 1)
+
+    def test_l5_kernels_only(self):
+        model = extract_references(catalog.l5())
+        contribs = explain_partitioning_space(model)
+        assert all(c.origin == "kernel" for c in contribs)
+        dirs = {(c.array, tuple(int(x) for x in c.vector)) for c in contribs}
+        assert ("A", (0, 1, 0)) in dirs
+        assert ("B", (1, 0, 0)) in dirs
+        assert ("C", (0, 0, 1)) in dirs
+
+    def test_contributions_span_psi(self):
+        """Sanity: the listed vectors span exactly the strategy's Psi."""
+        from repro.ratlinalg import Subspace
+
+        for fn, kwargs in [
+            (catalog.l1, dict()),
+            (catalog.l2, dict(strategy=Strategy.DUPLICATE)),
+            (catalog.l5, dict(strategy=Strategy.DUPLICATE)),
+            (catalog.l3, dict(strategy=Strategy.DUPLICATE,
+                              eliminate_redundant=True)),
+        ]:
+            model = extract_references(fn())
+            contribs = explain_partitioning_space(model, **kwargs)
+            psi = partitioning_space(model, **kwargs).psi
+            spanned = Subspace(model.nest.depth,
+                               [list(c.vector) for c in contribs])
+            assert spanned == psi, fn
+
+
+class TestDuplicateProvenance:
+    def test_l2_empty(self):
+        model = extract_references(catalog.l2())
+        contribs = explain_partitioning_space(model, Strategy.DUPLICATE)
+        assert contribs == []
+
+    def test_l5_flow_on_c(self):
+        model = extract_references(catalog.l5())
+        contribs = explain_partitioning_space(model, Strategy.DUPLICATE)
+        assert all(c.array == "C" for c in contribs)
+        assert any(c.origin == "flow" or c.origin == "kernel"
+                   for c in contribs)
+
+
+class TestMinimalProvenance:
+    def test_l3_useful_edges_named(self):
+        model = extract_references(catalog.l3())
+        contribs = explain_partitioning_space(
+            model, Strategy.DUPLICATE, eliminate_redundant=True)
+        useful = [c for c in contribs if c.origin == "useful"]
+        assert len(useful) == 1
+        assert "flow" in useful[0].detail
+        assert tuple(int(x) for x in useful[0].vector) == (1, 0)
+
+
+class TestRendering:
+    def test_render_with_psi(self):
+        model = extract_references(catalog.l1())
+        contribs = explain_partitioning_space(model)
+        psi = partitioning_space(model).psi
+        text = render_contributions(contribs, psi)
+        assert "data-referenced vector" in text
+        assert "forall dimension" in text
+
+    def test_render_empty(self):
+        text = render_contributions([])
+        assert "span(phi)" in text

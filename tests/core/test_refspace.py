@@ -1,0 +1,126 @@
+"""Reference spaces (Definitions 4-5, minimal variants)."""
+
+from fractions import Fraction
+
+from repro.analysis import analyze_redundancy, extract_references
+from repro.core import (
+    minimal_reduced_reference_space,
+    minimal_reference_space,
+    reduced_reference_space,
+    reference_space,
+)
+from repro.lang import catalog, parse
+from repro.ratlinalg import RatVec, Subspace
+
+
+def spaces_of(nest):
+    model = extract_references(nest)
+    return model, {
+        name: reference_space(info, model.space)
+        for name, info in model.arrays.items()
+    }
+
+
+class TestReferenceSpace:
+    def test_l1(self, l1):
+        model, spaces = spaces_of(l1)
+        assert spaces["A"] == Subspace(2, [[1, 1]])
+        assert spaces["C"] == Subspace(2, [[1, 1]])
+        assert spaces["B"].is_zero()
+
+    def test_l2(self, l2):
+        model, spaces = spaces_of(l2)
+        # Psi_A = span{(1,-1), (1/2,1/2)} = whole plane
+        assert spaces["A"].is_full()
+        # Psi_B = span(φ): condition (2) fails (t = (1/2,1) not integral)
+        assert spaces["B"].is_zero()
+
+    def test_l5(self, l5):
+        model, spaces = spaces_of(l5)
+        assert spaces["A"] == Subspace(3, [[0, 1, 0]])
+        assert spaces["B"] == Subspace(3, [[1, 0, 0]])
+        assert spaces["C"] == Subspace(3, [[0, 0, 1]])
+
+    def test_condition2_range_filter(self):
+        # offset difference 10 > extent: kernel-only reference space
+        nest = parse("for i = 1 to 4 { A[i] = A[i - 10]; }")
+        model = extract_references(nest)
+        s = reference_space(model.arrays["A"], model.space)
+        assert s.is_zero()
+
+    def test_condition2_parity_filter(self, l1):
+        # L1's A: H t = (2,1) needs t=(1,1) -- fine; but with stride-2 on
+        # both dims and odd offset no integer solution exists:
+        nest = parse("for i = 1 to 4 { A[2*i] = A[2*i - 3]; }")
+        model = extract_references(nest)
+        s = reference_space(model.arrays["A"], model.space)
+        assert s.is_zero()
+
+    def test_kernel_always_included(self):
+        nest = parse("for i = 1 to 3 { for j = 1 to 3 { A[i] = A[i] + 1; } }")
+        model = extract_references(nest)
+        s = reference_space(model.arrays["A"], model.space)
+        assert RatVec([0, 1]) in s and s.dim == 1
+
+
+class TestReducedReferenceSpace:
+    def test_fully_duplicable_reduces_to_zero(self, l2):
+        model = extract_references(l2)
+        assert reduced_reference_space(model.arrays["A"], model.space).is_zero()
+        assert reduced_reference_space(model.arrays["B"], model.space).is_zero()
+
+    def test_l5_partial(self, l5):
+        model = extract_references(l5)
+        assert reduced_reference_space(model.arrays["A"], model.space).is_zero()
+        assert reduced_reference_space(model.arrays["B"], model.space).is_zero()
+        c = reduced_reference_space(model.arrays["C"], model.space)
+        assert c == Subspace(3, [[0, 0, 1]])
+
+    def test_l1_flow_kept(self, l1):
+        model = extract_references(l1)
+        a = reduced_reference_space(model.arrays["A"], model.space)
+        assert a == Subspace(2, [[1, 1]])
+        # C is read-only -> fully duplicable
+        assert reduced_reference_space(model.arrays["C"], model.space).is_zero()
+
+    def test_reduced_subspace_of_full(self):
+        for fn in (catalog.l1, catalog.l2, catalog.l3, catalog.l5):
+            model = extract_references(fn())
+            for info in model.arrays.values():
+                red = reduced_reference_space(info, model.space)
+                full = reference_space(info, model.space)
+                assert red.is_subspace_of(full)
+
+
+class TestMinimalSpaces:
+    def test_l3_minimal(self, l3):
+        model = extract_references(l3)
+        red = analyze_redundancy(model)
+        m = minimal_reference_space(model.arrays["A"], red)
+        assert m == Subspace(2, [[1, 0], [1, -1]])
+        mr = minimal_reduced_reference_space(model.arrays["A"], red)
+        assert mr == Subspace(2, [[1, 0]])
+
+    def test_minimal_subspace_of_unminimized(self, l3):
+        model = extract_references(l3)
+        red = analyze_redundancy(model)
+        info = model.arrays["A"]
+        assert minimal_reference_space(info, red).is_subspace_of(
+            reference_space(info, model.space))
+        assert minimal_reduced_reference_space(info, red).is_subspace_of(
+            reduced_reference_space(info, model.space))
+
+    def test_no_redundancy_matches_full(self, l1):
+        # "Suppose there does not exist any redundant computation...
+        # then the partitioning spaces of Thms 1 and 2 are minimum."
+        model = extract_references(l1)
+        red = analyze_redundancy(model)
+        info = model.arrays["A"]
+        assert minimal_reference_space(info, red) == reference_space(
+            info, model.space)
+
+    def test_singular_h_keeps_kernel(self, l5):
+        model = extract_references(l5)
+        red = analyze_redundancy(model)
+        mr = minimal_reduced_reference_space(model.arrays["C"], red)
+        assert RatVec([0, 0, 1]) in mr  # the Ker(H_C) flow direction

@@ -1,0 +1,126 @@
+"""Strategy selection and combined partitioning spaces (Theorems 1-4)."""
+
+import pytest
+
+from repro.analysis import extract_references
+from repro.core import Strategy, partitioning_space
+from repro.lang import catalog
+from repro.ratlinalg import RatVec, Subspace
+
+
+class TestTheorem1:
+    def test_l1(self, l1):
+        b = partitioning_space(extract_references(l1))
+        assert b.psi == Subspace(2, [[1, 1]])
+        assert b.dim == 1 and b.parallel_dims == 1
+        assert not b.is_fully_sequential()
+
+    def test_l2_sequential(self, l2):
+        b = partitioning_space(extract_references(l2))
+        assert b.is_fully_sequential()
+
+    def test_l5_sequential(self, l5):
+        b = partitioning_space(extract_references(l5))
+        assert b.is_fully_sequential()
+        assert b.parallel_dims == 0
+
+
+class TestTheorem2:
+    def test_l2_fully_parallel(self, l2):
+        b = partitioning_space(extract_references(l2), Strategy.DUPLICATE)
+        assert b.is_fully_parallel()
+        assert b.parallel_dims == 2
+        assert b.duplicated_arrays == frozenset({"A", "B"})
+
+    def test_l5_all_duplicated(self, l5):
+        b = partitioning_space(extract_references(l5), Strategy.DUPLICATE)
+        assert b.psi == Subspace(3, [[0, 0, 1]])
+        assert b.parallel_dims == 2
+
+    def test_l1_duplicate_no_gain(self, l1):
+        nd = partitioning_space(extract_references(l1))
+        d = partitioning_space(extract_references(l1), Strategy.DUPLICATE)
+        assert nd.psi == d.psi  # paper: L1 gains nothing from duplication
+
+
+class TestSelectiveDuplication:
+    def test_l5_duplicate_b_only(self, l5):
+        b = partitioning_space(extract_references(l5), Strategy.DUPLICATE,
+                               duplicate_arrays={"B"})
+        assert b.psi == Subspace(3, [[0, 1, 0], [0, 0, 1]])
+        assert b.parallel_dims == 1
+
+    def test_l5_duplicate_a_only_symmetric(self, l5):
+        b = partitioning_space(extract_references(l5), Strategy.DUPLICATE,
+                               duplicate_arrays={"A"})
+        assert b.psi == Subspace(3, [[1, 0, 0], [0, 0, 1]])
+        assert b.parallel_dims == 1
+
+    def test_unknown_array_rejected(self, l5):
+        with pytest.raises(ValueError, match="unknown arrays"):
+            partitioning_space(extract_references(l5), Strategy.DUPLICATE,
+                               duplicate_arrays={"Z"})
+
+    def test_duplicates_need_duplicate_strategy(self, l5):
+        with pytest.raises(ValueError, match="requires Strategy.DUPLICATE"):
+            partitioning_space(extract_references(l5), Strategy.NONDUPLICATE,
+                               duplicate_arrays={"B"})
+
+    def test_empty_duplicate_set_equals_nondup(self, l5):
+        b = partitioning_space(extract_references(l5), Strategy.DUPLICATE,
+                               duplicate_arrays=set())
+        nd = partitioning_space(extract_references(l5))
+        assert b.psi == nd.psi
+
+
+class TestTheorems3And4:
+    def test_l3_minimal_nondup_still_sequential(self, l3):
+        b = partitioning_space(extract_references(l3),
+                               eliminate_redundant=True)
+        assert b.is_fully_sequential()
+
+    def test_l3_minimal_dup_parallel(self, l3):
+        b = partitioning_space(extract_references(l3), Strategy.DUPLICATE,
+                               eliminate_redundant=True)
+        assert b.psi == Subspace(2, [[1, 0]])
+        assert b.parallel_dims == 1
+
+    def test_l3_dup_without_elimination_sequential(self, l3):
+        b = partitioning_space(extract_references(l3), Strategy.DUPLICATE)
+        assert b.psi == Subspace(2, [[1, 0], [1, 1]])
+        assert b.is_fully_sequential()
+
+    def test_redundancy_reused(self, l3):
+        from repro.analysis import analyze_redundancy
+
+        model = extract_references(l3)
+        red = analyze_redundancy(model)
+        b = partitioning_space(model, Strategy.DUPLICATE,
+                               eliminate_redundant=True, redundancy=red)
+        assert b.redundancy is red
+
+    def test_minimal_subspace_relation(self):
+        """Psi^min ⊆ Psi and Psi^min^r ⊆ Psi^r on every catalog loop."""
+        for name, fn in catalog.ALL_LOOPS.items():
+            model = extract_references(fn())
+            full = partitioning_space(model)
+            mini = partitioning_space(model, eliminate_redundant=True)
+            assert mini.psi.is_subspace_of(full.psi), name
+            fullr = partitioning_space(model, Strategy.DUPLICATE)
+            minir = partitioning_space(model, Strategy.DUPLICATE,
+                                       eliminate_redundant=True)
+            assert minir.psi.is_subspace_of(fullr.psi), name
+            # duplication never hurts parallelism
+            assert fullr.psi.is_subspace_of(full.psi), name
+
+
+class TestBreakdownDiagnostics:
+    def test_per_array_recorded(self, l1):
+        b = partitioning_space(extract_references(l1))
+        assert set(b.per_array) == {"A", "B", "C"}
+        assert b.per_array["B"].is_zero()
+
+    def test_l4(self, l4):
+        b = partitioning_space(extract_references(l4))
+        assert b.psi == Subspace(3, [[1, -1, 1]])
+        assert b.parallel_dims == 2

@@ -1,0 +1,93 @@
+"""Cross-validation between independent subsystems.
+
+The repository has several independent paths to the same quantities
+(analytic formulas, the message-level estimator, the full machine run,
+the special-cased matmul harness).  They must agree on structure.
+"""
+
+import pytest
+
+from repro.core import Strategy, build_plan
+from repro.lang import catalog
+from repro.machine.cost import CostModel, TRANSPUTER
+from repro.perf import (
+    choose_strategy,
+    estimate_plan,
+    simulate_l5_doubleprime,
+    t3_duplicate_ab,
+)
+from repro.runtime import run_on_machine
+
+CHEAP = CostModel(t_comp=1e-3, t_start=1e-6, t_comm=1e-7)
+
+
+class TestEstimatorVsMachineRun:
+    @pytest.mark.parametrize("fn,kwargs,p", [
+        (catalog.l1, dict(), 4),
+        (catalog.l2, dict(strategy=Strategy.DUPLICATE), 4),
+        (lambda: catalog.l5(4), dict(strategy=Strategy.DUPLICATE), 4),
+        (catalog.l4, dict(), 4),
+    ])
+    def test_compute_terms_agree(self, fn, kwargs, p):
+        plan = build_plan(fn(), **kwargs)
+        est = estimate_plan(plan, p, cost=CHEAP)
+        run = run_on_machine(plan, p, cost=CHEAP)
+        assert run.stats.max_compute_time == pytest.approx(est.compute_time)
+
+    def test_distribution_terms_agree(self):
+        """Same grouping logic -> identical distribution charge."""
+        plan = build_plan(catalog.l5(4), Strategy.DUPLICATE)
+        est = estimate_plan(plan, 4, cost=CHEAP)
+        run = run_on_machine(plan, 4, cost=CHEAP)
+        assert run.stats.distribution_time == pytest.approx(
+            est.distribution_time)
+        assert run.stats.messages == est.messages
+
+    def test_memory_agrees(self):
+        """estimate_plan counts physical words per processor (one copy
+        per (element, pid)); the run keeps per-*block* logical regions.
+        Collapsing the run's regions per processor must reproduce the
+        estimate exactly."""
+        plan = build_plan(catalog.l5(4), Strategy.DUPLICATE)
+        est = estimate_plan(plan, 4, cost=CHEAP)
+        run = run_on_machine(plan, 4, cost=CHEAP)
+        per_pid: dict[int, set] = {}
+        for blk, mem in run.result.memories.items():
+            pid = run.result.block_to_pid[blk]
+            bucket = per_pid.setdefault(pid, set())
+            for array, coords_set in mem.allocated.items():
+                bucket.update((array, c) for c in coords_set)
+        physical = sum(len(s) for s in per_pid.values())
+        assert physical == est.memory_words
+        # and the per-block logical total is at least the physical one
+        logical = sum(m.words() for m in run.result.memories.values())
+        assert logical >= physical
+
+
+class TestEstimatorVsMatmulHarness:
+    def test_l5pp_compute_identical(self):
+        m, p = 8, 4
+        plan = build_plan(catalog.l5(m), Strategy.DUPLICATE)
+        est = estimate_plan(plan, p, cost=TRANSPUTER)
+        sim = simulate_l5_doubleprime(m, p, TRANSPUTER)
+        assert est.compute_time == pytest.approx(sim.compute_time)
+
+    def test_l5pp_vs_analytic_t3(self):
+        m, p = 16, 16
+        sim = simulate_l5_doubleprime(m, p, TRANSPUTER)
+        analytic = t3_duplicate_ab(m, p, TRANSPUTER)
+        assert 0.5 < sim.total_time / analytic < 2.0
+
+
+class TestSelectorVsMachineRun:
+    def test_selected_plan_really_fastest(self):
+        """Re-rank the selector's candidates with the full machine run:
+        the winner must stay the winner (both use the same models, so
+        this guards against drift between the two code paths)."""
+        result = choose_strategy(catalog.l5(8), p=4, cost=CHEAP)
+        measured = {
+            c.label: run_on_machine(c.plan, 4, cost=CHEAP).makespan
+            for c in result.candidates
+        }
+        best_measured = min(measured, key=measured.get)
+        assert best_measured == result.best.label

@@ -1,0 +1,115 @@
+"""Full-pipeline integration: parse -> analyze -> partition -> transform
+-> map -> execute on the simulated machine -> merge -> verify."""
+
+import pytest
+
+from repro import (
+    Strategy,
+    build_plan,
+    catalog,
+    make_arrays,
+    parse,
+    run_parallel,
+    run_sequential,
+    transform_nest,
+    verify_plan,
+)
+from repro.mapping import assign_blocks, shape_grid, workload_stats
+from repro.runtime.merge import merge_copies
+
+
+class TestPipelineOnFixedMachine:
+    """More blocks than processors: cyclic mapping, still exact + comm-free."""
+
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_l1_on_p_processors(self, p):
+        nest = catalog.l1(6)
+        plan = build_plan(nest)
+        tnest = transform_nest(nest, plan.psi)
+        grid = shape_grid(p, tnest.k)
+        assignment = assign_blocks(tnest, grid)
+
+        # plan block index -> processor id via the cyclic assignment
+        mapping = {}
+        for b in plan.blocks:
+            pt = tnest.block_of_iteration(b.iterations[0])
+            mapping[b.index] = assignment.owner_id(pt)
+
+        report = verify_plan(plan, block_to_pid=mapping)
+        report.raise_on_failure()
+        assert len({pid for pid in mapping.values()}) <= grid.size
+
+    @pytest.mark.parametrize("p", [1, 4])
+    def test_l5_doubleprime_on_mesh(self, p):
+        nest = catalog.l5(4)
+        plan = build_plan(nest, Strategy.DUPLICATE)
+        tnest = transform_nest(nest, plan.psi)
+        grid = shape_grid(p, tnest.k)
+        assignment = assign_blocks(tnest, grid)
+        mapping = {
+            b.index: assignment.owner_id(tnest.block_of_iteration(b.iterations[0]))
+            for b in plan.blocks
+        }
+        verify_plan(plan, block_to_pid=mapping).raise_on_failure()
+
+    def test_workloads_consistent_between_plan_and_tnest(self):
+        nest = catalog.l4()
+        plan = build_plan(nest)
+        tnest = transform_nest(nest, plan.psi)
+        sizes_plan = sorted(len(b) for b in plan.blocks)
+        sizes_tnest = sorted(n for n in tnest.block_sizes().values() if n)
+        assert sizes_plan == sizes_tnest
+
+
+class TestUserWrittenLoop:
+    """A loop not from the catalog, through the whole public API."""
+
+    SRC = """
+        for t = 1 to 3 {
+          for x = 1 to 6 {
+            S1: U[x, t] = U[x - 2, t - 1] * 2 + F[x, t];
+          }
+        }
+    """
+
+    def test_full_pipeline(self):
+        nest = parse(self.SRC, name="WAVE")
+        plan = build_plan(nest)
+        # dependence direction (2,1): 1-dim partitioning space
+        assert plan.psi.dim == 1
+        assert plan.num_blocks > 1
+        verify_plan(plan).raise_on_failure()
+
+    def test_duplicate_no_worse(self):
+        nest = parse(self.SRC)
+        nd = build_plan(nest)
+        dup = build_plan(nest, Strategy.DUPLICATE)
+        assert dup.num_blocks >= nd.num_blocks
+        verify_plan(dup).raise_on_failure()
+
+
+class TestStrategyMonotonicity:
+    """Duplication and redundancy elimination never reduce parallelism."""
+
+    @pytest.mark.parametrize("name", sorted(catalog.ALL_LOOPS))
+    def test_monotone(self, name):
+        fn = catalog.ALL_LOOPS[name]
+        nd = build_plan(fn())
+        dup = build_plan(fn(), Strategy.DUPLICATE)
+        mind = build_plan(fn(), Strategy.DUPLICATE, eliminate_redundant=True)
+        assert dup.num_blocks >= nd.num_blocks, name
+        assert mind.num_blocks >= dup.num_blocks, name
+
+
+class TestMergeOnSharedProcessors:
+    def test_all_blocks_one_processor(self):
+        nest = catalog.l2()
+        plan = build_plan(nest, Strategy.DUPLICATE)
+        initial = make_arrays(plan.model)
+        mapping = {b.index: 0 for b in plan.blocks}
+        res = run_parallel(plan, initial=initial, block_to_pid=mapping)
+        merged = merge_copies(res, initial)
+        expected = {n: a.copy() for n, a in initial.items()}
+        run_sequential(nest, expected)
+        for n in merged:
+            assert merged[n] == expected[n]

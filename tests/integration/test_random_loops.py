@@ -1,0 +1,120 @@
+"""Property-based pipeline tests on randomly generated loop nests.
+
+The generator produces arbitrary *uniformly generated* nests (random
+reference matrices ``H`` per array, random offsets per reference,
+random statement structure).  For every generated nest and every
+strategy, the pipeline's guarantees must hold:
+
+- blocks partition the iteration space;
+- non-duplicate data blocks are disjoint;
+- parallel execution touches only local memory (zero remote accesses);
+- the merged parallel result is bit-identical to sequential execution;
+- the transformed nest enumerates exactly the iteration space, blocks
+  matching the partition.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Strategy, build_plan
+from repro.core.plan import check_all
+from repro.lang import builder as b
+from repro.lang.ast import Assign, BinOp, Const, LoopNest
+from repro.runtime import verify_plan
+from repro.transform import transform_nest
+
+INDICES = ("i", "j", "k")
+
+
+@st.composite
+def loop_nests(draw):
+    depth = draw(st.integers(2, 3))
+    indices = INDICES[:depth]
+    bounds = [draw(st.integers(2, 3)) for _ in range(depth)]
+
+    num_arrays = draw(st.integers(2, 3))
+    names = ["A", "B", "C"][:num_arrays]
+    # per-array reference shape: rank + H (shared by all refs of the array)
+    shapes = {}
+    for name in names:
+        rank = draw(st.integers(1, 2))
+        h = [[draw(st.integers(-2, 2)) for _ in range(depth)]
+             for _ in range(rank)]
+        shapes[name] = (rank, h)
+
+    def random_ref(name):
+        rank, h = shapes[name]
+        subs = []
+        for r in range(rank):
+            terms = [(h[r][c], indices[c]) for c in range(depth) if h[r][c]]
+            const = draw(st.integers(-2, 2))
+            subs.append(b.lin(*terms, const=const))
+        return b.ref(name, *subs)
+
+    nstmts = draw(st.integers(1, 3))
+    stmts = []
+    for s in range(nstmts):
+        lhs = random_ref(draw(st.sampled_from(names)))
+        nreads = draw(st.integers(1, 2))
+        rhs = None
+        for _ in range(nreads):
+            term = random_ref(draw(st.sampled_from(names)))
+            rhs = term if rhs is None else BinOp("+", rhs, term)
+        rhs = BinOp("*", rhs, Const(draw(st.integers(1, 3))))
+        stmts.append(Assign(lhs=lhs, rhs=rhs))
+
+    loops = [b.loop(indices[d], 1, bounds[d]) for d in range(depth)]
+    return b.nest(*loops, body=stmts, name="RAND")
+
+
+STRATEGIES = [
+    dict(strategy=Strategy.NONDUPLICATE),
+    dict(strategy=Strategy.DUPLICATE),
+    dict(strategy=Strategy.NONDUPLICATE, eliminate_redundant=True),
+    dict(strategy=Strategy.DUPLICATE, eliminate_redundant=True),
+]
+
+
+@given(loop_nests(), st.sampled_from(range(len(STRATEGIES))))
+@settings(max_examples=60, deadline=None)
+def test_pipeline_invariants_on_random_loops(nest, strategy_idx):
+    kwargs = STRATEGIES[strategy_idx]
+    plan = build_plan(nest, **kwargs)
+    check_all(plan)
+    report = verify_plan(plan)
+    assert report.communication_free
+    assert report.equal, report.mismatches[:3]
+
+
+@given(loop_nests())
+@settings(max_examples=40, deadline=None)
+def test_duplicate_never_less_parallel(nest):
+    nd = build_plan(nest)
+    dup = build_plan(nest, Strategy.DUPLICATE)
+    assert dup.psi.is_subspace_of(nd.psi)
+    assert dup.num_blocks >= nd.num_blocks
+
+
+@given(loop_nests())
+@settings(max_examples=40, deadline=None)
+def test_transform_bijection_on_random_loops(nest):
+    plan = build_plan(nest, Strategy.DUPLICATE)
+    tnest = transform_nest(nest, plan.psi)
+    got = sorted(tnest.all_iterations())
+    expected = sorted(plan.model.space.points())
+    assert got == expected
+    # block structure agrees with the partition
+    for blk in tnest.iterate_blocks():
+        ids = {plan.block_of(it) for it in tnest.iterations_of_block(blk)}
+        assert len(ids) <= 1
+
+
+@given(loop_nests())
+@settings(max_examples=30, deadline=None)
+def test_minimal_spaces_shrink(nest):
+    full = build_plan(nest, Strategy.DUPLICATE)
+    mini = build_plan(nest, Strategy.DUPLICATE, eliminate_redundant=True)
+    assert mini.psi.is_subspace_of(full.psi)
+    assert mini.num_blocks >= full.num_blocks

@@ -1,0 +1,60 @@
+"""Larger-instance sanity: the pipeline stays correct and tractable
+as iteration spaces grow beyond the paper's 4x4 teaching sizes."""
+
+import pytest
+
+from repro.core import Strategy, build_plan
+from repro.core.plan import check_all
+from repro.lang import catalog
+from repro.mapping import assign_blocks, shape_grid, workload_stats
+from repro.runtime import verify_plan
+from repro.transform import transform_nest
+
+
+class TestScaledInstances:
+    def test_l1_n20(self):
+        plan = build_plan(catalog.l1(20))
+        assert plan.num_blocks == 39  # 2n - 1 diagonals
+        check_all(plan)
+        verify_plan(plan).raise_on_failure()
+
+    def test_l2_n8_dup(self):
+        plan = build_plan(catalog.l2(8), Strategy.DUPLICATE)
+        assert plan.num_blocks == 64
+        verify_plan(plan).raise_on_failure()
+
+    def test_l3_n10_minimal(self):
+        plan = build_plan(catalog.l3(10), Strategy.DUPLICATE,
+                          eliminate_redundant=True)
+        assert plan.num_blocks == 10
+        rep = verify_plan(plan).raise_on_failure()
+        # redundant S1 instances: all but the last column
+        assert rep.skipped_computations == 10 * 9
+
+    def test_l4_n8(self):
+        nest = catalog.l4(8)
+        plan = build_plan(nest)
+        t = transform_nest(nest, plan.psi)
+        assert sum(t.block_sizes().values()) == 512
+        stats = workload_stats(assign_blocks(t, shape_grid(4, t.k)))
+        assert stats.total == 512
+        assert stats.imbalance < 1.05
+
+    def test_l5_m6_dup(self):
+        plan = build_plan(catalog.l5(6), Strategy.DUPLICATE)
+        assert plan.num_blocks == 36
+        verify_plan(plan).raise_on_failure()
+
+    def test_block_count_scaling_law(self):
+        """L1's parallelism grows linearly with n (anti-diagonals)."""
+        for n in (4, 8, 12, 16):
+            assert build_plan(catalog.l1(n)).num_blocks == 2 * n - 1
+
+    def test_independent_quadratic(self):
+        for n in (4, 8):
+            assert build_plan(catalog.independent(n)).num_blocks == n * n
+
+    def test_triangular_n10(self):
+        plan = build_plan(catalog.triangular(10))
+        check_all(plan)
+        verify_plan(plan).raise_on_failure()

@@ -1,0 +1,64 @@
+"""Programmatic builder API."""
+
+import pytest
+
+from repro.lang import builder as b
+from repro.lang import catalog, to_source, parse
+
+
+class TestBuilder:
+    def test_l1_equivalent(self):
+        nest = b.nest(
+            b.loop("i", 1, 4),
+            b.loop("j", 1, 4),
+            body=[
+                b.assign(b.ref("A", b.lin((2, "i")), b.lin("j")),
+                         b.mul(b.ref("C", "i", "j"), 7), label="S1"),
+                b.assign(b.ref("B", "j", b.lin("i", const=1)),
+                         b.add(b.ref("A", b.lin((2, "i"), const=-2),
+                                     b.lin("j", const=-1)),
+                               b.ref("C", b.lin("i", const=-1),
+                                     b.lin("j", const=-1))), label="S2"),
+            ],
+            name="L1",
+        )
+        assert nest.statements == catalog.l1().statements
+        assert nest.indices == catalog.l1().indices
+
+    def test_lin_variants(self):
+        e = b.lin((2, "i"), (-1, "j"), const=3)
+        src = f"for i = 1 to 2 {{ for j = 1 to 2 {{ A[{_render(e)}] = 0; }} }}"
+        nest = parse(src)
+        from repro.lang.affine import affine_of
+        a = affine_of(nest.statements[0].lhs.subscripts[0], nest.indices)
+        assert a.coeffs == (2, -1) and a.const == 3
+
+    def test_lin_empty_is_zero(self):
+        from repro.lang.ast import Const
+        assert b.lin() == Const(0)
+
+    def test_ops(self):
+        expr = b.div(b.sub(b.neg("x"), 1), 2)
+        assert "x" in {n for n in expr.names()}
+
+    def test_coerce_rejects_junk(self):
+        with pytest.raises(TypeError):
+            b.add(1.5, "x")
+
+    def test_roundtrip_through_printer(self):
+        nest = b.nest(b.loop("k", 1, 3),
+                      body=[b.assign(b.ref("Y", "k"),
+                                     b.add(b.ref("Y", b.lin("k", const=-1)), 1))])
+        again = parse(to_source(nest))
+        assert again.statements == nest.statements
+
+    def test_affine_upper_bound(self):
+        nest = b.nest(b.loop("i", 1, 5), b.loop("j", 1, b.lin("i")),
+                      body=[b.assign(b.ref("T", "i", "j"), 0)])
+        from repro.lang import IterationSpace
+        assert IterationSpace(nest).size() == 15
+
+
+def _render(expr):
+    from repro.lang.printer import expr_to_source
+    return expr_to_source(expr)

@@ -1,0 +1,56 @@
+"""Catalog loops: structural sanity of the paper's examples."""
+
+import pytest
+
+from repro.lang import IterationSpace, catalog
+
+
+class TestPaperLoops:
+    def test_l1_shape(self):
+        nest = catalog.l1()
+        assert nest.name == "L1"
+        assert nest.indices == ("i", "j")
+        assert len(nest.statements) == 2
+        assert nest.array_names() == ["A", "C", "B"]
+
+    def test_l2_shape(self):
+        nest = catalog.l2()
+        assert sorted(nest.array_names()) == ["A", "B"]
+
+    def test_l3_shape(self):
+        nest = catalog.l3()
+        assert nest.array_names() == ["A"]
+
+    def test_l4_is_3_nested(self):
+        nest = catalog.l4()
+        assert nest.depth == 3
+        assert IterationSpace(nest).size() == 64
+
+    def test_l5_is_matmul(self):
+        nest = catalog.l5(8)
+        assert nest.depth == 3
+        assert sorted(nest.array_names()) == ["A", "B", "C"]
+        assert IterationSpace(nest).size() == 512
+
+    def test_parameterized_sizes(self):
+        assert IterationSpace(catalog.l1(6)).size() == 36
+        assert IterationSpace(catalog.l5(2)).size() == 8
+
+    def test_l3_sub_has_scalars(self):
+        nest = catalog.l3_sub()
+        assert nest.scalar_names() == {"D", "F", "G", "K"}
+
+    def test_all_loops_parse_fresh(self):
+        for name, fn in catalog.ALL_LOOPS.items():
+            a, b = fn(), fn()
+            assert a is not b
+            assert a.statements == b.statements
+
+    def test_registry_consistency(self):
+        assert set(catalog.PAPER_LOOPS) <= set(catalog.ALL_LOOPS)
+        assert set(catalog.PAPER_LOOPS) == {"L1", "L2", "L3", "L4", "L5"}
+
+    def test_extra_workloads(self):
+        assert IterationSpace(catalog.convolution(8, 3)).size() == 24
+        assert IterationSpace(catalog.dft(4)).size() == 16
+        assert not IterationSpace(catalog.triangular()).is_rectangular()

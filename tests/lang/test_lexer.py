@@ -1,0 +1,57 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.lang import LexError, TokenType, tokenize
+
+
+def kinds(src):
+    return [t.type for t in tokenize(src)]
+
+
+class TestTokenize:
+    def test_keywords_vs_idents(self):
+        ts = tokenize("for to fortune")
+        assert [t.type for t in ts[:3]] == [TokenType.FOR, TokenType.TO,
+                                            TokenType.IDENT]
+        assert ts[2].text == "fortune"
+
+    def test_numbers(self):
+        ts = tokenize("123 4")
+        assert ts[0].type == TokenType.INT and ts[0].text == "123"
+        assert ts[1].text == "4"
+
+    def test_operators_and_delimiters(self):
+        assert kinds("= + - * / ( ) [ ] { } , ; :")[:-1] == [
+            TokenType.ASSIGN, TokenType.PLUS, TokenType.MINUS, TokenType.STAR,
+            TokenType.SLASH, TokenType.LPAREN, TokenType.RPAREN,
+            TokenType.LBRACKET, TokenType.RBRACKET, TokenType.LBRACE,
+            TokenType.RBRACE, TokenType.COMMA, TokenType.SEMI, TokenType.COLON,
+        ]
+
+    def test_eof_always_last(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+        assert tokenize("x")[-1].type is TokenType.EOF
+
+    def test_comments_skipped(self):
+        ts = tokenize("x # a comment with for/to\ny")
+        assert [t.text for t in ts[:-1]] == ["x", "y"]
+
+    def test_line_and_col_tracking(self):
+        ts = tokenize("a\n  b")
+        assert (ts[0].line, ts[0].col) == (1, 1)
+        assert (ts[1].line, ts[1].col) == (2, 3)
+
+    def test_underscored_identifiers(self):
+        ts = tokenize("_x a_1")
+        assert ts[0].text == "_x" and ts[1].text == "a_1"
+
+    def test_unknown_char(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+    def test_no_spaces_needed(self):
+        ts = tokenize("A[2*i,j]=C[i,j]*7;")
+        texts = [t.text for t in ts[:-1]]
+        assert texts == ["A", "[", "2", "*", "i", ",", "j", "]", "=", "C", "[",
+                         "i", ",", "j", "]", "*", "7", ";"]

@@ -1,0 +1,79 @@
+"""Multi-nest program file parsing."""
+
+import pytest
+
+from repro.lang import ParseError, parse_multi
+
+
+class TestParseMulti:
+    SRC = """
+        # phase 1: smooth
+        for i = 1 to 4 { for j = 1 to 4 {
+          U[i, j] = U[i - 1, j - 1] + F[i, j];
+        } }
+
+        # phase 2: consume
+        for i = 1 to 4 { for j = 1 to 4 {
+          V[i, j] = U[i, j] * 2;
+        } }
+    """
+
+    def test_two_nests(self):
+        nests = parse_multi(self.SRC)
+        assert len(nests) == 2
+        assert nests[0].name == "PHASE1"
+        assert nests[1].name == "PHASE2"
+        assert nests[0].array_names() == ["U", "F"]
+        assert nests[1].array_names() == ["V", "U"]
+
+    def test_custom_prefix(self):
+        nests = parse_multi(self.SRC, name_prefix="STEP")
+        assert nests[0].name == "STEP1"
+
+    def test_single_nest(self):
+        nests = parse_multi("for i = 1 to 2 { A[i] = 0; }")
+        assert len(nests) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParseError):
+            parse_multi("   # nothing here\n")
+
+    def test_garbage_between_loops_rejected(self):
+        with pytest.raises(ParseError):
+            parse_multi("for i = 1 to 2 { A[i] = 0; } junk")
+
+    def test_program_integration(self):
+        from repro.machine.cost import CostModel
+        from repro.program import Program, plan_program, verify_program
+
+        nests = parse_multi(self.SRC)
+        pplan = plan_program(Program(nests=nests), p=4,
+                             cost=CostModel(1e-3, 1e-6, 1e-7))
+        assert verify_program(pplan).ok
+
+
+class TestProgramCli:
+    def test_program_command(self, tmp_path):
+        import io
+
+        from repro.cli import main
+
+        f = tmp_path / "prog.cf"
+        f.write_text(TestParseMulti.SRC)
+        out = io.StringIO()
+        code = main(["program", str(f), "-p", "4"], out=out)
+        text = out.getvalue()
+        assert code == 0
+        assert "2 phases" in text
+        assert "phase-parallel == sequential: True" in text
+
+    def test_program_duplicate_flag(self, tmp_path):
+        import io
+
+        from repro.cli import main
+
+        f = tmp_path / "prog.cf"
+        f.write_text(TestParseMulti.SRC)
+        out = io.StringIO()
+        code = main(["program", str(f), "-p", "4", "--duplicate"], out=out)
+        assert code == 0

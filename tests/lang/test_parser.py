@@ -1,0 +1,152 @@
+"""Parser tests: grammar, model-shape validation, error reporting."""
+
+import pytest
+
+from repro.lang import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Const,
+    LoopNest,
+    Name,
+    ParseError,
+    UnaryOp,
+    parse,
+)
+
+
+class TestBasicParsing:
+    def test_single_loop(self):
+        nest = parse("for i = 1 to 4 { A[i] = 0; }")
+        assert nest.indices == ("i",)
+        assert nest.depth == 1
+        assert len(nest.statements) == 1
+
+    def test_nested(self):
+        nest = parse("""
+            for i = 1 to 4 {
+              for j = 1 to 4 {
+                A[i, j] = B[i, j] + 1;
+              }
+            }
+        """)
+        assert nest.indices == ("i", "j")
+
+    def test_labels(self):
+        nest = parse("for i = 1 to 2 { S9: A[i] = 1; A[i] = 2; }")
+        assert nest.statements[0].label == "S9"
+        assert nest.statements[1].label == ""
+        assert nest.statement_label(1) == "S2"
+
+    def test_multiple_statements(self):
+        nest = parse("""
+            for i = 1 to 2 {
+              A[i] = 1;
+              B[i] = A[i - 1];
+              C[i] = A[i] * B[i];
+            }
+        """)
+        assert len(nest.statements) == 3
+
+    def test_expression_structure(self):
+        nest = parse("for i = 1 to 2 { A[i] = B[i] * 2 + 3; }")
+        rhs = nest.statements[0].rhs
+        assert isinstance(rhs, BinOp) and rhs.op == "+"
+        assert isinstance(rhs.left, BinOp) and rhs.left.op == "*"
+
+    def test_precedence(self):
+        nest = parse("for i = 1 to 2 { A[i] = 1 + 2 * 3; }")
+        rhs = nest.statements[0].rhs
+        assert rhs.op == "+"
+        assert isinstance(rhs.right, BinOp) and rhs.right.op == "*"
+
+    def test_parentheses(self):
+        nest = parse("for i = 1 to 2 { A[i] = (1 + 2) * 3; }")
+        rhs = nest.statements[0].rhs
+        assert rhs.op == "*"
+
+    def test_unary_minus(self):
+        nest = parse("for i = 1 to 2 { A[i] = -B[i]; }")
+        assert isinstance(nest.statements[0].rhs, UnaryOp)
+
+    def test_affine_bounds(self):
+        nest = parse("for i = 1 to 5 { for j = i to 2*i + 1 { A[i,j] = 0; } }")
+        assert nest.depth == 2
+
+    def test_scalar_names_in_rhs(self):
+        nest = parse("for i = 1 to 2 { A[i] = B[i] / D; }")
+        assert nest.scalar_names() == {"D"}
+
+    def test_name_attached(self):
+        nest = parse("for i = 1 to 2 { A[i] = 0; }", name="X")
+        assert nest.name == "X"
+
+
+class TestModelValidation:
+    def test_scalar_lhs_rejected(self):
+        with pytest.raises(ParseError, match="array reference"):
+            parse("for i = 1 to 2 { x = 1; }")
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ParseError):
+            parse("for i = 1 to 2 { }")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("for i = 1 to 2 { A[i] = 1 }")
+
+    def test_bound_with_non_enclosing_index(self):
+        with pytest.raises(ParseError, match="non-enclosing"):
+            parse("for i = 1 to j { for j = 1 to 4 { A[i,j] = 0; } }")
+
+    def test_non_affine_bound(self):
+        with pytest.raises(ParseError, match="not affine"):
+            parse("for i = 1 to 4 { for j = 1 to i*i { A[i,j] = 0; } }")
+
+    def test_fractional_bound_coefficient(self):
+        with pytest.raises(ParseError, match="non-integer"):
+            parse("for i = 1 to 4 { for j = 1 to i/2 { A[i,j] = 0; } }")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse("for i = 1 to 2 { A[i] = 1; } extra")
+
+    def test_missing_for(self):
+        with pytest.raises(ParseError, match="for"):
+            parse("A[1] = 2;")
+
+    def test_duplicate_indices_rejected(self):
+        with pytest.raises(ValueError):
+            parse("for i = 1 to 2 { for i = 1 to 2 { A[i] = 0; } }")
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError):
+            parse("for i = 1 to 2 { S1: A[i] = 0; S1: B[i] = 0; }")
+
+    def test_statements_between_loops_rejected(self):
+        # imperfect nests are outside the model
+        with pytest.raises(ParseError):
+            parse("""
+                for i = 1 to 2 {
+                  A[i] = 0;
+                  for j = 1 to 2 { B[i, j] = 0; }
+                }
+            """)
+
+
+class TestAstHelpers:
+    def test_array_names_order(self):
+        nest = parse("for i = 1 to 2 { A[i] = C[i]; B[i] = A[i]; }")
+        assert nest.array_names() == ["A", "C", "B"]
+
+    def test_reads_and_writes(self):
+        nest = parse("for i = 1 to 2 { A[i] = B[i] + C[i - 1]; }")
+        stmt = nest.statements[0]
+        assert stmt.writes().array == "A"
+        assert [r.array for r in stmt.reads()] == ["B", "C"]
+
+    def test_with_statements(self):
+        nest = parse("for i = 1 to 2 { A[i] = 1; B[i] = 2; }")
+        reduced = nest.with_statements([nest.statements[0]])
+        assert len(reduced.statements) == 1
+        assert reduced.indices == nest.indices

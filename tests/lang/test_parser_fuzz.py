@@ -1,0 +1,43 @@
+"""Parser robustness: arbitrary input must fail cleanly, never crash."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import LexError, ParseError, parse
+from repro.lang.normalize import NormalizationError
+
+
+ACCEPTABLE = (ParseError, LexError, NormalizationError, ValueError)
+
+
+@given(st.text(max_size=200))
+@settings(max_examples=150, deadline=None)
+def test_arbitrary_text_never_crashes(text):
+    try:
+        parse(text)
+    except ACCEPTABLE:
+        pass  # clean rejection is the contract
+
+
+@given(st.lists(st.sampled_from(
+    ["for", "to", "step", "i", "j", "A", "B", "=", "+", "-", "*", "/",
+     "(", ")", "[", "]", "{", "}", ",", ";", ":", "1", "4", "17"]),
+    max_size=40))
+@settings(max_examples=150, deadline=None)
+def test_token_soup_never_crashes(tokens):
+    try:
+        parse(" ".join(tokens))
+    except ACCEPTABLE:
+        pass
+
+
+@given(st.text(alphabet="forint aij=+-*/()[]{};:0123456789 \n", max_size=120))
+@settings(max_examples=100, deadline=None)
+def test_near_miss_sources_never_crash(text):
+    try:
+        nest = parse(text)
+    except ACCEPTABLE:
+        return
+    # if it parsed, it must be a well-formed normalized nest
+    assert nest.depth >= 1
+    assert nest.statements

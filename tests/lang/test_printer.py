@@ -1,0 +1,65 @@
+"""Pretty-printer round-trip tests."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import catalog, parse, to_source
+from repro.lang.printer import expr_to_source, stmt_to_source
+
+
+class TestRoundTrip:
+    def test_all_catalog_loops(self):
+        for name, fn in catalog.ALL_LOOPS.items():
+            nest = fn()
+            back = parse(to_source(nest), name=nest.name)
+            assert back.indices == nest.indices, name
+            assert back.statements == nest.statements, name
+            assert back.lowers == nest.lowers and back.uppers == nest.uppers, name
+
+    def test_precedence_preserved(self):
+        nest = parse("for i = 1 to 2 { A[i] = (1 + 2) * 3 - 4 / (5 - 1); }")
+        again = parse(to_source(nest))
+        assert again.statements == nest.statements
+
+    def test_left_associative_minus(self):
+        nest = parse("for i = 1 to 2 { A[i] = 1 - (2 - 3); }")
+        again = parse(to_source(nest))
+        assert again.statements == nest.statements
+
+    def test_unary_in_product(self):
+        nest = parse("for i = 1 to 2 { A[i] = -B[i] * 2; }")
+        again = parse(to_source(nest))
+        assert again.statements == nest.statements
+
+    def test_label_rendered(self):
+        nest = parse("for i = 1 to 2 { S1: A[i] = 0; }")
+        assert "S1: A[i] = 0;" in to_source(nest)
+
+
+# -- random expression round-trip ------------------------------------------
+
+def exprs(depth=3):
+    leaves = st.one_of(
+        st.integers(0, 9).map(lambda v: f"{v}"),
+        st.sampled_from(["i", "j", "B[i, j]", "C[i - 1, j + 2]"]),
+    )
+
+    def combine(children):
+        a, b = children
+        op = st.sampled_from(["+", "-", "*", "/"])
+        return op.map(lambda o: f"({a} {o} {b})")
+
+    return st.recursive(
+        leaves,
+        lambda inner: st.tuples(inner, inner).flatmap(combine),
+        max_leaves=8,
+    )
+
+
+@given(exprs())
+@settings(max_examples=60, deadline=None)
+def test_random_expression_roundtrip(expr_src):
+    src = f"for i = 1 to 2 {{ for j = 1 to 2 {{ A[i, j] = {expr_src}; }} }}"
+    nest = parse(src)
+    again = parse(to_source(nest))
+    assert again.statements == nest.statements

@@ -1,0 +1,90 @@
+"""Host-to-node distribution schedules."""
+
+import pytest
+
+from repro.machine import Multicomputer, UNIT_COSTS
+from repro.machine.distribution import (
+    broadcast_array,
+    multicast_groups,
+    scatter_slices,
+)
+
+
+def machine():
+    return Multicomputer.mesh(2, 2, cost=UNIT_COSTS)
+
+
+class TestScatter:
+    def test_disjoint_pieces_land_locally(self):
+        mc = machine()
+        sched = scatter_slices(mc, "A", {0: [(0, 0)], 1: [(0, 1), (1, 1)]},
+                               init=lambda c: sum(c))
+        assert mc.processor(0).memory.load("A", (0, 0)) == 0.0
+        assert mc.processor(1).memory.load("A", (1, 1)) == 2.0
+        assert not mc.processor(0).memory.holds("A", (0, 1))
+        assert len(sched.ops) == 2
+        assert sched.ops[0].kind == "scatter"
+
+    def test_empty_piece_skipped(self):
+        mc = machine()
+        sched = scatter_slices(mc, "A", {0: [], 1: [(1,)]})
+        assert len(sched.ops) == 1
+
+    def test_time_serialized(self):
+        mc = machine()
+        sched = scatter_slices(mc, "A", {0: [(0,)], 1: [(1,)]})
+        assert mc.network.elapsed == pytest.approx(sched.total_time)
+
+    def test_arrival_times_monotone(self):
+        mc = machine()
+        scatter_slices(mc, "A", {0: [(0,)], 1: [(1,)], 2: [(2,)]})
+        r = [mc.processor(p).recv_time for p in range(3)]
+        assert r[0] < r[1] < r[2]
+
+
+class TestMulticast:
+    def test_groups_share_elements(self):
+        mc = machine()
+        sched = multicast_groups(
+            mc, "B", [([0, 1], [(0,), (1,)]), ([2, 3], [(2,)])],
+            init=lambda c: c[0] * 2.0)
+        for pid in (0, 1):
+            assert mc.processor(pid).memory.load("B", (1,)) == 2.0
+        assert mc.processor(2).memory.load("B", (2,)) == 4.0
+        assert not mc.processor(2).memory.holds("B", (0,))
+        assert [op.kind for op in sched.ops] == ["multicast", "multicast"]
+
+    def test_total_words_counts_copies(self):
+        mc = machine()
+        sched = multicast_groups(mc, "B", [([0, 1, 2], [(0,), (1,)])])
+        assert sched.total_words == 6  # 2 words x 3 destinations
+
+
+class TestBroadcast:
+    def test_everyone_gets_everything(self):
+        mc = machine()
+        broadcast_array(mc, "C", [(0,), (1,), (2,)], init=lambda c: 1.0)
+        for pid in range(4):
+            for x in range(3):
+                assert mc.processor(pid).memory.load("C", (x,)) == 1.0
+
+    def test_single_message(self):
+        mc = machine()
+        sched = broadcast_array(mc, "C", [(0,)])
+        assert len(sched.ops) == 1
+        assert mc.network.log.messages[0].kind == "broadcast"
+
+    def test_empty_noop(self):
+        mc = machine()
+        sched = broadcast_array(mc, "C", [])
+        assert sched.ops == [] and mc.network.elapsed == 0.0
+
+
+class TestSchedule:
+    def test_by_array(self):
+        mc = machine()
+        sched = scatter_slices(mc, "A", {0: [(0,)]})
+        broadcast_array(mc, "B", [(0,)], schedule=sched)
+        assert len(sched.by_array("A")) == 1
+        assert len(sched.by_array("B")) == 1
+        assert sched.total_time == pytest.approx(mc.network.elapsed)

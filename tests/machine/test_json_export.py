@@ -1,0 +1,43 @@
+"""JSON export of message traces and machine statistics."""
+
+import json
+
+from repro.machine import HOST, Multicomputer, UNIT_COSTS
+
+
+class TestMessageJson:
+    def test_message_to_dict_roundtrips_through_json(self):
+        mc = Multicomputer.mesh(2, 2, cost=UNIT_COSTS)
+        mc.network.send(HOST, 0, 5, tag="A")
+        mc.network.multicast(HOST, [1, 2], 3, tag="B")
+        text = mc.network.log.to_json()
+        data = json.loads(text)
+        assert len(data) == 2
+        assert data[0] == {"kind": "send", "src": HOST, "dsts": [0],
+                           "words": 5, "hops": 1, "time": data[0]["time"],
+                           "tag": "A"}
+        assert data[1]["kind"] == "multicast"
+        assert data[1]["dsts"] == [1, 2]
+
+    def test_indent_option(self):
+        mc = Multicomputer.mesh(2, 2, cost=UNIT_COSTS)
+        mc.network.broadcast(HOST, 1)
+        assert "\n" in mc.network.log.to_json(indent=2)
+
+    def test_empty_log(self):
+        mc = Multicomputer.mesh(2, 2, cost=UNIT_COSTS)
+        assert json.loads(mc.network.log.to_json()) == []
+
+
+class TestStatsJson:
+    def test_stats_to_dict(self):
+        mc = Multicomputer.mesh(2, 2, cost=UNIT_COSTS)
+        mc.network.send(HOST, 0, 5)
+        mc.processor(0).charge_iterations(7)
+        mc.processor(0).memory.allocate("A", [(1,)])
+        d = mc.stats().to_dict()
+        assert d["messages"] == 1
+        assert d["total_iterations"] == 7
+        assert d["memory_words"][0] == 1
+        assert d["makespan"] == d["distribution_time"] + d["max_compute_time"]
+        json.dumps(d)  # fully serializable

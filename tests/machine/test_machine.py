@@ -1,0 +1,66 @@
+"""The assembled Multicomputer and its statistics."""
+
+import pytest
+
+from repro.machine import HOST, Mesh2D, Multicomputer, UNIT_COSTS
+
+
+class TestConstruction:
+    def test_mesh_constructor(self):
+        mc = Multicomputer.mesh(4, 4, cost=UNIT_COSTS)
+        assert mc.num_processors == 16
+        assert mc.processor(5).pid == 5
+
+    def test_processor_memories_independent(self):
+        mc = Multicomputer.mesh(2, 2, cost=UNIT_COSTS)
+        mc.processor(0).memory.allocate("A", [(1,)])
+        assert not mc.processor(1).memory.holds("A", (1,))
+
+
+class TestAccounting:
+    def test_compute_charging(self):
+        mc = Multicomputer.mesh(2, 2, cost=UNIT_COSTS)
+        mc.processor(0).charge_iterations(10)
+        mc.processor(1).charge_iterations(4)
+        st = mc.stats()
+        assert st.max_compute_time == 10.0
+        assert st.total_iterations == 14
+
+    def test_makespan_distribution_plus_compute(self):
+        mc = Multicomputer.mesh(2, 2, cost=UNIT_COSTS)
+        mc.network.send(HOST, 0, 9)  # 1 + 9 = 10
+        mc.processor(0).charge_iterations(5)
+        assert mc.makespan() == pytest.approx(15.0)
+
+    def test_stats_fields(self):
+        mc = Multicomputer.mesh(2, 2, cost=UNIT_COSTS)
+        mc.network.send(HOST, 0, 3)
+        mc.processor(0).memory.allocate("A", [(0,), (1,)])
+        st = mc.stats()
+        assert st.messages == 1
+        assert st.words_sent == 3
+        assert st.memory_words[0] == 2
+        assert st.remote_accesses == 0
+
+    def test_remote_access_counted(self):
+        mc = Multicomputer.mesh(2, 2, cost=UNIT_COSTS)
+        mc.processor(2).memory.strict = False
+        mc.processor(2).memory.load("X", (0,))
+        assert mc.stats().remote_accesses == 1
+
+    def test_reset(self):
+        mc = Multicomputer.mesh(2, 2, cost=UNIT_COSTS)
+        mc.network.send(HOST, 0, 3)
+        mc.processor(0).charge_iterations(5)
+        mc.reset()
+        st = mc.stats()
+        assert st.distribution_time == 0.0
+        assert st.max_compute_time == 0.0
+        assert st.total_iterations == 0
+
+    def test_finish_time(self):
+        mc = Multicomputer.mesh(2, 2, cost=UNIT_COSTS)
+        p = mc.processor(0)
+        p.recv_time = 3.0
+        p.charge_iterations(4)
+        assert p.finish_time == pytest.approx(7.0)

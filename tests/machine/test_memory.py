@@ -1,0 +1,70 @@
+"""Local memories and the strict remote-access discipline."""
+
+import pytest
+
+from repro.machine import LocalMemory, RemoteAccessError
+
+
+class TestAllocation:
+    def test_allocate_and_count(self):
+        m = LocalMemory(pid=0)
+        n = m.allocate("A", [(1, 1), (1, 2)])
+        assert n == 2
+        assert m.words() == 2
+        assert m.holds("A", (1, 1))
+        assert not m.holds("A", (9, 9))
+        assert not m.holds("B", (1, 1))
+
+    def test_allocate_idempotent_words(self):
+        m = LocalMemory(pid=0)
+        m.allocate("A", [(1,)])
+        n = m.allocate("A", [(1,), (2,)])
+        assert n == 1  # only (2,) was new
+        assert m.words() == 2
+
+    def test_init_function(self):
+        m = LocalMemory(pid=0)
+        m.allocate("A", [(2,), (3,)], init=lambda c: c[0] * 10)
+        assert m.load("A", (2,)) == 20.0
+        assert m.load("A", (3,)) == 30.0
+
+    def test_default_zero(self):
+        m = LocalMemory(pid=0)
+        m.allocate("A", [(0,)])
+        assert m.load("A", (0,)) == 0.0
+
+
+class TestAccessDiscipline:
+    def test_load_store_counters(self):
+        m = LocalMemory(pid=0)
+        m.allocate("A", [(1,)])
+        m.store("A", (1,), 5.0)
+        assert m.load("A", (1,)) == 5.0
+        assert m.reads == 1 and m.writes == 1
+
+    def test_remote_load_raises(self):
+        m = LocalMemory(pid=3)
+        with pytest.raises(RemoteAccessError) as e:
+            m.load("A", (1,))
+        assert e.value.pid == 3
+        assert m.remote_attempts == 1
+
+    def test_remote_store_raises(self):
+        m = LocalMemory(pid=0)
+        m.allocate("A", [(1,)])
+        with pytest.raises(RemoteAccessError):
+            m.store("A", (2,), 1.0)
+
+    def test_non_strict_mode_counts_without_raising(self):
+        m = LocalMemory(pid=0, strict=False)
+        assert m.load("A", (1,)) == 0.0
+        m.store("A", (1,), 2.0)
+        assert m.remote_attempts == 2
+
+    def test_coords_normalized(self):
+        m = LocalMemory(pid=0)
+        m.allocate("A", [(1, 2)])
+        from fractions import Fraction
+
+        m.store("A", (Fraction(1), Fraction(2)), 7.0)
+        assert m.load("A", (1, 2)) == 7.0

@@ -1,0 +1,110 @@
+"""Network primitives: cost accounting and logs."""
+
+import pytest
+
+from repro.machine import CostModel, HOST, Mesh2D, Network, UNIT_COSTS
+from repro.machine.cost import TRANSPUTER
+
+
+def net(p=16, cost=UNIT_COSTS):
+    import math
+
+    side = int(math.isqrt(p))
+    return Network(topology=Mesh2D(side, side), cost=cost)
+
+
+class TestCostModel:
+    def test_compute(self):
+        assert TRANSPUTER.compute(1000) == pytest.approx(1000 * 9.6e-6)
+
+    def test_pipelined(self):
+        c = CostModel(t_comp=0, t_start=10, t_comm=2)
+        assert c.pipelined(100, 1) == 10 + 100 * 2
+        assert c.pipelined(100, 5) == 10 + 104 * 2
+        assert c.pipelined(0, 3) == 0.0
+
+    def test_store_and_forward(self):
+        c = CostModel(t_comp=0, t_start=10, t_comm=2)
+        assert c.store_and_forward(100, 5) == 10 + 5 * 100 * 2
+        assert c.store_and_forward(100, 0) == 10 + 100 * 2  # hops floor 1
+
+
+class TestSend:
+    def test_cost_and_log(self):
+        n = net()
+        t = n.send(HOST, 0, 50)
+        assert t == 1 + (50 + 1 - 1) * 1  # hops(HOST,0)=1
+        assert n.log.count == 1
+        assert n.log.messages[0].kind == "send"
+        assert n.elapsed == t
+
+    def test_hop_term(self):
+        n = net()
+        t_near = n.send(HOST, 0, 10)
+        t_far = n.send(HOST, 15, 10)
+        assert t_far - t_near == 6  # 6 extra hops, pipelined
+
+    def test_zero_words_free(self):
+        n = net()
+        assert n.send(HOST, 0, 0) == 0.0
+        assert n.log.count == 0
+
+
+class TestMulticast:
+    def test_chain_cost(self):
+        n = net()
+        mesh = n.topology
+        t = n.multicast(HOST, mesh.row_nodes(0), 100)
+        # pipelined over a 4-hop chain
+        assert t == 1 + (100 + 4 - 1) * 1
+
+    def test_dedup_and_sort(self):
+        n = net()
+        n.multicast(HOST, [2, 1, 1, 0], 10)
+        assert n.log.messages[0].dsts == (0, 1, 2)
+
+    def test_empty_dsts(self):
+        n = net()
+        assert n.multicast(HOST, [], 10) == 0.0
+
+
+class TestBroadcast:
+    def test_diameter_cost(self):
+        n = net()
+        t = n.broadcast(HOST, 100)
+        assert t == 1 + 7 * 100 * 1  # store-and-forward along diameter 7
+
+    def test_broadcast_reaches_all(self):
+        n = net()
+        n.broadcast(HOST, 1)
+        assert n.log.messages[0].dsts == tuple(range(16))
+
+
+class TestAccounting:
+    def test_serialization(self):
+        n = net()
+        t1 = n.send(HOST, 0, 10)
+        t2 = n.send(HOST, 1, 10)
+        assert n.elapsed == pytest.approx(t1 + t2)
+
+    def test_totals(self):
+        n = net()
+        n.send(HOST, 0, 10)
+        n.multicast(HOST, [1, 2], 5)
+        assert n.log.total_words == 15
+        assert n.log.count == 2
+        assert len(n.log.by_kind("send")) == 1
+
+    def test_reset(self):
+        n = net()
+        n.send(HOST, 0, 10)
+        n.reset()
+        assert n.elapsed == 0.0 and n.log.count == 0
+
+    def test_message_validation(self):
+        from repro.machine.message import Message
+
+        with pytest.raises(ValueError):
+            Message(kind="teleport", src=0, dsts=(1,), words=1, hops=1, time=0.0)
+        with pytest.raises(ValueError):
+            Message(kind="send", src=0, dsts=(1,), words=-1, hops=1, time=0.0)

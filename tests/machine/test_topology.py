@@ -1,0 +1,94 @@
+"""Interconnect topologies and routing distances."""
+
+import pytest
+
+from repro.machine import (
+    CompleteTopology,
+    HOST,
+    Mesh2D,
+    RingTopology,
+    StarTopology,
+)
+
+
+class TestMesh2D:
+    def test_structure(self):
+        m = Mesh2D(4, 4)
+        assert m.num_nodes == 16
+        assert m.coords(5) == (1, 1)
+        assert m.node_at(1, 1) == 5
+
+    def test_manhattan_hops(self):
+        m = Mesh2D(4, 4)
+        assert m.hops(0, 15) == 6  # (0,0) -> (3,3)
+        assert m.hops(0, 3) == 3
+        assert m.hops(5, 5) == 0
+
+    def test_host_attached_to_corner(self):
+        m = Mesh2D(4, 4)
+        assert m.hops(HOST, 0) == 1
+        assert m.hops(HOST, 15) == 7
+        assert m.diameter_from(HOST) == 7
+
+    def test_rows_and_cols(self):
+        m = Mesh2D(3, 3)
+        assert m.row_nodes(1) == [3, 4, 5]
+        assert m.col_nodes(2) == [2, 5, 8]
+
+    def test_node_at_bounds(self):
+        with pytest.raises(IndexError):
+            Mesh2D(2, 2).node_at(2, 0)
+
+    def test_neighbors(self):
+        m = Mesh2D(3, 3)
+        assert m.neighbors(4) == [1, 3, 5, 7]  # center of 3x3
+        assert HOST in m.neighbors(0)
+
+    def test_single_node_mesh(self):
+        m = Mesh2D(1, 1)
+        assert m.hops(HOST, 0) == 1
+
+
+class TestChainLength:
+    def test_row_chain_from_host(self):
+        m = Mesh2D(4, 4)
+        # host -> node 0 -> 1 -> 2 -> 3: 4 hops total
+        assert m.chain_length(HOST, m.row_nodes(0)) == 4
+
+    def test_column_chain(self):
+        m = Mesh2D(4, 4)
+        # host -> 0 -> 4 -> 8 -> 12
+        assert m.chain_length(HOST, m.col_nodes(0)) == 4
+
+    def test_far_row(self):
+        m = Mesh2D(4, 4)
+        # host -> (3 rows down) + 3 across = 1+3 + 3 = 7
+        assert m.chain_length(HOST, m.row_nodes(3)) == 7
+
+    def test_src_excluded(self):
+        m = Mesh2D(2, 2)
+        assert m.chain_length(0, [0]) == 0
+        assert m.chain_length(0, [0, 1]) == 1
+
+
+class TestOtherTopologies:
+    def test_ring(self):
+        r = RingTopology(6)
+        assert r.hops(0, 3) == 3
+        assert r.hops(0, 5) == 1  # wrap-around
+
+    def test_single_node_ring(self):
+        assert RingTopology(1).num_nodes == 1
+
+    def test_star(self):
+        s = StarTopology(5)
+        assert s.hops(1, 2) == 2
+        assert s.hops(0, 4) == 1
+
+    def test_complete(self):
+        c = CompleteTopology(5)
+        assert all(c.hops(a, b) == 1 for a in range(5) for b in range(5) if a != b)
+
+    def test_diameter_from(self):
+        assert RingTopology(8).diameter_from(0) == 4
+        assert CompleteTopology(4).diameter_from(2) == 1

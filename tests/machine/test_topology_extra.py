@@ -1,0 +1,73 @@
+"""Hypercube and torus topologies."""
+
+import pytest
+
+from repro.machine import HOST, Hypercube, Mesh2D, Torus2D
+
+
+class TestHypercube:
+    def test_structure(self):
+        h = Hypercube(3)
+        assert h.num_nodes == 8
+        # each node has dim neighbors (+host for node 0)
+        assert len(h.neighbors(5)) == 3
+
+    def test_hamming_distance(self):
+        h = Hypercube(4)
+        assert h.hops(0b0000, 0b1111) == 4
+        assert h.hops(0b0101, 0b0110) == 2
+        assert h.hops(3, 3) == 0
+
+    def test_diameter(self):
+        assert Hypercube(4).diameter_from(0) == 4
+        assert Hypercube(0).num_nodes == 1
+
+    def test_host_attached(self):
+        h = Hypercube(2)
+        assert h.hops(HOST, 0) == 1
+        assert h.hops(HOST, 3) == 3
+
+    def test_negative_dim(self):
+        with pytest.raises(ValueError):
+            Hypercube(-1)
+
+    def test_beats_mesh_diameter(self):
+        # 16 nodes: hypercube diameter 4 vs mesh 6
+        assert Hypercube(4).diameter_from(0) < Mesh2D(4, 4).hops(0, 15)
+
+
+class TestTorus2D:
+    def test_wraparound(self):
+        t = Torus2D(4, 4)
+        assert t.hops(0, 3) == 1   # row wrap
+        assert t.hops(0, 12) == 1  # column wrap
+        assert t.hops(0, 15) == 2
+
+    def test_diameter_half_of_mesh(self):
+        t = Torus2D(4, 4)
+        m = Mesh2D(4, 4)
+        assert t.diameter_from(0) < m.diameter_from(0)
+
+    def test_degenerate_small(self):
+        t = Torus2D(1, 4)
+        assert t.num_nodes == 4
+        assert t.hops(0, 3) == 1
+
+    def test_coords(self):
+        t = Torus2D(3, 4)
+        assert t.coords(7) == (1, 3)
+
+
+class TestTopologySensitivity:
+    """Broadcast cost tracks the diameter across interconnects."""
+
+    def test_broadcast_ranking(self):
+        from repro.machine import Multicomputer, UNIT_COSTS
+
+        costs = {}
+        for name, topo in (("mesh", Mesh2D(4, 4)),
+                           ("torus", Torus2D(4, 4)),
+                           ("hypercube", Hypercube(4))):
+            mc = Multicomputer(topo, cost=UNIT_COSTS)
+            costs[name] = mc.network.broadcast(HOST, 100)
+        assert costs["hypercube"] <= costs["torus"] < costs["mesh"]

@@ -1,0 +1,68 @@
+"""Workload balance metrics."""
+
+import pytest
+
+from repro.core import Strategy, build_plan
+from repro.lang import catalog
+from repro.mapping import assign_blocks, shape_grid, workload_stats
+from repro.mapping.balance import WorkloadStats
+from repro.transform import transform_nest
+
+
+class TestWorkloadStats:
+    def test_perfect_balance(self):
+        s = WorkloadStats(loads={(0,): 4, (1,): 4})
+        assert s.total == 8
+        assert s.imbalance == 1.0
+        assert s.efficiency == 1.0
+
+    def test_imbalanced(self):
+        s = WorkloadStats(loads={(0,): 6, (1,): 2})
+        assert s.max_load == 6 and s.min_load == 2
+        assert s.imbalance == pytest.approx(1.5)
+        assert s.efficiency == pytest.approx(8 / 12)
+
+    def test_empty(self):
+        s = WorkloadStats(loads={})
+        assert s.total == 0 and s.imbalance == 1.0
+
+    def test_summary_format(self):
+        s = WorkloadStats(loads={(0,): 3, (1,): 1})
+        out = s.summary()
+        assert "p=2" in out and "total=4" in out
+
+
+class TestEndToEndBalance:
+    def test_l4_perfectly_balanced_on_4(self):
+        nest = catalog.l4()
+        plan = build_plan(nest)
+        t = transform_nest(nest, plan.psi)
+        stats = workload_stats(assign_blocks(t, shape_grid(4, t.k)))
+        assert stats.imbalance == 1.0
+        assert stats.total == 64
+
+    def test_l5_dup_balanced(self):
+        nest = catalog.l5(4)
+        plan = build_plan(nest, Strategy.DUPLICATE)
+        t = transform_nest(nest, plan.psi)
+        stats = workload_stats(assign_blocks(t, shape_grid(4, t.k)))
+        assert stats.imbalance == 1.0  # M multiple of sqrt(p)
+
+    def test_l1_near_balance_claim(self):
+        """Neighboring-blocks-similar-size: cyclic beats contiguous."""
+        nest = catalog.l1(8)
+        plan = build_plan(nest)
+        t = transform_nest(nest, plan.psi)
+        grid = shape_grid(3, t.k)
+        cyclic = workload_stats(assign_blocks(t, grid))
+        # contiguous split of the 15 diagonal blocks for comparison
+        pts = sorted(t.iterate_blocks())
+        weights = {pt: sum(1 for _ in t.iterations_of_block(pt)) for pt in pts}
+        chunk = (len(pts) + 2) // 3
+        contiguous = {}
+        for g in range(3):
+            contiguous[(g,)] = sum(
+                weights[pt] for pt in pts[g * chunk:(g + 1) * chunk])
+        contiguous_stats = WorkloadStats(loads=contiguous)
+        assert cyclic.imbalance <= contiguous_stats.imbalance
+        assert cyclic.total == contiguous_stats.total == 64

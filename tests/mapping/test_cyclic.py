@@ -1,0 +1,101 @@
+"""Cyclic (mod-based) block-to-processor assignment."""
+
+import pytest
+
+from repro.core import Strategy, build_plan
+from repro.lang import catalog
+from repro.mapping import assign_blocks, shape_grid
+from repro.mapping.cyclic import CyclicAssignment, owner_of_point
+from repro.mapping.grid import ProcessorGrid
+from repro.transform import transform_nest
+
+
+def l4_assignment(p=4):
+    nest = catalog.l4()
+    plan = build_plan(nest)
+    t = transform_nest(nest, plan.psi)
+    grid = shape_grid(p, t.k)
+    return t, grid, assign_blocks(t, grid)
+
+
+class TestOwnerOfPoint:
+    def test_mod_rule(self):
+        g = ProcessorGrid((2, 2))
+        assert owner_of_point((2, 0), g) == (0, 0)
+        assert owner_of_point((3, 1), g) == (1, 1)
+        assert owner_of_point((5, -3), g) == (1, 1)  # negatives wrap
+
+    def test_arity_check(self):
+        with pytest.raises(ValueError):
+            owner_of_point((1,), ProcessorGrid((2, 2)))
+
+
+class TestPaperStartFormula:
+    def test_start_value_congruent(self):
+        g = ProcessorGrid((2, 2))
+        a = CyclicAssignment(grid=g)
+        # l' + (a - (l' mod p)) mod p  is the first value >= l' that is
+        # congruent to a (mod p)
+        for lower in (-3, 0, 2, 7):
+            for proc in (0, 1):
+                s = a.start_value(lower, 0, proc)
+                assert s >= lower
+                assert s % 2 == proc
+                assert s - lower < 2
+
+
+class TestL4Fig10:
+    def test_every_processor_16_iterations(self):
+        _, grid, assignment = l4_assignment(4)
+        loads = assignment.loads()
+        assert loads == {(0, 0): 16, (0, 1): 16, (1, 0): 16, (1, 1): 16}
+
+    def test_owner_consistency(self):
+        t, grid, assignment = l4_assignment(4)
+        for proc, pts in assignment.points_of.items():
+            for pt in pts:
+                assert assignment.owner(pt) == proc
+
+    def test_all_points_assigned_once(self):
+        t, grid, assignment = l4_assignment(4)
+        pts = [pt for lst in assignment.points_of.values() for pt in lst]
+        assert sorted(pts) == sorted(t.iterate_blocks())
+
+    def test_owner_id_linearization(self):
+        _, grid, assignment = l4_assignment(4)
+        pt = next(iter(assignment.weights))
+        assert assignment.owner_id(pt) == grid.linear_id(assignment.owner(pt))
+
+
+class TestMismatchsAndEdges:
+    def test_grid_rank_mismatch(self):
+        nest = catalog.l4()
+        plan = build_plan(nest)
+        t = transform_nest(nest, plan.psi)
+        with pytest.raises(ValueError, match="grid rank"):
+            assign_blocks(t, shape_grid(4, 1))
+
+    def test_single_processor(self):
+        t, grid, assignment = (lambda: l4_assignment(1))()
+        assert assignment.loads()[(1, 1)] if (1, 1) in assignment.loads() else True
+        g = shape_grid(1, 2)
+        a = assign_blocks(t, g)
+        assert a.loads()[(0, 0)] == 64
+
+    def test_explicit_points(self):
+        nest = catalog.l1()
+        plan = build_plan(nest)
+        t = transform_nest(nest, plan.psi)
+        grid = shape_grid(2, t.k)
+        a = assign_blocks(t, grid, points=[(0,), (1,)])
+        assert set(a.weights) == {(0,), (1,)}
+
+    def test_more_blocks_than_processors(self):
+        nest = catalog.l1()
+        plan = build_plan(nest)
+        t = transform_nest(nest, plan.psi)
+        grid = shape_grid(2, t.k)
+        a = assign_blocks(t, grid)
+        total = sum(a.loads().values())
+        assert total == 16
+        assert len(a.loads()) == 2

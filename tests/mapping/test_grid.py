@@ -1,0 +1,78 @@
+"""Processor grid shaping (the paper's p_i rule)."""
+
+import pytest
+
+from repro.mapping import ProcessorGrid, shape_grid
+from repro.mapping.grid import _integer_kth_root
+
+
+class TestKthRoot:
+    def test_exact_roots(self):
+        assert _integer_kth_root(16, 2) == 4
+        assert _integer_kth_root(27, 3) == 3
+        assert _integer_kth_root(1, 5) == 1
+
+    def test_floor_behaviour(self):
+        assert _integer_kth_root(17, 2) == 4
+        assert _integer_kth_root(15, 2) == 3
+        assert _integer_kth_root(63, 3) == 3
+
+    def test_large_no_float_error(self):
+        # 10**15 is a classic float-rounding trap
+        assert _integer_kth_root(10 ** 15, 3) == 10 ** 5
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            _integer_kth_root(0, 2)
+
+
+class TestShapeGrid:
+    def test_paper_square(self):
+        assert shape_grid(16, 2).dims == (4, 4)
+        assert shape_grid(4, 2).dims == (2, 2)
+
+    def test_one_dimensional(self):
+        assert shape_grid(16, 1).dims == (16,)
+
+    def test_k0_degenerate(self):
+        g = shape_grid(8, 0)
+        assert g.dims == () and g.size == 1
+
+    def test_non_perfect_square(self):
+        # p=10, k=2: floor(sqrt(10)) = 3 -> 3 x floor(10/3) = 3x3
+        assert shape_grid(10, 2).dims == (3, 3)
+
+    def test_three_dims(self):
+        assert shape_grid(27, 3).dims == (3, 3, 3)
+        assert shape_grid(30, 3).dims == (3, 3, 3)
+
+    def test_size_never_exceeds_p(self):
+        for p in range(1, 40):
+            for k in range(1, 4):
+                assert shape_grid(p, k).size <= p
+
+
+class TestProcessorGrid:
+    def test_coords_enumeration(self):
+        g = ProcessorGrid((2, 3))
+        cs = list(g.coords())
+        assert len(cs) == 6
+        assert cs[0] == (0, 0) and cs[-1] == (1, 2)
+
+    def test_linear_id_roundtrip(self):
+        g = ProcessorGrid((3, 4))
+        for c in g.coords():
+            assert g.from_linear(g.linear_id(c)) == c
+
+    def test_linear_id_bounds(self):
+        g = ProcessorGrid((2, 2))
+        with pytest.raises(IndexError):
+            g.linear_id((2, 0))
+        with pytest.raises(IndexError):
+            g.from_linear(4)
+
+    def test_degenerate_grid(self):
+        g = ProcessorGrid(())
+        assert g.size == 1
+        assert list(g.coords()) == [()]
+        assert g.linear_id(()) == 0

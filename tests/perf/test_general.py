@@ -1,0 +1,74 @@
+"""General plan cost estimation."""
+
+import pytest
+
+from repro.core import Strategy, build_plan
+from repro.lang import catalog
+from repro.machine.cost import CostModel, TRANSPUTER
+from repro.perf import estimate_plan, mesh_for, simulate_l5_doubleprime
+
+UNIT = CostModel(t_comp=1.0, t_start=1.0, t_comm=1.0)
+
+
+class TestMeshFor:
+    def test_square(self):
+        assert (mesh_for(16).rows, mesh_for(16).cols) == (4, 4)
+
+    def test_rectangular(self):
+        m = mesh_for(12)
+        assert m.rows * m.cols == 12
+        assert m.rows == 3  # squarest factorization
+
+    def test_prime(self):
+        m = mesh_for(7)
+        assert (m.rows, m.cols) == (1, 7)
+
+
+class TestEstimatePlan:
+    def test_sequential_plan_single_processor(self, l5):
+        plan = build_plan(l5)
+        est = estimate_plan(plan, 4)  # k=0: degenerate grid, 1 processor
+        assert est.p == 1
+        assert est.loads == {0: 64}  # 64 iterations x 1 statement
+        assert est.compute_time == pytest.approx(64 * TRANSPUTER.t_comp)
+
+    def test_l5pp_matches_special_sim_structure(self):
+        m, p = 8, 4
+        plan = build_plan(catalog.l5(m), Strategy.DUPLICATE)
+        est = estimate_plan(plan, p)
+        sim = simulate_l5_doubleprime(m, p)
+        # identical compute makespans; communication same order of magnitude
+        assert est.compute_time == pytest.approx(sim.compute_time)
+        assert 0.3 < est.distribution_time / sim.distribution_time < 3.0
+
+    def test_balanced_loads(self):
+        plan = build_plan(catalog.l4())
+        est = estimate_plan(plan, 4)
+        assert est.imbalance == 1.0
+        assert sum(est.loads.values()) == 64  # one statement per iteration
+
+    def test_memory_counts_replication(self):
+        m = 4
+        nd = estimate_plan(build_plan(catalog.l5(m)), 4)
+        dup = estimate_plan(build_plan(catalog.l5(m), Strategy.DUPLICATE), 4)
+        assert dup.memory_words > nd.memory_words
+
+    def test_redundant_computations_not_charged(self, l3):
+        full = estimate_plan(build_plan(l3, Strategy.DUPLICATE), 4, cost=UNIT)
+        mini = estimate_plan(
+            build_plan(l3, Strategy.DUPLICATE, eliminate_redundant=True),
+            4, cost=UNIT)
+        assert sum(mini.loads.values()) < sum(full.loads.values())
+
+    def test_broadcast_detected(self):
+        """L5' B goes to every processor: one broadcast, not p sends."""
+        plan = build_plan(catalog.l5(4), Strategy.DUPLICATE,
+                          duplicate_arrays={"B"})
+        est = estimate_plan(plan, 4)
+        # B: 16 elements to all 4 pids -> 1 broadcast; A,C scattered
+        assert est.messages <= 1 + 4 + 4
+
+    def test_makespan_additive(self, l1):
+        est = estimate_plan(build_plan(l1), 4, cost=UNIT)
+        assert est.makespan == pytest.approx(
+            est.distribution_time + est.compute_time)

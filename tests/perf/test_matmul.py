@@ -1,0 +1,104 @@
+"""Simulated matmul study (message-level)."""
+
+import pytest
+
+from repro.machine.cost import CostModel, TRANSPUTER
+from repro.perf import (
+    run_study,
+    simulate_l5,
+    simulate_l5_doubleprime,
+    simulate_l5_prime,
+)
+
+UNIT = CostModel(t_comp=1.0, t_start=1.0, t_comm=1.0)
+
+
+class TestSimulateL5:
+    def test_compute_only_by_default(self):
+        sim = simulate_l5(8, UNIT)
+        assert sim.compute_time == 512
+        assert sim.distribution_time == 0.0
+        assert sim.messages == 0
+
+    def test_with_distribution(self):
+        sim = simulate_l5(8, UNIT, include_distribution=True)
+        assert sim.messages == 2
+        assert sim.words_sent == 2 * 64
+        assert sim.distribution_time > 0
+
+
+class TestSimulateL5Prime:
+    def test_message_pattern(self):
+        sim = simulate_l5_prime(16, 16, UNIT)
+        # 16 scatter sends of A + 1 broadcast of B
+        assert sim.messages == 17
+        assert sim.words_sent == 16 * 16 + 16 * 16
+
+    def test_compute_split(self):
+        sim = simulate_l5_prime(16, 4, UNIT)
+        assert sim.compute_time == 16 ** 3 / 4
+
+    def test_m_multiple_of_p_required(self):
+        with pytest.raises(ValueError):
+            simulate_l5_prime(10, 4, UNIT)
+
+
+class TestSimulateL5DoublePrime:
+    def test_message_pattern(self):
+        sim = simulate_l5_doubleprime(16, 16, UNIT)
+        # sqrt(p)=4 row multicasts + 4 column multicasts
+        assert sim.messages == 8
+        assert sim.words_sent == 8 * (16 * 16 // 4)
+
+    def test_perfect_square_required(self):
+        with pytest.raises(ValueError):
+            simulate_l5_doubleprime(16, 8, UNIT)
+
+    def test_m_multiple_of_sqrt_p(self):
+        with pytest.raises(ValueError):
+            simulate_l5_doubleprime(10, 16, UNIT)
+
+
+class TestStudyShape:
+    """Paper Table I/II qualitative structure from the simulator."""
+
+    def setup_method(self):
+        self.sims = run_study(ms=(16, 64, 256), ps=(4, 16), cost=TRANSPUTER)
+
+    def test_l5pp_faster_than_l5p(self):
+        for p in (4, 16):
+            for m in (16, 64, 256):
+                assert (self.sims[("L5''", p, m)].total_time
+                        < self.sims[("L5'", p, m)].total_time), (p, m)
+
+    def test_parallel_faster_than_sequential(self):
+        for p in (4, 16):
+            for m in (64, 256):
+                seq = self.sims[("L5", 1, m)].total_time
+                assert self.sims[("L5'", p, m)].total_time < seq
+                assert self.sims[("L5''", p, m)].total_time < seq
+
+    def test_speedup_monotone_in_m(self):
+        for loop in ("L5'", "L5''"):
+            sp = [self.sims[("L5", 1, m)].total_time
+                  / self.sims[(loop, 16, m)].total_time
+                  for m in (16, 64, 256)]
+            assert sp[0] < sp[1] < sp[2]
+
+    def test_speedup_bounded_by_p(self):
+        for (loop, p, m), sim in self.sims.items():
+            if p == 1:
+                continue
+            seq = self.sims[("L5", 1, m)].total_time
+            assert seq / sim.total_time < p
+
+    def test_within_2x_of_paper(self):
+        """Absolute calibration: every simulated cell within 2x of Table I."""
+        from repro.perf.tables import PAPER_TABLE1
+
+        for key, sim in self.sims.items():
+            paper = PAPER_TABLE1.get(key)
+            if paper is None:
+                continue
+            ratio = sim.total_time / paper
+            assert 0.5 < ratio < 2.0, (key, ratio)

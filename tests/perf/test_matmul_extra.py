@@ -1,0 +1,39 @@
+"""Remaining matmul-harness surfaces."""
+
+import pytest
+
+from repro.machine.cost import CostModel
+from repro.perf import run_study, simulate_l5, simulate_l5_prime
+from repro.perf.matmul import MatmulSim, _mesh_machine
+
+UNIT = CostModel(t_comp=1.0, t_start=1.0, t_comm=1.0)
+
+
+class TestMatmulSim:
+    def test_speedup_over(self):
+        sim = MatmulSim("L5'", 8, 4, distribution_time=2.0, compute_time=8.0,
+                        messages=5, words_sent=100)
+        assert sim.total_time == 10.0
+        assert sim.speedup_over(40.0) == pytest.approx(4.0)
+
+    def test_mesh_machine_square(self):
+        assert _mesh_machine(16, UNIT).num_processors == 16
+
+    def test_mesh_machine_non_square_falls_back_to_row(self):
+        mc = _mesh_machine(6, UNIT)
+        assert mc.num_processors == 6
+
+    def test_run_study_keys_complete(self):
+        sims = run_study(ms=(16,), ps=(4,), cost=UNIT)
+        assert set(sims) == {("L5", 1, 16), ("L5'", 4, 16), ("L5''", 4, 16)}
+
+    def test_prime_distribution_only_once(self):
+        sim = simulate_l5_prime(16, 4, UNIT)
+        # messages: 4 scatter sends + 1 broadcast
+        assert sim.messages == 5
+
+    def test_sequential_includes_distribution_when_asked(self):
+        without = simulate_l5(16, UNIT)
+        with_d = simulate_l5(16, UNIT, include_distribution=True)
+        assert with_d.total_time > without.total_time
+        assert with_d.compute_time == without.compute_time

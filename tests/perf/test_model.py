@@ -1,0 +1,67 @@
+"""Analytic cost formulas T1, T2, T3."""
+
+import pytest
+
+from repro.machine.cost import CostModel, TRANSPUTER
+from repro.perf import t1_sequential, t2_duplicate_b, t3_duplicate_ab
+
+UNIT = CostModel(t_comp=1.0, t_start=1.0, t_comm=1.0)
+
+
+class TestFormulas:
+    def test_t1_structure(self):
+        # M^3 + 2(1 + M^2)
+        assert t1_sequential(4, UNIT) == 64 + 2 * (1 + 16)
+        assert t1_sequential(4, UNIT, include_distribution=False) == 64
+
+    def test_t2_structure(self):
+        # M^3/p + (p + M^2) + (1 + 2 sqrt(p) M^2)
+        m, p = 8, 4
+        expected = 512 / 4 + (4 + 64) + (1 + 2 * 2 * 64)
+        assert t2_duplicate_b(m, p, UNIT) == pytest.approx(expected)
+
+    def test_t3_structure(self):
+        # M^3/p + 2(sqrt(p) + 2 M^2)
+        m, p = 8, 4
+        expected = 512 / 4 + 2 * (2 + 2 * 64)
+        assert t3_duplicate_ab(m, p, UNIT) == pytest.approx(expected)
+
+    def test_non_square_p_rejected(self):
+        with pytest.raises(ValueError):
+            t3_duplicate_ab(8, 6, UNIT)
+        with pytest.raises(ValueError):
+            t2_duplicate_b(8, 5, UNIT)
+
+
+class TestPaperShape:
+    """The qualitative claims of Section IV, under Transputer constants."""
+
+    @pytest.mark.parametrize("m", [16, 32, 64, 128, 256])
+    @pytest.mark.parametrize("p", [4, 16])
+    def test_t3_beats_t2(self, m, p):
+        assert t3_duplicate_ab(m, p, TRANSPUTER) < t2_duplicate_b(m, p, TRANSPUTER)
+
+    @pytest.mark.parametrize("m", [32, 64, 128, 256])
+    @pytest.mark.parametrize("p", [4, 16])
+    def test_parallel_beats_sequential(self, m, p):
+        seq = t1_sequential(m, TRANSPUTER, include_distribution=False)
+        assert t2_duplicate_b(m, p, TRANSPUTER) < seq
+        assert t3_duplicate_ab(m, p, TRANSPUTER) < seq
+
+    def test_speedup_grows_with_m(self):
+        # communication amortizes: speedup monotone in M (paper Table II)
+        seq = [t1_sequential(m, TRANSPUTER, include_distribution=False)
+               for m in (16, 64, 256)]
+        sp = [s / t3_duplicate_ab(m, 16, TRANSPUTER)
+              for s, m in zip(seq, (16, 64, 256))]
+        assert sp[0] < sp[1] < sp[2]
+        assert sp[2] < 16  # bounded by p
+
+    def test_t2_broadcast_term_dominates_scatter(self):
+        # the paper's point: distributing whole B costs ~2 sqrt(p) M^2
+        m, p = 256, 16
+        t2 = t2_duplicate_b(m, p, TRANSPUTER)
+        t3 = t3_duplicate_ab(m, p, TRANSPUTER)
+        comm2 = t2 - (m ** 3 / p) * TRANSPUTER.t_comp
+        comm3 = t3 - (m ** 3 / p) * TRANSPUTER.t_comp
+        assert comm2 > 1.5 * comm3

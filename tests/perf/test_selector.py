@@ -1,0 +1,71 @@
+"""Automatic strategy selection."""
+
+import pytest
+
+from repro.lang import catalog, parse
+from repro.machine.cost import CostModel
+from repro.perf import choose_strategy
+
+# communication made cheap so parallelism wins on small test instances
+CHEAP_COMM = CostModel(t_comp=1e-3, t_start=1e-6, t_comm=1e-7)
+
+
+class TestCandidateEnumeration:
+    def test_l5_candidates(self):
+        res = choose_strategy(catalog.l5(4), p=4, cost=CHEAP_COMM)
+        labels = {c.label for c in res.candidates}
+        assert labels == {"nonduplicate", "duplicate{A}", "duplicate{B}",
+                          "duplicate{A,B}"}
+
+    def test_elimination_doubles_candidates(self):
+        res = choose_strategy(catalog.l3(), p=4, cost=CHEAP_COMM,
+                              consider_elimination=True)
+        assert {c.eliminate_redundant for c in res.candidates} == {False, True}
+
+    def test_max_candidates_cap(self):
+        res = choose_strategy(catalog.l5(4), p=4, cost=CHEAP_COMM,
+                              max_candidates=2)
+        assert len(res.candidates) == 2
+
+
+class TestSelections:
+    def test_l5_picks_full_duplication(self):
+        res = choose_strategy(catalog.l5(8), p=4, cost=CHEAP_COMM)
+        assert res.best.label == "duplicate{A,B}"
+        assert res.best.blocks == 64
+
+    def test_l1_picks_nonduplicate_on_tie(self):
+        res = choose_strategy(catalog.l1(), p=4, cost=CHEAP_COMM)
+        assert res.best.label == "nonduplicate"
+        assert res.best.blocks == 7
+
+    def test_l3_elimination_wins_when_comm_cheap(self):
+        res = choose_strategy(catalog.l3(8), p=4, cost=CHEAP_COMM,
+                              consider_elimination=True)
+        assert res.best.eliminate_redundant
+        assert res.best.blocks == 8
+
+    def test_expensive_comm_prefers_sequential(self):
+        """With brutal startup costs the selector keeps tiny loops serial."""
+        pricey = CostModel(t_comp=1e-6, t_start=10.0, t_comm=1.0)
+        res = choose_strategy(catalog.l5(4), p=4, cost=pricey)
+        assert res.best.label == "nonduplicate"
+
+    def test_ranking_sorted(self):
+        res = choose_strategy(catalog.l5(4), p=4, cost=CHEAP_COMM)
+        spans = [c.makespan for c in res.candidates]
+        assert spans == sorted(spans)
+
+    def test_table_rendering(self):
+        res = choose_strategy(catalog.l5(4), p=4, cost=CHEAP_COMM)
+        text = res.table()
+        assert "strategy" in text and "nonduplicate" in text
+
+
+class TestCorrectnessOfChosenPlans:
+    def test_best_plan_verifies(self):
+        from repro.runtime import verify_plan
+
+        for fn in (catalog.l1, catalog.l2, lambda: catalog.l5(4)):
+            res = choose_strategy(fn(), p=4, cost=CHEAP_COMM)
+            verify_plan(res.best.plan).raise_on_failure()

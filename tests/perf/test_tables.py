@@ -1,0 +1,63 @@
+"""Table I/II regeneration and paper-data integrity."""
+
+import pytest
+
+from repro.perf import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    paper_speedup,
+    paper_time,
+    table1_rows,
+    table2_rows,
+)
+from repro.perf.tables import format_rows
+
+
+class TestPaperData:
+    def test_grid_complete(self):
+        ms = (16, 32, 64, 128, 256)
+        for m in ms:
+            assert ("L5", 1, m) in PAPER_TABLE1
+            for p in (4, 16):
+                for loop in ("L5'", "L5''"):
+                    assert (loop, p, m) in PAPER_TABLE1
+                    assert (loop, p, m) in PAPER_TABLE2
+
+    def test_speedups_consistent_with_times(self):
+        # Table II is derived from Table I: check their internal consistency
+        for (loop, p, m), sp in PAPER_TABLE2.items():
+            derived = PAPER_TABLE1[("L5", 1, m)] / PAPER_TABLE1[(loop, p, m)]
+            assert derived == pytest.approx(sp, rel=0.02)
+
+    def test_accessors(self):
+        assert paper_time("L5", 1, 256) == 161.2546
+        assert paper_speedup("L5''", 16, 256) == 15.14
+
+
+class TestRegeneration:
+    def test_table1_rows_structure(self):
+        rows = table1_rows(ms=(16, 64), ps=(4,))
+        assert len(rows) == 2 + 4  # 2 sequential + 2 loops x 2 sizes
+        for r in rows:
+            assert r["simulated_s"] > 0
+            if r["paper_s"] is not None:
+                assert 0.3 < r["simulated_s"] / r["paper_s"] < 3.0
+
+    def test_table2_rows_structure(self):
+        rows = table2_rows(ms=(16, 64), ps=(4,))
+        assert len(rows) == 4
+        for r in rows:
+            assert 0 < r["simulated_speedup"] < r["p"]
+
+    def test_large_m_within_15_percent(self):
+        """The compute-dominated cells should calibrate tightly."""
+        rows = [r for r in table1_rows(ms=(256,), ps=(4, 16))
+                if r["paper_s"] is not None]
+        for r in rows:
+            assert abs(r["simulated_s"] / r["paper_s"] - 1) < 0.15, r
+
+    def test_format_rows(self):
+        rows = table1_rows(ms=(16,), ps=(4,))
+        text = format_rows(rows, ["loop", "p", "M", "simulated_s"])
+        assert "L5''" in text and "simulated_s" in text
+        assert format_rows([]) == "(empty)"

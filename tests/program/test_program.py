@@ -1,0 +1,148 @@
+"""Multi-loop program composition."""
+
+import pytest
+
+from repro.core import Strategy
+from repro.lang import catalog, parse
+from repro.machine.cost import CostModel
+from repro.program import (
+    Program,
+    plan_program,
+    run_program_sequential,
+    verify_program,
+)
+
+CHEAP = CostModel(t_comp=1e-3, t_start=1e-6, t_comm=1e-7)
+
+
+def two_phase():
+    p1 = parse("""
+      for i = 1 to 4 { for j = 1 to 4 {
+        U[i, j] = U[i - 1, j - 1] + F[i, j];
+      } }
+    """, name="P1")
+    p2 = parse("""
+      for i = 1 to 4 { for j = 1 to 4 {
+        V[i, j] = U[i, j] * 2;
+      } }
+    """, name="P2")
+    return Program(nests=[p1, p2], name="two-phase")
+
+
+class TestProgramModel:
+    def test_array_names_union(self):
+        prog = two_phase()
+        assert set(prog.array_names()) == {"U", "F", "V"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Program(nests=[])
+
+    def test_make_arrays_covers_all_phases(self):
+        prog = two_phase()
+        arrays = prog.make_arrays()
+        assert (0, 0) in arrays["U"]   # P1 reads U[i-1,j-1]
+        assert (4, 4) in arrays["V"]
+
+    def test_rank_conflict_rejected(self):
+        p1 = parse("for i = 1 to 2 { A[i] = 0; }")
+        p2 = parse("for i = 1 to 2 { A[i, i] = 0; }")
+        with pytest.raises(ValueError, match="different ranks"):
+            Program(nests=[p1, p2]).make_arrays()
+
+
+class TestPlanProgram:
+    def test_phases_planned(self):
+        pp = plan_program(two_phase(), p=4, cost=CHEAP)
+        assert len(pp.phases) == 2
+        assert len(pp.reallocations) == 1
+        assert pp.phases[0].plan.num_blocks == 7
+        assert pp.phases[1].plan.num_blocks == 16
+
+    def test_fixed_strategy(self):
+        pp = plan_program(two_phase(), p=4, cost=CHEAP,
+                          strategy=Strategy.NONDUPLICATE)
+        assert pp.phases[1].plan.strategy is Strategy.NONDUPLICATE
+
+    def test_makespan_composition(self):
+        pp = plan_program(two_phase(), p=4, cost=CHEAP)
+        assert pp.makespan == pytest.approx(
+            pp.total_distribution + pp.total_compute + pp.total_reallocation)
+
+    def test_summary(self):
+        text = plan_program(two_phase(), p=4, cost=CHEAP).summary()
+        assert "2 phases" in text and "realloc" in text
+
+
+class TestReallocation:
+    def test_layout_change_detected(self):
+        pp = plan_program(two_phase(), p=4, cost=CHEAP)
+        r = pp.reallocations[0]
+        assert r.moved_words > 0
+        assert 0.0 <= r.locality < 1.0
+        assert r.time > 0
+
+    def test_identical_phases_no_movement(self):
+        src = """
+          for i = 1 to 4 { for j = 1 to 4 {
+            U[i, j] = U[i - 1, j - 1] + F[i, j];
+          } }
+        """
+        prog = Program(nests=[parse(src, name="A"), parse(src, name="B")])
+        pp = plan_program(prog, p=4, cost=CHEAP,
+                          strategy=Strategy.NONDUPLICATE)
+        r = pp.reallocations[0]
+        assert r.moved_words == 0
+        assert r.locality == 1.0
+
+    def test_disjoint_arrays_no_movement(self):
+        p1 = parse("for i = 1 to 4 { A[i] = 1; }")
+        p2 = parse("for i = 1 to 4 { B[i] = 2; }")
+        pp = plan_program(Program(nests=[p1, p2]), p=2, cost=CHEAP)
+        assert pp.reallocations[0].moved_words == 0
+
+
+class TestProgramExecution:
+    def test_two_phase_verifies(self):
+        pp = plan_program(two_phase(), p=4, cost=CHEAP)
+        assert verify_program(pp).ok
+
+    def test_matmul_then_scale(self):
+        mm = catalog.l5(3)
+        scale = parse("""
+          for i = 1 to 3 { for j = 1 to 3 {
+            C[i, j] = C[i, j] / 2;
+          } }
+        """, name="SCALE")
+        pp = plan_program(Program(nests=[mm, scale]), p=4, cost=CHEAP)
+        assert verify_program(pp).ok
+
+    def test_three_phases_chained_flow(self):
+        p1 = parse("for i = 1 to 5 { A[i] = X[i] * 2; }")
+        p2 = parse("for i = 1 to 5 { B[i] = A[i] + 1; }")
+        p3 = parse("for i = 1 to 5 { A[i] = B[i] * B[i]; }")
+        pp = plan_program(Program(nests=[p1, p2, p3]), p=2, cost=CHEAP)
+        assert len(pp.reallocations) == 2
+        assert verify_program(pp).ok
+
+    def test_sequential_runner(self):
+        prog = two_phase()
+        arrays = prog.make_arrays(init=lambda n: (lambda c: 1.0))
+        run_program_sequential(prog, arrays)
+        # U[1,1] = U[0,0] + F[1,1] = 2; V[1,1] = 4
+        assert arrays["V"][(1, 1)] == 4.0
+
+    def test_duplicate_phases_verify(self):
+        p1 = parse("""
+          for i = 1 to 4 { for j = 1 to 4 {
+            S[i, j] = W[i, j] * 3;
+          } }
+        """)
+        p2 = parse("""
+          for i = 1 to 4 { for j = 1 to 4 {
+            T[j, i] = S[i, j] + 1;
+          } }
+        """)
+        pp = plan_program(Program(nests=[p1, p2]), p=4, cost=CHEAP,
+                          strategy=Strategy.DUPLICATE)
+        assert verify_program(pp).ok

@@ -1,0 +1,158 @@
+"""Fourier-Motzkin elimination and loop-bound synthesis."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.ratlinalg import FMSystem, Ineq, bounds_for_order, eliminate
+from repro.ratlinalg.fm import AffineForm, enumerate_integer_points
+
+
+def box_system(bounds):
+    """System for lo_i <= x_i <= hi_i."""
+    n = len(bounds)
+    s = FMSystem(n)
+    for i, (lo, hi) in enumerate(bounds):
+        s.add_lower(i, lo)
+        s.add_upper(i, hi)
+    return s
+
+
+class TestIneq:
+    def test_eval_and_holds(self):
+        q = Ineq.make([1, -1], 0)  # x - y >= 0
+        assert q.holds([3, 2])
+        assert not q.holds([2, 3])
+        assert q.eval([5, 1]) == 4
+
+    def test_normalized(self):
+        q = Ineq.make([2, 4], 6).normalized()
+        assert q.coeffs == (1, 2) and q.const == 3
+
+    def test_is_constant(self):
+        assert Ineq.make([0, 0], 5).is_constant()
+        assert not Ineq.make([1, 0], 5).is_constant()
+
+
+class TestEliminate:
+    def test_box_projection(self):
+        s = box_system([(1, 4), (1, 4)])
+        proj = eliminate(s, 1)
+        # projection keeps x_0 in [1,4]
+        assert proj.satisfied_by([1, 999])
+        assert proj.satisfied_by([4, -999])
+        assert not proj.satisfied_by([5, 0])
+
+    def test_diagonal_constraint(self):
+        # x + y <= 4, x >= 1, y >= 1 : eliminating y gives x <= 3
+        s = box_system([(1, 10), (1, 10)])
+        s.add([-1, -1], 4)
+        proj = eliminate(s, 1)
+        assert proj.satisfied_by([3, 0])
+        assert not proj.satisfied_by([4, 0])
+
+    def test_infeasible_detection(self):
+        s = FMSystem(1)
+        s.add_lower(0, 5)
+        s.add_upper(0, 3)
+        proj = eliminate(s, 0)
+        assert proj.is_trivially_infeasible()
+
+
+class TestBoundsForOrder:
+    def test_rectangular(self):
+        s = box_system([(1, 4), (2, 5)])
+        bounds = bounds_for_order(s, [0, 1])
+        assert bounds[0].range_for([]) == range(1, 5)
+        assert bounds[1].range_for([3]) == range(2, 6)
+
+    def test_triangular(self):
+        # 1 <= x <= 4, 1 <= y <= x
+        s = FMSystem(2)
+        s.add_lower(0, 1)
+        s.add_upper(0, 4)
+        s.add_lower(1, 1)
+        s.add([1, -1], 0)  # x - y >= 0
+        bounds = bounds_for_order(s, [0, 1])
+        assert bounds[1].range_for([3]) == range(1, 4)
+        assert bounds[0].range_for([]) == range(1, 5)
+
+    def test_reversed_order(self):
+        # same triangle iterated y-outermost
+        s = FMSystem(2)
+        s.add_lower(0, 1)
+        s.add_upper(0, 4)
+        s.add_lower(1, 1)
+        s.add([1, -1], 0)
+        bounds = bounds_for_order(s, [1, 0])
+        # y ranges 1..4; for fixed y, x ranges y..4
+        assert bounds[0].range_for([]) == range(1, 5)
+        assert bounds[1].range_for([2]) == range(2, 5)
+
+    def test_fractional_tightening(self):
+        # 2x <= 7, x >= 0 -> x in [0, 3]
+        s = FMSystem(1)
+        s.add_lower(0, 0)
+        s.add([-2], 7)
+        bounds = bounds_for_order(s, [0])
+        assert bounds[0].range_for([]) == range(0, 4)
+
+    def test_unbounded_raises(self):
+        s = FMSystem(1)
+        s.add_lower(0, 0)
+        with pytest.raises(ValueError):
+            bounds_for_order(s, [0])
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(ValueError):
+            bounds_for_order(box_system([(0, 1)]), [0, 1])
+
+    def test_infeasible_yields_empty_ranges(self):
+        s = FMSystem(2)
+        s.add_lower(0, 5)
+        s.add_upper(0, 3)
+        s.add_lower(1, 0)
+        s.add_upper(1, 1)
+        bounds = bounds_for_order(s, [0, 1])
+        assert len(bounds[0].range_for([])) == 0
+
+
+class TestEnumerateIntegerPoints:
+    def test_box(self):
+        pts = {tuple(int(x) for x in p)
+               for p in enumerate_integer_points(box_system([(1, 2), (1, 3)]))}
+        assert pts == {(x, y) for x in (1, 2) for y in (1, 2, 3)}
+
+    def test_triangle_exact(self):
+        s = FMSystem(2)
+        s.add_lower(0, 1)
+        s.add_upper(0, 3)
+        s.add_lower(1, 1)
+        s.add([1, -1], 0)
+        pts = {tuple(int(x) for x in p) for p in enumerate_integer_points(s)}
+        assert pts == {(x, y) for x in (1, 2, 3) for y in range(1, x + 1)}
+
+    def test_points_satisfy_all_constraints(self):
+        s = box_system([(0, 5), (0, 5)])
+        s.add([-1, -2], 7)  # x + 2y <= 7
+        for p in enumerate_integer_points(s):
+            assert s.satisfied_by(list(p))
+
+    def test_lexicographic_order(self):
+        s = box_system([(1, 3), (1, 3)])
+        pts = [tuple(int(x) for x in p) for p in enumerate_integer_points(s)]
+        assert pts == sorted(pts)
+
+
+class TestAffineForm:
+    def test_eval(self):
+        f = AffineForm((Fraction(1), Fraction(-2)), Fraction(3))
+        assert f.eval([4, 1]) == 5
+
+    def test_render(self):
+        f = AffineForm((Fraction(1), Fraction(-1)), Fraction(8))
+        assert f.render(["a", "b"]) == "a - b + 8"
+        g = AffineForm((Fraction(0), Fraction(0)), Fraction(-3))
+        assert g.render(["a", "b"]) == "-3"
+        h = AffineForm((Fraction(1, 2), Fraction(0)), Fraction(0))
+        assert "1/2" in h.render(["a", "b"])

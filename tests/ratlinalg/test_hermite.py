@@ -1,0 +1,102 @@
+"""Hermite normal form and canonical lattice bases."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ratlinalg import RatMat, RatVec
+from repro.ratlinalg.hermite import hermite_normal_form, lattice_canonical_basis
+
+
+def check_hnf(m: RatMat):
+    h, u = hermite_normal_form(m)
+    assert m @ u == h
+    assert abs(u.det()) == 1
+    # column structure: pivots strictly descend... (rows of first nonzero
+    # strictly increase with column), zero columns trail
+    pivots = []
+    seen_zero = False
+    for j in range(h.ncols):
+        col = [h[i, j] for i in range(h.nrows)]
+        nz = [i for i, x in enumerate(col) if x != 0]
+        if not nz:
+            seen_zero = True
+            continue
+        assert not seen_zero, "zero column before a nonzero one"
+        pivots.append((nz[0], j))
+        assert col[nz[0]] > 0
+    rows = [r for r, _ in pivots]
+    assert rows == sorted(rows) and len(set(rows)) == len(rows)
+    # reduction: entries left of a pivot in its row lie in [0, pivot)
+    for r, j in pivots:
+        for jj in range(j):
+            assert 0 <= h[r, jj] < h[r, j]
+    return h, u
+
+
+class TestHNF:
+    def test_identity(self):
+        h, u = check_hnf(RatMat.identity(3))
+        assert h == RatMat.identity(3)
+
+    def test_simple(self):
+        check_hnf(RatMat([[2, 4], [1, 3]]))
+
+    def test_singular(self):
+        h, _ = check_hnf(RatMat([[1, 2], [2, 4]]))
+        # rank 1: one nonzero column
+        nonzero = sum(1 for j in range(2)
+                      if any(h[i, j] != 0 for i in range(2)))
+        assert nonzero == 1
+
+    def test_wide_and_tall(self):
+        check_hnf(RatMat([[4, 6, 10]]))
+        check_hnf(RatMat([[4], [6], [10]]))
+
+    def test_gcd_in_pivot(self):
+        h, _ = check_hnf(RatMat([[6, 10]]))
+        assert h[0, 0] == 2  # gcd(6,10)
+
+    def test_non_integer_rejected(self):
+        from fractions import Fraction
+
+        with pytest.raises(ValueError):
+            hermite_normal_form(RatMat([[Fraction(1, 2)]]))
+
+    @given(st.lists(st.lists(st.integers(-5, 5), min_size=3, max_size=3),
+                    min_size=1, max_size=3))
+    @settings(max_examples=60, deadline=None)
+    def test_random(self, rows):
+        check_hnf(RatMat(rows))
+
+
+class TestCanonicalBasis:
+    def test_same_lattice_same_basis(self):
+        b1 = lattice_canonical_basis([RatVec([1, 0]), RatVec([0, 1])])
+        b2 = lattice_canonical_basis([RatVec([1, 1]), RatVec([0, 1])])
+        assert b1 == b2  # both generate Z^2
+
+    def test_different_lattices_differ(self):
+        b1 = lattice_canonical_basis([RatVec([2, 0]), RatVec([0, 2])])
+        b2 = lattice_canonical_basis([RatVec([1, 0]), RatVec([0, 1])])
+        assert b1 != b2
+
+    def test_redundant_generators_collapse(self):
+        b1 = lattice_canonical_basis([RatVec([1, 2])])
+        b2 = lattice_canonical_basis([RatVec([1, 2]), RatVec([2, 4]),
+                                      RatVec([-3, -6])])
+        assert b1 == b2 and len(b2) == 1
+
+    def test_empty(self):
+        assert lattice_canonical_basis([]) == []
+        assert lattice_canonical_basis([RatVec([0, 0])]) == []
+
+    def test_sublattice_of_kernel(self):
+        """SNF integer-kernel basis canonicalizes consistently."""
+        from repro.ratlinalg import integer_kernel_basis
+
+        m = RatMat([[1, 1], [1, 1]])
+        basis = integer_kernel_basis(m)
+        canon = lattice_canonical_basis(basis)
+        assert len(canon) == 1
+        assert (m @ canon[0]).is_zero()

@@ -1,0 +1,101 @@
+"""RREF, rank, nullspace, integer echelon."""
+
+from fractions import Fraction
+
+from repro.ratlinalg import RatMat, RatVec, nullspace, rank, row_echelon_int, rref
+
+
+class TestRref:
+    def test_identity_fixed_point(self):
+        m = RatMat.identity(3)
+        r, pivots = rref(m)
+        assert r == m and pivots == [0, 1, 2]
+
+    def test_simple(self):
+        r, pivots = rref(RatMat([[2, 4], [1, 2]]))
+        assert r == RatMat([[1, 2], [0, 0]])
+        assert pivots == [0]
+
+    def test_pivot_skips_zero_column(self):
+        r, pivots = rref(RatMat([[0, 3, 6], [0, 1, 2]]))
+        assert pivots == [1]
+        assert r.row(0) == (0, 1, 2)
+
+    def test_rank(self):
+        assert rank(RatMat([[1, 1], [1, 1]])) == 1
+        assert rank(RatMat([[1, 0], [0, 1]])) == 2
+        assert rank(RatMat([[0, 0], [0, 0]])) == 0
+        assert rank(RatMat([[1, 2, 3], [4, 5, 6]])) == 2
+
+
+class TestNullspace:
+    def test_l2_array_a(self):
+        # paper Example 2: Ker(H_A) = span{(1,-1)}
+        basis = nullspace(RatMat([[1, 1], [1, 1]]))
+        assert len(basis) == 1
+        v = basis[0]
+        assert v == (-1, 1) or v == (1, -1)
+
+    def test_trivial_kernel(self):
+        assert nullspace(RatMat([[2, 0], [0, 1]])) == []
+
+    def test_full_kernel(self):
+        basis = nullspace(RatMat([[0, 0], [0, 0]]))
+        assert len(basis) == 2
+
+    def test_l5_arrays(self):
+        # paper Section IV: Ker of matmul reference matrices
+        h_a = RatMat([[1, 0, 0], [0, 0, 1]])   # A[i,k]
+        h_b = RatMat([[0, 0, 1], [0, 1, 0]])   # B[k,j]
+        h_c = RatMat([[1, 0, 0], [0, 1, 0]])   # C[i,j]
+        assert nullspace(h_a) == [RatVec([0, 1, 0])]
+        assert nullspace(h_b) == [RatVec([1, 0, 0])]
+        assert nullspace(h_c) == [RatVec([0, 0, 1])]
+
+    def test_members_satisfy_equation(self):
+        m = RatMat([[1, 2, 3], [2, 4, 6]])
+        for v in nullspace(m):
+            assert (m @ v).is_zero()
+            assert v.is_integral()  # primitive scaling
+
+    def test_wide_matrix(self):
+        m = RatMat([[1, -1, 1]])  # L4's Psi normal
+        basis = nullspace(m)
+        assert len(basis) == 2
+        for v in basis:
+            assert (m @ v).is_zero()
+
+
+class TestRowEchelonInt:
+    def test_already_echelon(self):
+        rows = [RatVec([1, 1, 0]), RatVec([0, 1, 1])]
+        ech, pivots, origin = row_echelon_int(rows)
+        assert pivots == [0, 1]
+        assert origin == [0, 1]
+
+    def test_needs_elimination(self):
+        # paper Example 4: Q = {(1,1,0), (-1,0,1)}; echelon pivots 0 and 1,
+        # second echelon row derived from the second original row.
+        rows = [RatVec([1, 1, 0]), RatVec([-1, 0, 1])]
+        ech, pivots, origin = row_echelon_int(rows)
+        assert pivots == [0, 1]
+        assert origin == [0, 1]
+        assert ech[1] == (0, 1, 1)
+
+    def test_reordering(self):
+        rows = [RatVec([0, 1]), RatVec([1, 0])]
+        ech, pivots, origin = row_echelon_int(rows)
+        assert pivots == [0, 1]
+        assert origin == [1, 0]  # row 1 supplied the first pivot
+
+    def test_empty(self):
+        assert row_echelon_int([]) == ([], [], [])
+
+    def test_pivot_positions_strictly_increase(self):
+        rows = [RatVec([2, 1, 3]), RatVec([4, 2, 7]), RatVec([0, 5, 1])]
+        ech, pivots, origin = row_echelon_int(rows)
+        assert pivots == sorted(pivots)
+        assert len(set(pivots)) == len(pivots)
+        for row, p in zip(ech, pivots):
+            assert all(row[j] == 0 for j in range(p))
+            assert row[p] != 0

@@ -1,0 +1,115 @@
+"""Smith normal form and Diophantine systems."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.ratlinalg import RatMat, RatVec, smith_normal_form, solve_diophantine
+
+
+def check_snf(m: RatMat):
+    u, d, v = smith_normal_form(m)
+    # decomposition holds
+    assert u @ m @ v == d
+    # unimodular transforms
+    assert abs(u.det()) == 1
+    assert abs(v.det()) == 1
+    # diagonal with divisibility chain
+    for i in range(d.nrows):
+        for j in range(d.ncols):
+            if i != j:
+                assert d[i, j] == 0
+    diag = [d[i, i] for i in range(min(d.nrows, d.ncols))]
+    for a, b in zip(diag, diag[1:]):
+        if a != 0:
+            assert b % a == 0
+        else:
+            assert b == 0
+    # nonnegative diagonal
+    assert all(x >= 0 for x in diag)
+    return diag
+
+
+class TestSmithNormalForm:
+    def test_identity(self):
+        assert check_snf(RatMat.identity(3)) == [1, 1, 1]
+
+    def test_diagonal_reordering(self):
+        assert check_snf(RatMat([[2, 0], [0, 1]])) == [1, 2]
+
+    def test_singular(self):
+        diag = check_snf(RatMat([[1, 1], [1, 1]]))
+        assert diag == [1, 0]
+
+    def test_wide(self):
+        check_snf(RatMat([[2, 4, 4]]))
+
+    def test_tall(self):
+        check_snf(RatMat([[2], [4], [6]]))
+
+    def test_classic_example(self):
+        diag = check_snf(RatMat([[2, 4, 4], [-6, 6, 12], [10, 4, 16]]))
+        assert diag == [2, 2, 156]
+
+    def test_zero_matrix(self):
+        assert check_snf(RatMat([[0, 0], [0, 0]])) == [0, 0]
+
+    def test_negative_entries(self):
+        check_snf(RatMat([[-3, 1], [7, -2]]))
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(ValueError):
+            smith_normal_form(RatMat([[Fraction(1, 2)]]))
+
+
+class TestSolveDiophantine:
+    def test_no_integer_solution(self):
+        # 2x = 1 unsolvable over Z (the L1 array-A parity obstruction)
+        assert solve_diophantine(RatMat([[2, 0], [0, 1]]), RatVec([1, 1])) is None
+
+    def test_even_rhs_solvable(self):
+        sol = solve_diophantine(RatMat([[2, 0], [0, 1]]), RatVec([2, 1]))
+        assert sol is not None
+        assert sol.particular == (1, 1)
+        assert sol.dim == 0
+
+    def test_singular_lattice(self):
+        # paper Example 2: H_A t = (1,1) -> integer solutions (1,0)+k(-1,1)
+        a = RatMat([[1, 1], [1, 1]])
+        sol = solve_diophantine(a, RatVec([1, 1]))
+        assert sol is not None and sol.dim == 1
+        assert a @ sol.particular == RatVec([1, 1])
+        b = sol.lattice_basis[0]
+        assert (a @ b).is_zero()
+        for k in (-3, 2):
+            t = sol.particular + b * k
+            assert t.is_integral()
+            assert a @ t == RatVec([1, 1])
+
+    def test_inconsistent_rational(self):
+        assert solve_diophantine(RatMat([[1, 1], [1, 1]]), RatVec([1, 2])) is None
+
+    def test_fractional_rhs(self):
+        assert solve_diophantine(RatMat([[1, 0]]), RatVec([Fraction(1, 2)])) is None
+
+    def test_gcd_condition(self):
+        # 6x + 10y = r solvable over Z iff gcd(6,10)=2 divides r
+        a = RatMat([[6, 10]])
+        assert solve_diophantine(a, RatVec([3])) is None
+        sol = solve_diophantine(a, RatVec([4]))
+        assert sol is not None
+        assert 6 * sol.particular[0] + 10 * sol.particular[1] == 4
+        assert sol.dim == 1
+
+    def test_zero_rhs_gives_kernel_lattice(self):
+        a = RatMat([[1, -1, 1]])
+        sol = solve_diophantine(a, RatVec([0]))
+        assert sol is not None
+        assert sol.particular == (0, 0, 0)
+        assert sol.dim == 2
+        for b in sol.lattice_basis:
+            assert (a @ b).is_zero() and b.is_integral()
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            solve_diophantine(RatMat([[1, 0]]), RatVec([1, 2]))

@@ -1,0 +1,78 @@
+"""Rational system solving."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.ratlinalg import RatMat, RatVec, solve_full, solve_particular
+
+
+class TestSolveParticular:
+    def test_unique_solution(self):
+        a = RatMat([[2, 0], [0, 1]])
+        t = solve_particular(a, RatVec([2, 1]))
+        assert t == (1, 1)
+
+    def test_paper_l2_fractional_solution(self):
+        # H_B t = (1,1) has the unique solution (1/2, 1)  (Example 2)
+        a = RatMat([[2, 0], [0, 1]])
+        t = solve_particular(a, RatVec([1, 1]))
+        assert t == (Fraction(1, 2), 1)
+
+    def test_paper_l2_singular_consistent(self):
+        # H_A t = (1,1): the paper picks (1/2, 1/2); any particular works
+        a = RatMat([[1, 1], [1, 1]])
+        t = solve_particular(a, RatVec([1, 1]))
+        assert t is not None
+        assert a @ t == RatVec([1, 1])
+
+    def test_inconsistent(self):
+        # H_A t = (0,-1) has no solution (paper: "no data dependence
+        # between A[i+j-1,i+j-1] and A[i+j-1,i+j]")
+        a = RatMat([[1, 1], [1, 1]])
+        assert solve_particular(a, RatVec([0, -1])) is None
+
+    def test_wide_system(self):
+        a = RatMat([[1, 2, 3]])
+        t = solve_particular(a, RatVec([6]))
+        assert t is not None and a @ t == RatVec([6])
+
+    def test_tall_system_consistent(self):
+        a = RatMat([[1, 0], [0, 1], [1, 1]])
+        t = solve_particular(a, RatVec([1, 2, 3]))
+        assert t == (1, 2)
+
+    def test_tall_system_inconsistent(self):
+        a = RatMat([[1, 0], [0, 1], [1, 1]])
+        assert solve_particular(a, RatVec([1, 2, 4])) is None
+
+    def test_rhs_length_mismatch(self):
+        with pytest.raises(ValueError):
+            solve_particular(RatMat([[1, 0]]), RatVec([1, 2]))
+
+    def test_zero_rhs_returns_zero(self):
+        a = RatMat([[1, 1], [1, 1]])
+        assert solve_particular(a, RatVec([0, 0])) == (0, 0)
+
+
+class TestSolveFull:
+    def test_solution_set_structure(self):
+        a = RatMat([[1, 1], [1, 1]])
+        res = solve_full(a, RatVec([2, 2]))
+        assert res is not None
+        t0, kernel = res
+        assert a @ t0 == RatVec([2, 2])
+        assert len(kernel) == 1
+        # every t0 + c*k solves the system
+        for c in (-2, 1, 5):
+            t = t0 + kernel[0] * c
+            assert a @ t == RatVec([2, 2])
+
+    def test_inconsistent_returns_none(self):
+        assert solve_full(RatMat([[1, 1], [1, 1]]), RatVec([1, 2])) is None
+
+    def test_unique(self):
+        res = solve_full(RatMat.identity(2), RatVec([5, 7]))
+        assert res is not None
+        t0, kernel = res
+        assert t0 == (5, 7) and kernel == []

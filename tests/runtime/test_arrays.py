@@ -1,0 +1,96 @@
+"""DataSpace storage and footprint computation."""
+
+import pytest
+
+from repro.analysis import extract_references
+from repro.lang import catalog, parse
+from repro.runtime import DataSpace, array_footprints, default_init, make_arrays
+
+
+class TestDataSpace:
+    def test_offset_indexing(self):
+        ds = DataSpace("A", (0, 2), (4, 5))
+        ds[(0, 2)] = 1.5
+        ds[(4, 5)] = 2.5
+        assert ds[(0, 2)] == 1.5
+        assert ds[(4, 5)] == 2.5
+
+    def test_negative_origins(self):
+        ds = DataSpace("A", (-3,), (3,))
+        ds[(-3,)] = 9.0
+        assert ds[(-3,)] == 9.0
+
+    def test_out_of_bounds(self):
+        ds = DataSpace("A", (1,), (4,))
+        with pytest.raises(IndexError):
+            _ = ds[(0,)]
+        with pytest.raises(IndexError):
+            ds[(5,)] = 1.0
+        with pytest.raises(IndexError):
+            _ = ds[(1, 1)]
+
+    def test_contains(self):
+        ds = DataSpace("A", (0, 0), (2, 2))
+        assert (1, 1) in ds and (3, 0) not in ds
+
+    def test_empty_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            DataSpace("A", (2,), (1,))
+
+    def test_fill_copy_equality(self):
+        ds = DataSpace("A", (0,), (3,)).fill_with(lambda c: c[0] * 2.0)
+        cp = ds.copy()
+        assert ds == cp
+        cp[(0,)] = 99.0
+        assert ds != cp
+        assert ds.allclose(ds)
+
+    def test_coords_iter_covers_all(self):
+        ds = DataSpace("A", (1, 1), (2, 3))
+        assert len(list(ds.coords_iter())) == 6
+
+
+class TestFootprints:
+    def test_l1_matches_paper_ranges(self, l1):
+        fp = array_footprints(extract_references(l1))
+        # paper Fig. 1: A[0:8,0:4], B[1:4,2:5], C[0:4,0:4]
+        assert fp["A"] == ((0, 0), (8, 4))
+        assert fp["B"] == ((1, 2), (4, 5))
+        assert fp["C"] == ((0, 0), (4, 4))
+
+    def test_l2_ranges(self, l2):
+        fp = array_footprints(extract_references(l2))
+        # paper Fig. 4: A[1:8,1:8], B[1:8,0:4]
+        assert fp["A"] == ((1, 1), (8, 8))
+        assert fp["B"] == ((1, 0), (8, 4))
+
+    def test_footprint_covers_every_access(self):
+        nest = parse("for i = 1 to 5 { A[3 - i] = B[2*i + 1]; }")
+        model = extract_references(nest)
+        fp = array_footprints(model)
+        for name in ("A", "B"):
+            lo, hi = fp[name]
+            info = model.arrays[name]
+            for it in model.space.iterate():
+                for ref in info.references:
+                    (x,) = info.element_at(it, ref.offset)
+                    assert lo[0] <= x <= hi[0]
+
+
+class TestMakeArrays:
+    def test_all_arrays_allocated(self, l1):
+        arrays = make_arrays(extract_references(l1))
+        assert set(arrays) == {"A", "B", "C"}
+        assert (0, 0) in arrays["A"]
+
+    def test_default_init_deterministic_and_distinct(self):
+        f = default_init("A")
+        g = default_init("A")
+        assert f((1, 2)) == g((1, 2))
+        assert f((1, 2)) != f((2, 1))
+        assert default_init("B")((1, 2)) != f((1, 2))
+
+    def test_custom_init(self, l1):
+        arrays = make_arrays(extract_references(l1),
+                             init=lambda name: (lambda c: 42.0))
+        assert arrays["C"][(1, 1)] == 42.0

@@ -1,0 +1,81 @@
+"""The unified machine run: distribution + execution + stats in one call."""
+
+import pytest
+
+from repro.core import Strategy, build_plan
+from repro.lang import catalog
+from repro.machine import Multicomputer, Mesh2D, UNIT_COSTS
+from repro.machine.cost import CostModel
+from repro.runtime import run_on_machine
+
+CHEAP = CostModel(t_comp=1e-3, t_start=1e-6, t_comm=1e-7)
+
+
+class TestRunOnMachine:
+    def test_l1_exact_and_communication_free(self, l1):
+        run = run_on_machine(build_plan(l1), p=4, cost=CHEAP)
+        assert run.exact
+        assert run.communication_free
+        assert run.stats.messages > 0          # the initial distribution
+        assert run.makespan > 0
+
+    def test_compute_charged_to_processors(self, l1):
+        run = run_on_machine(build_plan(l1), p=4, cost=CHEAP)
+        total_iters = sum(p.iterations for p in run.machine.processors)
+        assert total_iters == 16
+
+    def test_distribution_grouping_l5pp(self):
+        plan = build_plan(catalog.l5(4), Strategy.DUPLICATE)
+        run = run_on_machine(plan, p=16, cost=CHEAP)
+        kinds = {m.kind for m in run.machine.network.log.messages}
+        # shared A-rows / B-columns travel as multicasts, C as sends
+        assert "multicast" in kinds and "send" in kinds
+        assert run.exact
+
+    def test_broadcast_when_all_share(self):
+        plan = build_plan(catalog.l5(4), Strategy.DUPLICATE,
+                          duplicate_arrays={"B"})
+        run = run_on_machine(plan, p=4, cost=CHEAP)
+        kinds = [m.kind for m in run.machine.network.log.messages]
+        assert "broadcast" in kinds  # whole B to everybody (the L5' pattern)
+
+    def test_redundancy_reduces_charged_compute(self, l3):
+        full = run_on_machine(build_plan(l3, Strategy.DUPLICATE), p=1,
+                              cost=UNIT_COSTS)
+        mini = run_on_machine(
+            build_plan(l3, Strategy.DUPLICATE, eliminate_redundant=True),
+            p=1, cost=UNIT_COSTS)
+        assert mini.stats.max_compute_time < full.stats.max_compute_time
+        assert mini.exact
+
+    def test_custom_machine(self, l1):
+        mc = Multicomputer(Mesh2D(2, 2), cost=CHEAP)
+        run = run_on_machine(build_plan(l1), p=4, machine=mc, cost=CHEAP)
+        assert run.machine is mc
+
+    def test_machine_too_small(self, l1):
+        mc = Multicomputer(Mesh2D(1, 2), cost=CHEAP)
+        with pytest.raises(ValueError, match="needs"):
+            run_on_machine(build_plan(l1), p=4, machine=mc)
+
+    def test_sequential_plan_single_node(self, l5):
+        run = run_on_machine(build_plan(l5), p=4, cost=CHEAP)
+        # k = 0: the degenerate grid puts everything on one node
+        assert run.machine.num_processors == 1
+        assert run.exact
+
+    def test_makespan_additivity(self, l1):
+        run = run_on_machine(build_plan(l1), p=4, cost=CHEAP)
+        st = run.stats
+        assert run.makespan == pytest.approx(
+            st.distribution_time + st.max_compute_time)
+
+    def test_scalars(self, scalars):
+        plan = build_plan(catalog.l3_sub())
+        run = run_on_machine(plan, p=2, cost=CHEAP, scalars=scalars)
+        assert run.exact
+
+    def test_no_verify_mode(self, l1):
+        run = run_on_machine(build_plan(l1), p=4, cost=CHEAP, verify=False)
+        assert run.exact  # default True when not checked
+        assert run.merged  # still merged

@@ -1,0 +1,54 @@
+"""Last-writer merge of replicated copies."""
+
+from repro.core import Strategy, build_plan
+from repro.lang import catalog, parse
+from repro.runtime import make_arrays, merge_copies, run_parallel, run_sequential
+
+
+def merged_result(nest, **plan_kwargs):
+    plan = build_plan(nest, **plan_kwargs)
+    initial = make_arrays(plan.model)
+    res = run_parallel(plan, initial=initial)
+    return plan, initial, merge_copies(res, initial)
+
+
+class TestMerge:
+    def test_unwritten_elements_keep_initial(self, l1):
+        plan, initial, merged = merged_result(l1)
+        # A[0,0] is only ever read
+        assert merged["A"][(0, 0)] == initial["A"][(0, 0)]
+
+    def test_written_elements_updated(self, l1):
+        plan, initial, merged = merged_result(l1)
+        expected = {n: a.copy() for n, a in initial.items()}
+        run_sequential(l1, expected)
+        for name in merged:
+            assert merged[name] == expected[name]
+
+    def test_output_dependence_order_respected(self):
+        """Two blocks write the same element; the later (sequential)
+        writer must win in the merge."""
+        # L2 duplicate: A[i+j,i+j] written by every iteration on the
+        # same anti-diagonal, each its own block.
+        nest = catalog.l2()
+        plan, initial, merged = merged_result(nest, strategy=Strategy.DUPLICATE)
+        expected = {n: a.copy() for n, a in initial.items()}
+        run_sequential(nest, expected)
+        assert merged["A"] == expected["A"]
+        assert merged["B"] == expected["B"]
+
+    def test_merge_with_redundancy_elimination(self, l3):
+        plan, initial, merged = merged_result(
+            l3, strategy=Strategy.DUPLICATE, eliminate_redundant=True)
+        expected = {n: a.copy() for n, a in initial.items()}
+        run_sequential(l3, expected)
+        assert merged["A"] == expected["A"]
+
+    def test_merge_does_not_mutate_inputs(self, l1):
+        plan = build_plan(l1)
+        initial = make_arrays(plan.model)
+        snapshot = {n: a.copy() for n, a in initial.items()}
+        res = run_parallel(plan, initial=initial)
+        merge_copies(res, initial)
+        for name in initial:
+            assert initial[name] == snapshot[name]

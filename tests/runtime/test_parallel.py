@@ -1,0 +1,88 @@
+"""The parallel executor."""
+
+import pytest
+
+from repro.core import Strategy, build_plan
+from repro.lang import catalog
+from repro.machine.memory import RemoteAccessError
+from repro.runtime import make_arrays, run_parallel
+
+
+class TestExecution:
+    def test_one_processor_per_block(self, l1):
+        plan = build_plan(l1)
+        res = run_parallel(plan)
+        assert set(res.memories) == set(range(7))
+        assert res.executed_iterations == 16
+        assert res.remote_accesses == 0
+
+    def test_loads_per_block(self, l1):
+        plan = build_plan(l1)
+        res = run_parallel(plan)
+        assert sorted(res.loads().values(), reverse=True) == [4, 3, 3, 2, 2, 1, 1]
+
+    def test_custom_block_mapping(self, l1):
+        plan = build_plan(l1)
+        mapping = {b.index: b.index % 2 for b in plan.blocks}
+        res = run_parallel(plan, block_to_pid=mapping)
+        assert set(res.block_to_pid.values()) == {0, 1}
+        assert set(res.loads()) == {0, 1}
+        assert sum(res.loads().values()) == 16
+        # regions stay per-block even when sharing a processor
+        assert set(res.memories) == set(range(7))
+        assert res.memory_words_by_pid().keys() == {0, 1}
+
+    def test_write_stamps_recorded(self, l1):
+        plan = build_plan(l1)
+        res = run_parallel(plan)
+        # every executed write leaves a stamp
+        assert len(res.write_stamps) > 0
+        blocks = {blk for (blk, _, _) in res.write_stamps}
+        assert blocks <= set(range(7))
+
+    def test_skips_redundant(self, l3):
+        plan = build_plan(l3, Strategy.DUPLICATE, eliminate_redundant=True)
+        res = run_parallel(plan)
+        assert res.skipped_computations == 12
+        # only the executed S1 instances write A[:,4]
+        stamped = {(a, c) for (_, a, c) in res.write_stamps}
+        assert ("A", (1, 4)) in stamped
+
+    def test_duplicate_copies_are_private(self, l5):
+        plan = build_plan(l5, Strategy.DUPLICATE)
+        initial = make_arrays(plan.model)
+        res = run_parallel(plan, initial=initial)
+        # B[1,1] is replicated into the 4 blocks that need k=1, j=1
+        holders = [blk for blk, mem in res.memories.items()
+                   if mem.holds("B", (1, 1))]
+        assert len(holders) == 4
+
+    def test_remote_access_raises_on_bad_plan(self, l1):
+        """Sabotage the mapping: two blocks with a shared flow dependence
+        cannot run on different memories without communication."""
+        plan = build_plan(l1)
+        # shrink block 0's data: steal an element it wrote
+        from repro.core.partition import DataBlock
+
+        db0 = plan.data_blocks["A"][0]
+        victim = next(iter(db0.elements))
+        plan.data_blocks["A"][0] = DataBlock(
+            array="A", block_index=0,
+            elements=frozenset(e for e in db0.elements if e != victim))
+        with pytest.raises(RemoteAccessError):
+            run_parallel(plan)
+
+    def test_scalars_used(self, scalars):
+        plan = build_plan(catalog.l3_sub())
+        res = run_parallel(plan, scalars=scalars)
+        assert res.remote_accesses == 0
+
+    def test_executed_plus_skipped_consistent(self, l3):
+        plan = build_plan(l3, Strategy.DUPLICATE, eliminate_redundant=True)
+        res = run_parallel(plan)
+        nstmts = 2
+        size = plan.model.space.size()
+        executed_comps = sum(
+            1 for b in plan.blocks for it in b.iterations
+            for k in range(nstmts) if plan.executes(k, it))
+        assert executed_comps + res.skipped_computations == size * nstmts

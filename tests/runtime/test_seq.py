@@ -1,0 +1,114 @@
+"""The sequential interpreter (golden model)."""
+
+import pytest
+
+from repro.analysis import extract_references
+from repro.lang import catalog, parse
+from repro.runtime import make_arrays, run_sequential
+from repro.runtime.seq import eval_expr, subscript_coords
+from repro.lang.ast import BinOp, Const, Name, UnaryOp
+
+
+class TestEvalExpr:
+    def test_arithmetic(self):
+        env, sc = {"i": 3}, {"D": 2.0}
+        read = lambda a, c: 10.0
+        e = BinOp("+", BinOp("*", Name("i"), Const(4)), Name("D"))
+        assert eval_expr(e, env, sc, read) == 14.0
+
+    def test_division_true(self):
+        e = BinOp("/", Const(7), Const(2))
+        assert eval_expr(e, {}, {}, lambda a, c: 0) == 3.5
+
+    def test_unary(self):
+        e = UnaryOp("-", Const(3))
+        assert eval_expr(e, {}, {}, lambda a, c: 0) == -3.0
+
+    def test_array_read_coords(self):
+        seen = {}
+
+        def read(a, c):
+            seen[a] = c
+            return 1.0
+
+        nest = parse("for i = 1 to 2 { X[1] = A[2*i - 1]; }")
+        eval_expr(nest.statements[0].rhs, {"i": 2}, {}, read)
+        assert seen["A"] == (3,)
+
+    def test_unbound_name_raises(self):
+        with pytest.raises(KeyError, match="unbound name"):
+            eval_expr(Name("zzz"), {}, {}, lambda a, c: 0)
+
+    def test_subscript_coords(self):
+        nest = parse("for i = 1 to 2 { A[i + 1, 2*i] = 0; }")
+        assert subscript_coords(nest.statements[0].lhs, {"i": 3}) == (4, 6)
+
+
+class TestRunSequential:
+    def test_simple_accumulation(self):
+        nest = parse("for i = 1 to 4 { S[1] = S[1] + 1; }")
+        model = extract_references(nest)
+        arrays = make_arrays(model, init=lambda n: (lambda c: 0.0))
+        run_sequential(nest, arrays)
+        assert arrays["S"][(1,)] == 4.0
+
+    def test_matmul_against_numpy(self):
+        import numpy as np
+
+        m = 4
+        nest = catalog.l5(m)
+        model = extract_references(nest)
+        arrays = make_arrays(model)
+        a0 = np.array([[arrays["A"][(i, k)] for k in range(1, m + 1)]
+                       for i in range(1, m + 1)])
+        b0 = np.array([[arrays["B"][(k, j)] for j in range(1, m + 1)]
+                       for k in range(1, m + 1)])
+        c0 = np.array([[arrays["C"][(i, j)] for j in range(1, m + 1)]
+                       for i in range(1, m + 1)])
+        run_sequential(nest, arrays)
+        got = np.array([[arrays["C"][(i, j)] for j in range(1, m + 1)]
+                        for i in range(1, m + 1)])
+        assert np.allclose(got, c0 + a0 @ b0)
+
+    def test_lexicographic_dependency_order(self):
+        # prefix-sum style recurrence: order matters
+        nest = parse("for i = 1 to 5 { P[i] = P[i - 1] + 1; }")
+        model = extract_references(nest)
+        arrays = make_arrays(model, init=lambda n: (lambda c: 0.0))
+        run_sequential(nest, arrays)
+        assert [arrays["P"][(i,)] for i in range(6)] == [0, 1, 2, 3, 4, 5]
+
+    def test_statement_order_within_iteration(self):
+        nest = parse("""
+            for i = 1 to 3 {
+              A[i] = 10;
+              B[i] = A[i] * 2;
+            }
+        """)
+        model = extract_references(nest)
+        arrays = make_arrays(model, init=lambda n: (lambda c: -1.0))
+        run_sequential(nest, arrays)
+        assert all(arrays["B"][(i,)] == 20.0 for i in range(1, 4))
+
+    def test_scalars(self, scalars):
+        nest = catalog.l3_sub()
+        model = extract_references(nest)
+        arrays = make_arrays(model)
+        run_sequential(nest, arrays, scalars=scalars)
+        # S4': B[i, j-1] = G*5 - K = 7.0 wherever not overwritten later
+        assert arrays["B"][(1, 0)] == 1.5 * 5 - 0.5
+
+    def test_missing_scalar_raises(self):
+        nest = catalog.l3_sub()
+        model = extract_references(nest)
+        arrays = make_arrays(model)
+        with pytest.raises(KeyError):
+            run_sequential(nest, arrays, scalars={})
+
+    def test_triangular_space(self):
+        nest = catalog.triangular(4)
+        model = extract_references(nest)
+        arrays = make_arrays(model, init=lambda n: (lambda c: 1.0))
+        run_sequential(nest, arrays)
+        # T[i,j] = T[i-1,j] + V[i,j]; column j accumulates i-j+1 ones + base
+        assert arrays["T"][(4, 1)] == 1.0 + 4  # base 1 + four additions

@@ -1,0 +1,75 @@
+"""End-to-end verification across every strategy on every catalog loop."""
+
+import pytest
+
+from repro.core import Strategy, build_plan
+from repro.lang import catalog
+from repro.runtime import verify_plan
+
+SCALARS = {"D": 2.0, "F": 3.0, "G": 1.5, "K": 0.5}
+
+CASES = [
+    ("L1-nondup", catalog.l1, dict()),
+    ("L1-dup", catalog.l1, dict(strategy=Strategy.DUPLICATE)),
+    ("L2-nondup", catalog.l2, dict()),
+    ("L2-dup", catalog.l2, dict(strategy=Strategy.DUPLICATE)),
+    ("L3-nondup", catalog.l3, dict()),
+    ("L3-min-nondup", catalog.l3, dict(eliminate_redundant=True)),
+    ("L3-min-dup", catalog.l3, dict(strategy=Strategy.DUPLICATE,
+                                    eliminate_redundant=True)),
+    ("L3sub-min-dup", catalog.l3_sub, dict(strategy=Strategy.DUPLICATE,
+                                           eliminate_redundant=True)),
+    ("L4-nondup", catalog.l4, dict()),
+    ("L5-dup", catalog.l5, dict(strategy=Strategy.DUPLICATE)),
+    ("L5-dupB", catalog.l5, dict(strategy=Strategy.DUPLICATE,
+                                 duplicate_arrays={"B"})),
+    ("L5-dupA", catalog.l5, dict(strategy=Strategy.DUPLICATE,
+                                 duplicate_arrays={"A"})),
+    ("CONV-dup", catalog.convolution, dict(strategy=Strategy.DUPLICATE)),
+    ("DFT-dup", catalog.dft, dict(strategy=Strategy.DUPLICATE)),
+    ("STENCIL2D-nondup", catalog.stencil2d, dict()),
+    ("TRI-nondup", catalog.triangular, dict()),
+    ("INDEP-nondup", catalog.independent, dict()),
+    ("INDEP-min-dup", catalog.independent, dict(strategy=Strategy.DUPLICATE,
+                                                eliminate_redundant=True)),
+]
+
+
+@pytest.mark.parametrize("name,fn,kwargs", CASES, ids=[c[0] for c in CASES])
+def test_parallel_equals_sequential_and_communication_free(name, fn, kwargs):
+    plan = build_plan(fn(), **kwargs)
+    report = verify_plan(plan, scalars=SCALARS)
+    assert report.communication_free, f"{name}: {report.remote_accesses} remote"
+    assert report.equal, f"{name}: {report.mismatches[:3]}"
+    report.raise_on_failure()
+
+
+class TestReport:
+    def test_report_fields(self, l1):
+        report = verify_plan(build_plan(l1))
+        assert report.num_blocks == 7
+        assert report.executed_iterations == 16
+        assert report.skipped_computations == 0
+        assert report.ok
+
+    def test_raise_on_failure_passes_through(self, l1):
+        report = verify_plan(build_plan(l1))
+        assert report.raise_on_failure() is report
+
+    def test_failure_raises(self, l1):
+        report = verify_plan(build_plan(l1))
+        report.mismatches.append(("A", (0, 0), 1.0, 2.0))
+        report.equal = False
+        with pytest.raises(AssertionError, match="differs"):
+            report.raise_on_failure()
+
+    def test_custom_block_mapping(self, l1):
+        plan = build_plan(l1)
+        mapping = {b.index: 0 for b in plan.blocks}  # everything on PE0
+        report = verify_plan(plan, block_to_pid=mapping)
+        assert report.ok
+
+    def test_scaled_instances(self):
+        for n in (2, 3, 5, 6):
+            plan = build_plan(catalog.l1(n))
+            assert verify_plan(plan).ok

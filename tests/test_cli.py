@@ -1,0 +1,118 @@
+"""CLI driver tests (all through main(argv, out))."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestAnalyze:
+    def test_catalog_loop(self):
+        code, text = run("analyze", "--loop", "L1")
+        assert code == 0
+        assert "array A" in text
+        assert "(2, 1)" in text                # the DRV
+        assert "fully duplicable" in text      # arrays B / C
+
+    def test_with_elimination(self):
+        code, text = run("analyze", "--loop", "L3", "--eliminate")
+        assert code == 0
+        assert "4/16" in text  # N(S1)
+
+    def test_unknown_loop(self):
+        with pytest.raises(SystemExit):
+            run("analyze", "--loop", "NOPE")
+
+    def test_missing_input(self):
+        with pytest.raises(SystemExit):
+            run("analyze")
+
+    def test_file_input(self, tmp_path):
+        f = tmp_path / "loop.cf"
+        f.write_text("for i = 1 to 4 { A[i] = B[i] * 2; }")
+        code, text = run("analyze", str(f))
+        assert code == 0 and "array A" in text
+
+
+class TestPartition:
+    def test_l1(self):
+        code, text = run("partition", "--loop", "L1")
+        assert code == 0
+        assert "blocks: 7" in text
+        assert "iteration -> block" in text
+
+    def test_duplicate_flag(self):
+        code, text = run("partition", "--loop", "L2", "--duplicate")
+        assert code == 0 and "blocks: 16" in text
+
+    def test_duplicate_subset(self):
+        code, text = run("partition", "--loop", "L5",
+                         "--duplicate-arrays", "B")
+        assert code == 0 and "blocks: 4" in text
+
+    def test_eliminate(self):
+        code, text = run("partition", "--loop", "L3", "--duplicate",
+                         "--eliminate")
+        assert code == 0 and "blocks: 4" in text
+
+    def test_3d_listing(self):
+        code, text = run("partition", "--loop", "L4")
+        assert code == 0 and "more blocks" in text
+
+
+class TestTransform:
+    def test_forall_form(self):
+        code, text = run("transform", "--loop", "L4")
+        assert code == 0
+        assert "forall" in text and "E1:" in text
+
+    def test_spmd(self):
+        code, text = run("transform", "--loop", "L4", "-p", "4")
+        assert code == 0
+        assert "step 2" in text
+        assert "imbalance=1.000" in text
+
+
+class TestVerify:
+    def test_ok(self):
+        code, text = run("verify", "--loop", "L1")
+        assert code == 0 and "OK" in text
+        assert "remote accesses: 0" in text
+
+    def test_with_scalars(self):
+        code, text = run("verify", "--loop", "L3sub", "--scalars",
+                         "D=2,F=3,G=1.5,K=0.5")
+        assert code == 0 and "OK" in text
+
+    def test_eliminate_skips(self):
+        code, text = run("verify", "--loop", "L3", "--duplicate",
+                         "--eliminate")
+        assert code == 0
+        assert "skipped (redundant) computations: 12" in text
+
+
+class TestSelect:
+    def test_l5(self):
+        code, text = run("select", "--loop", "L5", "-p", "4")
+        assert code == 0
+        assert "best:" in text and "duplicate{A,B}" in text
+
+
+class TestFiguresAndTables:
+    def test_figures(self):
+        code, text = run("figures")
+        assert code == 0
+        for fig in ("Fig. 1", "Fig. 7", "Fig. 10"):
+            assert fig in text
+
+    def test_tables(self):
+        code, text = run("tables")
+        assert code == 0
+        assert "Table I" in text and "L5''" in text

@@ -1,0 +1,46 @@
+"""The README's code blocks must actually work."""
+
+from repro import Strategy, build_plan, catalog, parse, verify_plan
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_block(self):
+        nest = parse("""
+            for i = 1 to 4 {
+              for j = 1 to 4 {
+                S1: A[2*i, j] = C[i, j] * 7;
+                S2: B[j, i + 1] = A[2*i - 2, j - 1] + C[i - 1, j - 1];
+              }
+            }
+        """)
+        plan = build_plan(nest, Strategy.NONDUPLICATE)
+        assert "span{(1, 1)}" in plan.summary()
+        report = verify_plan(plan)
+        assert report.communication_free
+        assert report.equal
+
+    def test_strategy_block(self):
+        assert build_plan(catalog.l2(), Strategy.DUPLICATE).num_blocks == 16
+        assert build_plan(catalog.l3(), Strategy.DUPLICATE,
+                          eliminate_redundant=True).num_blocks == 4
+        assert build_plan(catalog.l5(), Strategy.DUPLICATE,
+                          duplicate_arrays={"B"}).num_blocks == 4
+
+    def test_transform_block(self):
+        from repro import (assign_blocks, shape_grid, to_pseudocode,
+                           transform_nest)
+
+        nest = catalog.l4()
+        plan = build_plan(nest)
+        t = transform_nest(nest, plan.psi)
+        text = to_pseudocode(t)
+        assert "forall" in text
+        grid = shape_grid(4, t.k)
+        assignment = assign_blocks(t, grid)
+        assert all(v == 16 for v in assignment.loads().values())
+
+    def test_module_docstring_block(self):
+        import repro
+
+        assert "Quickstart" in (repro.__doc__ or "")
+        assert repro.__version__

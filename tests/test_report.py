@@ -1,0 +1,74 @@
+"""The one-call compiler report."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.lang import catalog
+from repro.machine.cost import CostModel
+from repro.report import compile_report
+
+CHEAP = CostModel(t_comp=1e-3, t_start=1e-6, t_comm=1e-7)
+
+
+class TestCompileReport:
+    def test_l1_report_contents(self):
+        rep = compile_report(catalog.l1(), p=4, cost=CHEAP)
+        text = rep.render()
+        assert "input loop" in text
+        assert "reference analysis" in text
+        assert "strategy comparison" in text
+        assert "parallel form" in text
+        assert "SPMD form" in text
+        assert "digraph" in text
+        assert "OK" in text
+
+    def test_selected_plan_verified(self):
+        rep = compile_report(catalog.l1(), p=4, cost=CHEAP)
+        assert rep.verification is not None and rep.verification.ok
+        assert rep.plan.num_blocks == 7
+
+    def test_l3_elimination_in_report(self):
+        rep = compile_report(catalog.l3(), p=4, cost=CHEAP)
+        text = rep.render()
+        assert "redundancy analysis" in text
+        assert "4/16" in text
+
+    def test_no_verify_mode(self):
+        rep = compile_report(catalog.l2(), p=4, cost=CHEAP, verify=False)
+        assert rep.verification is None
+        assert "verification" not in dict(rep.sections)
+
+    def test_no_elimination_mode(self):
+        rep = compile_report(catalog.l1(), p=4, cost=CHEAP,
+                             consider_elimination=False)
+        assert "redundancy analysis" not in dict(rep.sections)
+
+    def test_scalars_forwarded(self, scalars):
+        rep = compile_report(catalog.l3_sub(), p=4, cost=CHEAP,
+                             scalars=scalars)
+        assert rep.verification is not None and rep.verification.ok
+
+
+class TestReportCli:
+    def run(self, *argv):
+        out = io.StringIO()
+        code = main(list(argv), out=out)
+        return code, out.getvalue()
+
+    def test_report_command(self):
+        code, text = self.run("report", "--loop", "L1", "-p", "4")
+        assert code == 0
+        assert "strategy comparison" in text and "OK" in text
+
+    def test_report_with_scalars(self):
+        code, text = self.run("report", "--loop", "L3sub", "-p", "4",
+                              "--scalars", "D=2,F=3,G=1.5,K=0.5")
+        assert code == 0
+
+    def test_report_no_eliminate(self):
+        code, text = self.run("report", "--loop", "L1", "-p", "4",
+                              "--no-eliminate")
+        assert code == 0
+        assert "redundancy analysis" not in text

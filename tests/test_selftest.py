@@ -1,0 +1,47 @@
+"""The runtime selftest must pass and report every claim."""
+
+import io
+
+from repro.cli import main
+from repro.selftest import _claims, run_selftest
+
+
+class TestSelftest:
+    def test_all_claims_pass(self):
+        out = io.StringIO()
+        failures = run_selftest(out=out)
+        assert failures == 0
+        text = out.getvalue()
+        assert "FAIL" not in text and "ERROR" not in text
+
+    def test_claim_inventory(self):
+        claims = _claims()
+        assert len(claims) >= 15
+        sections = {c.section for c in claims}
+        assert sections == {"II", "III.A", "III.B", "III.C", "IV"}
+
+    def test_cli_command(self):
+        out = io.StringIO()
+        code = main(["selftest"], out=out)
+        assert code == 0
+        assert "claims reproduced" in out.getvalue()
+
+    def test_failure_reported(self, monkeypatch):
+        """A broken claim yields a nonzero failure count, not a crash."""
+        import repro.selftest as st
+
+        real = st._claims
+
+        def broken():
+            claims = real()
+            claims[0] = st.Claim("II", "intentionally false", lambda: False)
+            claims[1] = st.Claim("II", "intentionally crashing",
+                                 lambda: 1 / 0)
+            return claims
+
+        monkeypatch.setattr(st, "_claims", broken)
+        out = io.StringIO()
+        failures = st.run_selftest(out=out)
+        assert failures == 2
+        text = out.getvalue()
+        assert "[FAIL]" in text and "[ERROR]" in text

@@ -1,0 +1,127 @@
+"""Code generation: pseudocode and executable Python."""
+
+import itertools
+
+import pytest
+
+from repro.core import Strategy, build_plan
+from repro.lang import catalog, parse
+from repro.ratlinalg import Subspace
+from repro.runtime import make_arrays, run_sequential
+from repro.transform import compile_nest, to_pseudocode, transform_nest
+from repro.transform.codegen import to_python_source
+
+
+class DictArrays(dict):
+    """Tuple-indexed auto-zero arrays for generated code."""
+
+    def __missing__(self, key):
+        return 0.0
+
+
+def run_generated(nest, psi, scalars=None):
+    t = transform_nest(nest, psi)
+    fn = compile_nest(t)
+    plan_model = build_plan(nest).model
+
+    initial = make_arrays(plan_model)
+
+    class View:
+        def __init__(self, ds):
+            self.ds = ds
+
+        def __getitem__(self, c):
+            return self.ds[c]
+
+        def __setitem__(self, c, v):
+            self.ds[c] = v
+
+    got = {n: a.copy() for n, a in initial.items()}
+    fn({n: View(a) for n, a in got.items()}, scalars or {})
+    expected = {n: a.copy() for n, a in initial.items()}
+    run_sequential(nest, expected, scalars=scalars)
+    return got, expected
+
+
+class TestPseudocode:
+    def test_l4_structure(self, l4):
+        plan = build_plan(l4)
+        t = transform_nest(l4, plan.psi)
+        text = to_pseudocode(t)
+        assert text.count("forall") == 2 + 2  # two headers + two end-forall
+        assert "for i1 =" in text
+        assert "E1:" in text and "E2:" in text
+        assert "end-forall" in text
+
+    def test_sequential_no_forall(self, l5):
+        plan = build_plan(l5)
+        t = transform_nest(l5, plan.psi)
+        text = to_pseudocode(t)
+        assert "forall" not in text
+
+    def test_statements_included(self, l1):
+        plan = build_plan(l1)
+        t = transform_nest(l1, plan.psi)
+        text = to_pseudocode(t)
+        assert "S1:" in text and "S2:" in text
+
+
+class TestPythonSource:
+    def test_source_compiles(self, l4):
+        plan = build_plan(l4)
+        t = transform_nest(l4, plan.psi)
+        src = to_python_source(t, "f")
+        compile(src, "<test>", "exec")
+        assert "def f(arrays, scalars=None):" in src
+
+    def test_divisibility_guard_when_non_unimodular(self):
+        nest = parse("for i = 1 to 4 { for j = 1 to 4 { A[i, j] = 1; } }")
+        t = transform_nest(nest, Subspace(2, [[2, -1]]))
+        src = to_python_source(t)
+        assert "% 2: continue" in src or "% 2:" in src
+
+    def test_no_guard_when_unimodular(self, l4):
+        plan = build_plan(l4)
+        t = transform_nest(l4, plan.psi)
+        assert "continue" not in to_python_source(t)
+
+
+class TestExecutionEquivalence:
+    @pytest.mark.parametrize("fn,kwargs", [
+        (catalog.l1, dict()),
+        (catalog.l4, dict()),
+        (catalog.stencil2d, dict()),
+    ])
+    def test_generated_equals_sequential(self, fn, kwargs):
+        nest = fn()
+        plan = build_plan(nest, **kwargs)
+        got, expected = run_generated(nest, plan.psi)
+        for name in expected:
+            assert got[name] == expected[name], name
+
+    def test_generated_equals_sequential_l5(self):
+        nest = catalog.l5(3)
+        plan = build_plan(nest, Strategy.DUPLICATE)
+        got, expected = run_generated(nest, plan.psi)
+        assert got["C"] == expected["C"]
+
+    def test_non_unimodular_execution(self):
+        nest = parse("""
+            for i = 1 to 4 { for j = 1 to 4 {
+              A[i, j] = B[i, j] * 2;
+            } }
+        """)
+        got, expected = run_generated(nest, Subspace(2, [[2, -1]]))
+        assert got["A"] == expected["A"]
+
+    def test_triangular_execution(self):
+        nest = catalog.triangular(5)
+        plan = build_plan(nest)
+        got, expected = run_generated(nest, plan.psi)
+        assert got["T"] == expected["T"]
+
+    def test_scalars_passed_through(self):
+        nest = parse("for i = 1 to 3 { A[i] = B[i] / D; }")
+        plan = build_plan(nest)
+        got, expected = run_generated(nest, plan.psi, scalars={"D": 4.0})
+        assert got["A"] == expected["A"]

@@ -1,0 +1,55 @@
+"""Golden-master pseudocode: the paper's transformed-loop listings pinned."""
+
+import pathlib
+
+import pytest
+
+from repro.core import Strategy, build_plan
+from repro.lang import catalog
+from repro.mapping import shape_grid
+from repro.transform import to_pseudocode, to_spmd_pseudocode, transform_nest
+
+GOLDEN_DIR = pathlib.Path(__file__).parent.parent / "golden"
+
+
+def _l4():
+    nest = catalog.l4()
+    plan = build_plan(nest)
+    return transform_nest(nest, plan.psi)
+
+
+def _l5pp():
+    nest = catalog.l5()
+    plan = build_plan(nest, Strategy.DUPLICATE)
+    return transform_nest(nest, plan.psi)
+
+
+CASES = {
+    "l4_prime_pseudocode": lambda: to_pseudocode(_l4()),
+    "l4_prime_spmd": lambda: to_spmd_pseudocode(_l4(), shape_grid(4, 2)),
+    "l5_doubleprime_pseudocode": lambda: to_pseudocode(_l5pp()),
+    "l5_doubleprime_spmd": lambda: to_spmd_pseudocode(_l5pp(),
+                                                      shape_grid(16, 2)),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_pseudocode_matches_golden(name):
+    expected = (GOLDEN_DIR / f"{name}.txt").read_text()
+    assert CASES[name]() + "\n" == expected
+
+
+class TestListingStructure:
+    """Structural facts of the paper's listings, independent of goldens."""
+
+    def test_l5pp_stepped_foralls(self):
+        text = to_spmd_pseudocode(_l5pp(), shape_grid(16, 2))
+        assert text.count("step 4") == 2      # p1 = p2 = 4
+        assert "E1: i := ip ;" in text        # extended statements
+        assert "E2: j := jp ;" in text
+        assert "for k = 1 to 4" in text       # the sequential reduction
+
+    def test_l4_two_foralls_one_for(self):
+        text = to_pseudocode(_l4())
+        assert text.count("forall") == 4      # 2 headers + 2 end-forall
+        assert text.count("\n      E") == 2   # two extended statements

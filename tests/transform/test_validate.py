@@ -1,0 +1,75 @@
+"""Transformation validation API."""
+
+import pytest
+
+from repro.core import Strategy, build_plan
+from repro.lang import catalog, parse
+from repro.ratlinalg import Subspace
+from repro.transform import transform_nest, validate_transform
+from repro.transform.loopnest import TransformedNest
+
+
+class TestValidTransforms:
+    @pytest.mark.parametrize("fn,kwargs", [
+        (catalog.l1, dict()),
+        (catalog.l2, dict(strategy=Strategy.DUPLICATE)),
+        (catalog.l4, dict()),
+        (catalog.l5, dict(strategy=Strategy.DUPLICATE)),
+        (catalog.triangular, dict()),
+    ])
+    def test_all_obligations_hold(self, fn, kwargs):
+        nest = fn()
+        plan = build_plan(nest, **kwargs)
+        t = transform_nest(nest, plan.psi)
+        v = validate_transform(t, plan)
+        assert v.ok
+        v.raise_on_failure()
+
+    def test_non_unimodular_still_valid(self):
+        nest = parse("for i = 1 to 4 { for j = 1 to 4 { A[i, j] = 1; } }")
+        t = transform_nest(nest, Subspace(2, [[2, -1]]))
+        assert validate_transform(t).ok
+
+    def test_without_plan(self):
+        nest = catalog.l4()
+        plan = build_plan(nest)
+        t = transform_nest(nest, plan.psi)
+        v = validate_transform(t)
+        assert v.bijective and v.lexicographic and v.blocks_consistent
+
+
+class TestBrokenTransforms:
+    def test_missing_iterations_detected(self):
+        nest = catalog.l1()
+        plan = build_plan(nest)
+        t = transform_nest(nest, plan.psi)
+        # sabotage: clamp the inner upper bound
+        from repro.ratlinalg.fm import AffineForm, LoopBound
+        from fractions import Fraction
+
+        inner = t.bounds[-1]
+        clipped = LoopBound(
+            var_index=inner.var_index,
+            lowers=inner.lowers,
+            uppers=[AffineForm(tuple([Fraction(0)] * len(t.var_names)),
+                               Fraction(1))],  # upper = 1
+        )
+        bad = TransformedNest(nest=t.nest, basis=t.basis,
+                              bounds=t.bounds[:-1] + [clipped],
+                              extended=t.extended)
+        v = validate_transform(bad, plan)
+        assert not v.bijective
+        assert v.missing
+        with pytest.raises(AssertionError, match="missing"):
+            v.raise_on_failure()
+
+    def test_split_blocks_detected(self):
+        """A transform built from a DIFFERENT (finer) space than the plan
+        splits the plan's blocks."""
+        nest = catalog.l1()
+        plan = build_plan(nest)                       # Psi = span{(1,1)}
+        t = transform_nest(nest, Subspace.zero(2))    # singleton blocks
+        v = validate_transform(t, plan)
+        assert v.bijective          # still a bijection
+        assert not v.blocks_consistent
+        assert v.split_blocks

@@ -1,0 +1,66 @@
+"""ASCII partition renderers."""
+
+from repro.core import Strategy, build_plan
+from repro.lang import catalog
+from repro.viz import (
+    render_data_partition,
+    render_data_space,
+    render_iteration_partition,
+)
+
+
+class TestRenderDataSpace:
+    def test_marks_used_cells(self):
+        out = render_data_space([(0, 0), (2, 1)], title="T")
+        assert out.splitlines()[0] == "T"
+        assert "o" in out and "." in out
+
+    def test_empty(self):
+        assert "(empty)" in render_data_space([], title="X")
+
+
+class TestRenderDataPartition:
+    def test_l1_array_a(self):
+        plan = build_plan(catalog.l1())
+        out = render_data_partition(plan.data_blocks["A"])
+        # block ids 0..6 appear; unused strided columns are dots
+        for d in "0123456":
+            assert d in out
+        assert "." in out
+        assert "*" not in out  # non-duplicate: no replication
+
+    def test_duplicated_cells_starred(self):
+        plan = build_plan(catalog.l5(), Strategy.DUPLICATE)
+        out = render_data_partition(plan.data_blocks["B"])
+        assert "*" in out
+
+    def test_axis_labels_present(self):
+        plan = build_plan(catalog.l1())
+        out = render_data_partition(plan.data_blocks["C"])
+        assert "+" in out and "|" in out
+
+
+class TestRenderIterationPartition:
+    def test_l1(self):
+        plan = build_plan(catalog.l1())
+        out = render_iteration_partition(plan.blocks)
+        # diagonal structure: (1,1) and (2,2) same digit
+        lines = {ln.split("|")[0].strip(): ln for ln in out.splitlines()
+                 if "|" in ln}
+        assert lines["1"].split("| ")[1].split()[0] == \
+               lines["2"].split("| ")[1].split()[1]
+
+    def test_mark_overrides(self):
+        plan = build_plan(catalog.l3(), Strategy.DUPLICATE,
+                          eliminate_redundant=True)
+        mark = {(1, 1): ":"}
+        out = render_iteration_partition(plan.blocks, mark=mark)
+        assert ":" in out
+
+    def test_empty(self):
+        assert "(empty)" in render_iteration_partition([], title="E")
+
+    def test_many_blocks_hash_fallback(self):
+        plan = build_plan(catalog.independent(7))  # 49 singleton blocks
+        out = render_iteration_partition(plan.blocks)
+        assert "#" in out  # ids >= 36 render as '#'

@@ -1,0 +1,95 @@
+"""Figure regeneration: the structured data behind Figs. 1-10."""
+
+import pytest
+
+from repro.viz import (
+    fig01_l1_dataspaces,
+    fig02_l1_data_partition,
+    fig03_l1_iteration_partition,
+    fig04_l2_data_partition,
+    fig05_l2_iteration_partition,
+    fig07_l3_reference_graph,
+    fig08_l3_data_partition,
+    fig09_l3_iteration_partition,
+    fig10_l4_processor_assignment,
+)
+
+
+class TestFig1:
+    def test_drvs(self):
+        art = fig01_l1_dataspaces()
+        assert art.data["drvs"] == {"A": [(2, 1)], "B": [], "C": [(1, 1)]}
+
+    def test_renders_all_arrays(self):
+        text = fig01_l1_dataspaces().text
+        for name in ("array A", "array B", "array C"):
+            assert name in text
+
+
+class TestFigs2And3:
+    def test_seven_blocks(self):
+        art = fig02_l1_data_partition()
+        assert art.data["num_blocks"] == 7
+
+    def test_data_block_sizes(self):
+        art = fig02_l1_data_partition()
+        sizes = art.data["block_sizes"]
+        # all referenced elements covered, disjointly
+        # A: {A[2i,j]} ∪ {A[2i-2,j-1]} = 16 + 16 - 9 = 23 distinct elements
+        assert sum(sizes["A"]) == 23
+        assert sum(sizes["B"]) == 16
+        assert sum(sizes["C"]) == 23
+
+    def test_base_points_match_paper(self):
+        art = fig03_l1_iteration_partition()
+        assert art.data["base_points"] == [
+            (1, 1), (1, 2), (1, 3), (1, 4), (2, 1), (3, 1), (4, 1)]
+        assert art.data["block_sizes"] == [4, 3, 2, 1, 3, 2, 1]
+
+
+class TestFigs4And5:
+    def test_16_singleton_blocks(self):
+        assert fig05_l2_iteration_partition().data["num_blocks"] == 16
+
+    def test_replication_reported(self):
+        art = fig04_l2_data_partition()
+        assert art.data["replication"]["A"] > 1.0  # duplicated data visible
+
+
+class TestFig7:
+    def test_edge_structure(self):
+        art = fig07_l3_reference_graph()
+        assert sorted(art.data["edges"]) == sorted([
+            ("w1", "w2", "output"), ("r2", "r1", "input"),
+            ("r2", "w1", "anti"), ("r2", "w2", "anti"),
+            ("w1", "r1", "flow"), ("w2", "r1", "flow"),
+        ])
+
+
+class TestFigs8And9:
+    def test_four_blocks(self):
+        assert fig08_l3_data_partition().data["num_blocks"] == 4
+
+    def test_n_s1(self):
+        art = fig09_l3_iteration_partition()
+        assert art.data["N_S1"] == [(1, 4), (2, 4), (3, 4), (4, 4)]
+
+    def test_dotted_marks_present(self):
+        assert ":" in fig09_l3_iteration_partition().text
+
+
+class TestFig10:
+    def test_grid_and_loads(self):
+        art = fig10_l4_processor_assignment()
+        assert art.data["grid"] == (2, 2)
+        assert art.data["loads"] == {(0, 0): 16, (0, 1): 16,
+                                     (1, 0): 16, (1, 1): 16}
+        assert art.data["imbalance"] == 1.0
+
+    def test_pseudocode_included(self):
+        text = fig10_l4_processor_assignment().text
+        assert "forall" in text
+
+    def test_str_banner(self):
+        s = str(fig10_l4_processor_assignment())
+        assert s.startswith("=== Fig. 10")

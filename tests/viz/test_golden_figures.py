@@ -1,0 +1,58 @@
+"""Golden-master regression tests: figure renderings are pinned byte-exact.
+
+If a legitimate change alters a rendering, regenerate the goldens with:
+
+    python - <<'EOF'
+    from tests.viz.test_golden_figures import regenerate
+    regenerate()
+    EOF
+"""
+
+import pathlib
+
+import pytest
+
+from repro.viz import (
+    fig01_l1_dataspaces,
+    fig02_l1_data_partition,
+    fig03_l1_iteration_partition,
+    fig04_l2_data_partition,
+    fig05_l2_iteration_partition,
+    fig07_l3_reference_graph,
+    fig08_l3_data_partition,
+    fig09_l3_iteration_partition,
+    fig10_l4_processor_assignment,
+)
+
+GOLDEN_DIR = pathlib.Path(__file__).parent.parent / "golden"
+
+FIGURES = {
+    "fig1": fig01_l1_dataspaces,
+    "fig2": fig02_l1_data_partition,
+    "fig3": fig03_l1_iteration_partition,
+    "fig4": fig04_l2_data_partition,
+    "fig5": fig05_l2_iteration_partition,
+    "fig7": fig07_l3_reference_graph,
+    "fig8": fig08_l3_data_partition,
+    "fig9": fig09_l3_iteration_partition,
+    "fig10": fig10_l4_processor_assignment,
+}
+
+
+def regenerate():  # pragma: no cover - maintenance helper
+    for name, fn in FIGURES.items():
+        (GOLDEN_DIR / f"{name}.txt").write_text(str(fn()) + "\n")
+
+
+@pytest.mark.parametrize("name", sorted(FIGURES))
+def test_figure_matches_golden(name):
+    expected = (GOLDEN_DIR / f"{name}.txt").read_text()
+    actual = str(FIGURES[name]()) + "\n"
+    assert actual == expected, (
+        f"{name} rendering changed; if intended, regenerate the goldens "
+        f"(see module docstring)"
+    )
+
+
+def test_goldens_all_present():
+    assert {p.stem for p in GOLDEN_DIR.glob("*.txt")} >= set(FIGURES)
