@@ -47,6 +47,13 @@ from repro.lang import catalog, parse, to_source
 from repro.machine import CostModel, Mesh2D, Multicomputer, TRANSPUTER
 from repro.mapping import assign_blocks, shape_grid, workload_stats
 from repro.perf import run_study, table1_rows, table2_rows
+from repro.pipeline import (
+    PipelineConfig,
+    PipelineContext,
+    PassManager,
+    default_manager,
+    run_pipeline,
+)
 from repro.runtime import make_arrays, run_parallel, run_sequential, verify_plan
 from repro.transform import compile_nest, to_pseudocode, transform_nest
 
@@ -84,5 +91,10 @@ __all__ = [
     "run_study",
     "table1_rows",
     "table2_rows",
+    "run_pipeline",
+    "PipelineConfig",
+    "PipelineContext",
+    "PassManager",
+    "default_manager",
     "__version__",
 ]

@@ -11,6 +11,12 @@
 Loops come from a mini-language source file or the built-in catalog
 (``--loop``).  Strategy flags: ``--duplicate`` (all arrays),
 ``--duplicate-arrays A,B`` (subset), ``--eliminate`` (Section III.C).
+
+Every subcommand runs through the instrumented pass pipeline
+(:mod:`repro.pipeline`); add ``--timings`` to print the per-pass timing
+table (including plan-cache hit/miss counters).  Structured diagnostics
+(degenerate Psi, partial duplication, ...) go to stderr so stdout stays
+machine-stable.
 """
 
 from __future__ import annotations
@@ -20,21 +26,19 @@ import sys
 from typing import Optional, Sequence
 
 from repro.analysis import (
-    analyze_redundancy,
     build_reference_graph,
     data_referenced_vectors,
-    extract_references,
     is_fully_duplicable,
 )
-from repro.core import Strategy, build_plan
 from repro.lang import catalog, parse, to_source
 from repro.lang.ast import LoopNest
 from repro.machine.cost import TRANSPUTER
-from repro.mapping import assign_blocks, shape_grid, workload_stats
+from repro.mapping import workload_stats
 from repro.perf import choose_strategy, table1_rows, table2_rows
 from repro.perf.tables import format_rows
-from repro.runtime import verify_plan
-from repro.transform import to_pseudocode, to_spmd_pseudocode, transform_nest
+from repro.pipeline import PipelineConfig, PipelineContext, run_pipeline
+from repro.pipeline.instrument import Instrumentation, use_metrics
+from repro.transform import to_pseudocode, to_spmd_pseudocode
 from repro.viz import figures as figmod
 from repro.viz import render_data_partition, render_iteration_partition
 
@@ -53,22 +57,23 @@ def _load_nest(args) -> LoopNest:
         return parse(fh.read(), name=args.file)
 
 
-def _strategy_kwargs(args) -> dict:
-    kwargs: dict = {}
-    if getattr(args, "duplicate", False) or getattr(args, "duplicate_arrays", None):
-        kwargs["strategy"] = Strategy.DUPLICATE
-        if getattr(args, "duplicate_arrays", None):
-            kwargs["duplicate_arrays"] = set(args.duplicate_arrays.split(","))
-    else:
-        kwargs["strategy"] = Strategy.NONDUPLICATE
-    if getattr(args, "eliminate", False):
-        kwargs["eliminate_redundant"] = True
-    return kwargs
+def _render_diagnostics(ctx: PipelineContext) -> None:
+    if ctx.diagnostics:
+        print(ctx.diagnostics.render(), file=sys.stderr)
+
+
+def _compile(args, upto: str) -> PipelineContext:
+    """Load the nest and run the pass pipeline up to ``upto``."""
+    nest = _load_nest(args)
+    config = PipelineConfig.from_cli_args(args)
+    ctx = run_pipeline(nest, config, upto=upto)
+    _render_diagnostics(ctx)
+    return ctx
 
 
 def cmd_analyze(args, out) -> int:
-    nest = _load_nest(args)
-    model = extract_references(nest)
+    ctx = _compile(args, upto="eliminate-redundancy")
+    nest, model = ctx.nest, ctx.model
     print(to_source(nest), file=out)
     print(file=out)
     for name, info in model.arrays.items():
@@ -86,15 +91,14 @@ def cmd_analyze(args, out) -> int:
         for s, d, k in g.edge_names():
             print(f"  edge {s} -> {d} [{k}]", file=out)
     if args.eliminate:
-        red = analyze_redundancy(model)
         print(file=out)
-        print(red.summary(), file=out)
+        print(ctx.redundancy.summary(), file=out)
     return 0
 
 
 def cmd_partition(args, out) -> int:
-    nest = _load_nest(args)
-    plan = build_plan(nest, **_strategy_kwargs(args))
+    ctx = _compile(args, upto="partition")
+    nest, plan = ctx.nest, ctx.plan
     print(plan.summary(), file=out)
     print(file=out)
     if nest.depth == 2:
@@ -116,29 +120,20 @@ def cmd_partition(args, out) -> int:
 
 
 def cmd_transform(args, out) -> int:
-    nest = _load_nest(args)
-    plan = build_plan(nest, **_strategy_kwargs(args))
-    tnest = transform_nest(nest, plan.psi)
+    ctx = _compile(args, upto="map" if args.processors else "transform")
+    tnest = ctx.tnest
     if args.processors:
-        grid = shape_grid(args.processors, tnest.k)
-        print(to_spmd_pseudocode(tnest, grid), file=out)
+        print(to_spmd_pseudocode(tnest, ctx.grid), file=out)
         print(file=out)
-        stats = workload_stats(assign_blocks(tnest, grid))
-        print(stats.summary(), file=out)
+        print(workload_stats(ctx.assignment).summary(), file=out)
     else:
         print(to_pseudocode(tnest), file=out)
     return 0
 
 
 def cmd_verify(args, out) -> int:
-    nest = _load_nest(args)
-    plan = build_plan(nest, **_strategy_kwargs(args))
-    scalars = {}
-    if args.scalars:
-        for part in args.scalars.split(","):
-            k, v = part.split("=")
-            scalars[k.strip()] = float(v)
-    report = verify_plan(plan, scalars=scalars)
+    ctx = _compile(args, upto="verify")
+    report = ctx.verification
     print(f"blocks: {report.num_blocks}", file=out)
     print(f"executed iterations: {report.executed_iterations}", file=out)
     print(f"skipped (redundant) computations: "
@@ -166,19 +161,13 @@ def cmd_program(args, out) -> int:
     with open(args.file) as fh:
         nests = parse_multi(fh.read())
     program = Program(nests=nests, name=args.file)
-    strategy = None
-    if args.duplicate:
-        strategy = Strategy.DUPLICATE
+    config = PipelineConfig.from_cli_args(args)
+    strategy = config.strategy if args.duplicate else None
     pplan = plan_program(program, p=args.processors, cost=TRANSPUTER,
                          strategy=strategy,
-                         consider_elimination=args.eliminate)
+                         consider_elimination=config.eliminate_redundant)
     print(pplan.summary(), file=out)
-    scalars = {}
-    if args.scalars:
-        for part in args.scalars.split(","):
-            k, v = part.split("=")
-            scalars[k.strip()] = float(v)
-    verification = verify_program(pplan, scalars=scalars)
+    verification = verify_program(pplan, scalars=config.scalars_dict() or None)
     print(f"phase-parallel == sequential: {verification.ok}", file=out)
     return 0 if verification.ok else 1
 
@@ -187,14 +176,11 @@ def cmd_report(args, out) -> int:
     from repro.report import compile_report
 
     nest = _load_nest(args)
-    scalars = {}
-    if args.scalars:
-        for part in args.scalars.split(","):
-            k, v = part.split("=")
-            scalars[k.strip()] = float(v)
+    config = PipelineConfig.from_cli_args(args)
     rep = compile_report(nest, p=args.processors,
                          consider_elimination=not args.no_eliminate,
-                         scalars=scalars)
+                         scalars=config.scalars_dict() or None,
+                         config=config)
     print(rep.render(), file=out)
     ok = rep.verification is None or rep.verification.ok
     return 0 if ok else 1
@@ -234,9 +220,13 @@ def cmd_tables(args, out) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("-V", "--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_loop_args(p):
@@ -251,36 +241,43 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--eliminate", action="store_true",
                        help="eliminate redundant computations (Sec. III.C)")
 
-    p = sub.add_parser("analyze", help="reference-pattern analysis")
+    def add_subparser(name, **kwargs):
+        p = sub.add_parser(name, **kwargs)
+        p.add_argument("--timings", action="store_true",
+                       help="print the per-pass timing table")
+        return p
+
+    p = add_subparser("analyze", help="reference-pattern analysis")
     add_loop_args(p)
     p.add_argument("--eliminate", action="store_true")
     p.set_defaults(fn=cmd_analyze)
 
-    p = sub.add_parser("partition", help="communication-free partition")
+    p = add_subparser("partition", help="communication-free partition")
     add_loop_args(p)
     add_strategy_args(p)
     p.set_defaults(fn=cmd_partition)
 
-    p = sub.add_parser("transform", help="parallel (forall) form")
+    p = add_subparser("transform", help="parallel (forall) form")
     add_loop_args(p)
     add_strategy_args(p)
     p.add_argument("-p", "--processors", type=int, default=0,
                    help="emit SPMD code for this many processors")
     p.set_defaults(fn=cmd_transform)
 
-    p = sub.add_parser("verify", help="parallel == sequential check")
+    p = add_subparser("verify", help="parallel == sequential check")
     add_loop_args(p)
     add_strategy_args(p)
     p.add_argument("--scalars", help="bindings, e.g. 'D=2,F=3'")
     p.set_defaults(fn=cmd_verify)
 
-    p = sub.add_parser("select", help="cost-based strategy selection")
+    p = add_subparser("select", help="cost-based strategy selection")
     add_loop_args(p)
     p.add_argument("-p", "--processors", type=int, default=16)
     p.add_argument("--eliminate", action="store_true")
     p.set_defaults(fn=cmd_select)
 
-    p = sub.add_parser("program", help="plan + verify a multi-loop program file")
+    p = add_subparser("program",
+                      help="plan + verify a multi-loop program file")
     p.add_argument("file", help="program file (sequence of loop nests)")
     p.add_argument("-p", "--processors", type=int, default=4)
     p.add_argument("--duplicate", action="store_true",
@@ -290,7 +287,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scalars", help="bindings, e.g. 'D=2,F=3'")
     p.set_defaults(fn=cmd_program)
 
-    p = sub.add_parser("report", help="full pipeline report for one loop")
+    p = add_subparser("report", help="full pipeline report for one loop")
     add_loop_args(p)
     p.add_argument("-p", "--processors", type=int, default=16)
     p.add_argument("--no-eliminate", action="store_true",
@@ -298,14 +295,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scalars", help="bindings, e.g. 'D=2,F=3'")
     p.set_defaults(fn=cmd_report)
 
-    p = sub.add_parser("figures", help="regenerate Figures 1-10")
+    p = add_subparser("figures", help="regenerate Figures 1-10")
     p.set_defaults(fn=cmd_figures)
 
-    p = sub.add_parser("tables", help="regenerate Tables I-II")
+    p = add_subparser("tables", help="regenerate Tables I-II")
     p.set_defaults(fn=cmd_tables)
 
-    p = sub.add_parser("selftest",
-                       help="re-check every paper claim (PASS/FAIL per claim)")
+    p = add_subparser("selftest",
+                      help="re-check every paper claim (PASS/FAIL per claim)")
     p.set_defaults(fn=cmd_selftest)
 
     return parser
@@ -313,7 +310,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args, out or sys.stdout)
+    out = out or sys.stdout
+    if getattr(args, "timings", False):
+        # a fresh sink so the table covers exactly this command
+        with use_metrics(Instrumentation()) as instr:
+            code = args.fn(args, out)
+        print(file=out)
+        print(instr.timing_table(), file=out)
+        return code
+    return args.fn(args, out)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -3,8 +3,12 @@
 ``build_plan`` runs the whole Section II-III pipeline: extract
 references, (optionally) eliminate redundant computations, pick the
 partitioning space for the requested strategy, partition iterations and
-data.  The three ``check_*`` functions assert the paper's guarantees on
-the concrete result:
+data.  Since the pass-pipeline refactor it is a thin, API-compatible
+facade over :func:`repro.pipeline.run_pipeline` (passes ``extract-refs``
+through ``partition``), which adds per-pass instrumentation, structured
+diagnostics and content-addressed plan caching on top.  The three
+``check_*`` functions assert the paper's guarantees on the concrete
+result:
 
 - the blocks partition the iteration space (Definition 2);
 - under a non-duplicate strategy, data blocks are pairwise disjoint;
@@ -17,17 +21,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
-from repro.analysis.redundancy import RedundancyAnalysis
-from repro.analysis.references import ReferenceModel, extract_references
+from repro.analysis.references import ReferenceModel
 from repro.analysis.trace import CompId, SequentialTrace, build_trace
-from repro.core.partition import (
-    DataBlock,
-    IterationBlock,
-    all_data_partitions,
-    block_index_map,
-    iteration_partition,
-)
-from repro.core.strategy import SpaceBreakdown, Strategy, partitioning_space
+from repro.core.partition import DataBlock, IterationBlock
+from repro.core.strategy import SpaceBreakdown, Strategy
 from repro.lang.ast import LoopNest
 from repro.ratlinalg.span import Subspace
 
@@ -109,28 +106,28 @@ def build_plan(
     duplicate_arrays: Optional[Iterable[str]] = None,
     eliminate_redundant: bool = False,
     model: Optional[ReferenceModel] = None,
+    use_cache: bool = True,
 ) -> PartitionPlan:
-    """Run the full partitioning pipeline on a loop nest."""
-    if model is None:
-        model = extract_references(nest)
-    breakdown = partitioning_space(
-        model,
+    """Run the full partitioning pipeline on a loop nest.
+
+    Facade over the pass pipeline: runs ``extract-refs`` through
+    ``partition`` under instrumentation, served from the global
+    content-addressed plan cache when a structurally identical nest was
+    already planned (``use_cache=False`` forces a fresh computation).
+    """
+    # local import: repro.pipeline builds PartitionPlan objects from here
+    from repro.pipeline.context import PipelineConfig
+    from repro.pipeline.passes import run_pipeline
+
+    config = PipelineConfig(
         strategy=strategy,
-        duplicate_arrays=duplicate_arrays,
+        duplicate_arrays=(frozenset(duplicate_arrays)
+                          if duplicate_arrays is not None else None),
         eliminate_redundant=eliminate_redundant,
+        use_cache=use_cache,
     )
-    blocks = iteration_partition(model.space, breakdown.psi)
-    live = breakdown.redundancy.live if breakdown.redundancy is not None else None
-    data_blocks = all_data_partitions(model, blocks, live=live)
-    plan = PartitionPlan(
-        nest=nest,
-        model=model,
-        breakdown=breakdown,
-        blocks=blocks,
-        data_blocks=data_blocks,
-        _block_of=block_index_map(blocks),
-    )
-    return plan
+    ctx = run_pipeline(nest, config, upto="partition", model=model)
+    return ctx.plan
 
 
 # ---------------------------------------------------------------------------

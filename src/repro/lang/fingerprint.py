@@ -1,0 +1,86 @@
+"""Canonical structural fingerprints of loop nests.
+
+:func:`fingerprint_nest` hashes everything that determines a
+partitioning result: the nest name, loop bounds, statement labels and
+the full expression structure of every statement (hence every reference
+matrix ``H`` and offset ``c``).  It is *normalization-stable*: the
+parser normalizes loops on construction, so a nest parsed from source
+and the same nest built programmatically hash identically, and loop
+*index names* are canonicalized to their positions so ``for i/for j``
+versus ``for x/for y`` over the same structure collide on purpose.
+
+Scalar parameter names and array names are semantic (they appear in
+summaries and key duplication sets) and are hashed verbatim.
+
+The fingerprint keys the plan cache (:mod:`repro.pipeline.cache`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Mapping, Optional
+
+from repro.lang.ast import ArrayRef, Assign, BinOp, Const, Expr, LoopNest, Name, UnaryOp
+
+
+def _expr_sexpr(expr: Expr, index_pos: Mapping[str, int]) -> str:
+    """A canonical S-expression for one expression node."""
+    if isinstance(expr, Const):
+        return f"(c {expr.value})"
+    if isinstance(expr, Name):
+        pos = index_pos.get(expr.ident)
+        # loop indices by position (rename-invariant), scalars by name
+        return f"(i {pos})" if pos is not None else f"(s {expr.ident})"
+    if isinstance(expr, UnaryOp):
+        return f"(u {expr.op} {_expr_sexpr(expr.operand, index_pos)})"
+    if isinstance(expr, BinOp):
+        return (f"(b {expr.op} {_expr_sexpr(expr.left, index_pos)} "
+                f"{_expr_sexpr(expr.right, index_pos)})")
+    if isinstance(expr, ArrayRef):
+        subs = " ".join(_expr_sexpr(s, index_pos) for s in expr.subscripts)
+        return f"(a {expr.array} {subs})"
+    raise TypeError(f"cannot fingerprint expression node {expr!r}")
+
+
+def _stmt_sexpr(stmt: Assign, index_pos: Mapping[str, int]) -> str:
+    return (f"(= {stmt.label!r} {_expr_sexpr(stmt.lhs, index_pos)} "
+            f"{_expr_sexpr(stmt.rhs, index_pos)})")
+
+
+def nest_canonical_form(nest: LoopNest) -> str:
+    """The canonical serialization that :func:`fingerprint_nest` hashes.
+
+    Exposed for debugging cache keys: two nests share a fingerprint iff
+    they share this string.
+    """
+    index_pos = {name: k for k, name in enumerate(nest.indices)}
+    parts = [f"(nest {nest.name!r} {nest.depth}"]
+    for lo, hi in zip(nest.lowers, nest.uppers):
+        parts.append(f"(range {_expr_sexpr(lo, index_pos)} "
+                     f"{_expr_sexpr(hi, index_pos)})")
+    for stmt in nest.statements:
+        parts.append(_stmt_sexpr(stmt, index_pos))
+    parts.append(")")
+    return " ".join(parts)
+
+
+def fingerprint_nest(nest: LoopNest) -> str:
+    """A stable hex digest of the nest's canonical structure."""
+    return hashlib.sha256(nest_canonical_form(nest).encode()).hexdigest()
+
+
+def plan_cache_key(
+    nest: LoopNest,
+    strategy_value: str,
+    duplicate_arrays: Optional[Iterable[str]] = None,
+    eliminate_redundant: bool = False,
+) -> tuple:
+    """The full cache key: nest fingerprint + everything ``build_plan`` varies on.
+
+    ``duplicate_arrays=None`` (the "all arrays" default) is kept distinct
+    from an explicit set, mirroring ``partitioning_space`` semantics.
+    """
+    dup = (None if duplicate_arrays is None
+           else tuple(sorted(duplicate_arrays)))
+    return (fingerprint_nest(nest), strategy_value, dup,
+            bool(eliminate_redundant))

@@ -4,6 +4,8 @@ Enumerates the strategy space for a loop -- non-duplicate, plus every
 subset of its *fully duplicable* arrays under the duplicate strategy
 (optionally with redundancy elimination) -- estimates each candidate
 with :func:`repro.perf.general.estimate_plan`, and returns the ranking.
+Candidate plans run through the shared pass pipeline (with one
+extracted model injected), so repeated selections hit the plan cache.
 
 This realizes the paper's Section IV conclusion: the choice between
 L5-style, L5'-style and L5''-style allocations "can be appropriately
@@ -16,13 +18,13 @@ from dataclasses import dataclass
 from itertools import chain, combinations
 from typing import Iterable, Optional
 
-from repro.analysis.dependence import is_fully_duplicable
 from repro.analysis.references import extract_references
-from repro.core.plan import PartitionPlan, build_plan
+from repro.core.plan import PartitionPlan
 from repro.core.strategy import Strategy
 from repro.lang.ast import LoopNest
 from repro.machine.cost import CostModel, TRANSPUTER
 from repro.perf.general import PlanEstimate, estimate_plan
+from repro.pipeline import PipelineConfig, run_pipeline
 
 
 @dataclass
@@ -94,9 +96,10 @@ def choose_strategy(
         if len(candidates) >= max_candidates:
             return
         strategy = Strategy.DUPLICATE if dup else Strategy.NONDUPLICATE
-        plan = build_plan(nest, strategy,
-                          duplicate_arrays=dup if dup else None,
-                          eliminate_redundant=elim, model=model)
+        config = PipelineConfig(strategy=strategy,
+                                duplicate_arrays=dup if dup else None,
+                                eliminate_redundant=elim)
+        plan = run_pipeline(nest, config, upto="partition", model=model).plan
         # duplicating more arrays without changing Psi changes nothing:
         # keep only the first (least-duplication) candidate per space.
         key = (plan.psi, elim)

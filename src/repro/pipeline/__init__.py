@@ -1,0 +1,70 @@
+"""The instrumented pass pipeline.
+
+The compiler's stages run as named, registered passes over a
+:class:`~repro.pipeline.context.PipelineContext`:
+
+- :mod:`~repro.pipeline.passes`: the :class:`PassManager`, the six
+  standard passes (``extract-refs`` ... ``map``) plus ``verify``, and
+  :func:`run_pipeline`, the shared entry point behind ``build_plan``,
+  the CLI, ``report.py``, ``selftest.py``, the strategy selector and
+  the program planner;
+- :mod:`~repro.pipeline.context`: :class:`PipelineConfig` (the one
+  source of truth for strategy/duplication/elimination flags) and the
+  artifact-carrying context;
+- :mod:`~repro.pipeline.instrument`: per-pass wall-time/call counters,
+  the event-hook protocol, and the ``--timings`` table;
+- :mod:`~repro.pipeline.diagnostics`: structured
+  ``Diagnostic(severity, code, message, loc)`` records;
+- :mod:`~repro.pipeline.cache`: the content-addressed plan cache
+  (in-memory LRU + optional on-disk store) keyed by
+  :mod:`repro.lang.fingerprint`.
+"""
+
+from repro.pipeline.cache import (
+    PLAN_CACHE,
+    PlanCache,
+    configure_plan_cache,
+)
+from repro.pipeline.context import PipelineConfig, PipelineContext
+from repro.pipeline.diagnostics import Diagnostic, DiagnosticBag, Severity
+from repro.pipeline.instrument import (
+    PIPELINE_METRICS,
+    Instrumentation,
+    PassStats,
+    PipelineHooks,
+)
+from repro.pipeline.passes import (
+    DEFAULT_MANAGER,
+    STANDARD_PASSES,
+    Pass,
+    PassManager,
+    PassOrderError,
+    PipelineError,
+    UnknownPassError,
+    default_manager,
+    run_pipeline,
+)
+
+__all__ = [
+    "Pass",
+    "PassManager",
+    "PassOrderError",
+    "PipelineError",
+    "UnknownPassError",
+    "STANDARD_PASSES",
+    "DEFAULT_MANAGER",
+    "default_manager",
+    "run_pipeline",
+    "PipelineConfig",
+    "PipelineContext",
+    "Diagnostic",
+    "DiagnosticBag",
+    "Severity",
+    "Instrumentation",
+    "PassStats",
+    "PipelineHooks",
+    "PIPELINE_METRICS",
+    "PlanCache",
+    "PLAN_CACHE",
+    "configure_plan_cache",
+]

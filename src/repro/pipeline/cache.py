@@ -1,0 +1,175 @@
+"""Content-addressed plan cache: in-memory LRU + optional disk store.
+
+Plans are keyed by the canonical nest fingerprint
+(:mod:`repro.lang.fingerprint`) plus the strategy/duplication/
+elimination triple, so repeated ``build_plan``/CLI/benchmark invocations
+on structurally identical nests are near-free.  Hit/miss counts are
+surfaced through the instrumentation layer (``counter cache.hit`` /
+``cache.miss`` in the ``--timings`` table).
+
+The disk store (one pickle per key under a directory, enabled via the
+``REPRO_PLAN_CACHE_DIR`` environment variable or
+:func:`configure_plan_cache`) follows the clcache model: content hash
+in, artifact out, corrupt or unreadable entries treated as misses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pickle
+from collections import OrderedDict
+from typing import Any, Optional
+
+from repro.lang.fingerprint import plan_cache_key
+from repro.pipeline.instrument import Instrumentation
+
+HIT_COUNTER = "cache.hit"
+MISS_COUNTER = "cache.miss"
+EVICT_COUNTER = "cache.evict"
+
+
+def _detach(plan: Any) -> Any:
+    """Return a plan whose mutable containers are private copies.
+
+    The blocks/data blocks themselves are frozen dataclasses over tuples
+    and frozensets, so copying the top-level ``blocks`` list, the
+    ``data_blocks`` dict-of-lists and the ``_block_of`` index is enough
+    to isolate cached entries from callers that rewrite container slots
+    (e.g. the sabotage-style negative tests).
+    """
+    if not hasattr(plan, "blocks") and hasattr(plan, "plan"):
+        # wrapper carrying the plan (e.g. the pipeline's cached-result
+        # record): detach the plan inside, keep the rest shared
+        return dataclasses.replace(plan, plan=_detach(plan.plan))
+    return dataclasses.replace(
+        plan,
+        blocks=list(plan.blocks),
+        data_blocks={name: list(dbs)
+                     for name, dbs in plan.data_blocks.items()},
+        _block_of=dict(plan._block_of),
+    )
+
+
+class PlanCache:
+    """LRU cache of :class:`~repro.core.plan.PartitionPlan` objects.
+
+    Stored and served plans are detached at the container level (see
+    :func:`_detach`): hits never alias a previously returned plan's
+    mutable lists/dicts, so no caller can corrupt the cache.
+    """
+
+    def __init__(self, maxsize: int = 256,
+                 directory: Optional[str] = None) -> None:
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be >= 1")
+        self.maxsize = maxsize
+        self.directory = directory
+        self._store: "OrderedDict[tuple, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- keys -------------------------------------------------------------
+    @staticmethod
+    def key_for(nest, config) -> tuple:
+        strategy_value, dup, elim = config.cache_key_parts()
+        return plan_cache_key(nest, strategy_value,
+                              duplicate_arrays=dup,
+                              eliminate_redundant=elim)
+
+    # -- lookup -----------------------------------------------------------
+    def get(self, key: tuple,
+            instrumentation: Optional[Instrumentation] = None) -> Any:
+        plan = self._store.get(key)
+        if plan is None and self.directory is not None:
+            plan = self._disk_read(key)
+            if plan is not None:
+                self._remember(key, plan)
+        if plan is not None:
+            self._store.move_to_end(key)
+            self.hits += 1
+            if instrumentation is not None:
+                instrumentation.count(HIT_COUNTER)
+            return _detach(plan)
+        self.misses += 1
+        if instrumentation is not None:
+            instrumentation.count(MISS_COUNTER)
+        return None
+
+    def put(self, key: tuple, plan: Any,
+            instrumentation: Optional[Instrumentation] = None) -> None:
+        plan = _detach(plan)
+        self._remember(key, plan, instrumentation)
+        if self.directory is not None:
+            self._disk_write(key, plan)
+
+    def _remember(self, key: tuple, plan: Any,
+                  instrumentation: Optional[Instrumentation] = None) -> None:
+        self._store[key] = plan
+        self._store.move_to_end(key)
+        while len(self._store) > self.maxsize:
+            self._store.popitem(last=False)
+            self.evictions += 1
+            if instrumentation is not None:
+                instrumentation.count(EVICT_COUNTER)
+
+    # -- disk store -------------------------------------------------------
+    def _path_for(self, key: tuple) -> str:
+        fingerprint, strategy, dup, elim = key
+        dup_tag = "all" if dup is None else "-".join(dup) or "none"
+        fname = f"{fingerprint}.{strategy}.{dup_tag}.{int(elim)}.plan"
+        return os.path.join(self.directory or "", fname)
+
+    def _disk_read(self, key: tuple) -> Any:
+        path = self._path_for(key)
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.PickleError, EOFError, AttributeError):
+            return None
+
+    def _disk_write(self, key: tuple, plan: Any) -> None:
+        assert self.directory is not None
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            tmp = self._path_for(key) + ".tmp"
+            with open(tmp, "wb") as fh:
+                pickle.dump(plan, fh)
+            os.replace(tmp, self._path_for(key))
+        except (OSError, pickle.PickleError):
+            pass  # disk store is best-effort; memory cache still works
+
+    # -- management -------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._store
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = self.misses = self.evictions = 0
+
+
+#: Process-wide default used by ``build_plan`` and the CLI.
+PLAN_CACHE = PlanCache(
+    maxsize=int(os.environ.get("REPRO_PLAN_CACHE_SIZE", "256")),
+    directory=os.environ.get("REPRO_PLAN_CACHE_DIR") or None,
+)
+
+
+def configure_plan_cache(maxsize: Optional[int] = None,
+                         directory: Optional[str] = None) -> PlanCache:
+    """Reconfigure the global cache (drops current entries)."""
+    global PLAN_CACHE
+    PLAN_CACHE = PlanCache(
+        maxsize=maxsize if maxsize is not None else PLAN_CACHE.maxsize,
+        directory=directory,
+    )
+    return PLAN_CACHE

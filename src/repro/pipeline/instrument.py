@@ -1,0 +1,144 @@
+"""Per-pass instrumentation: wall time, call counts, named counters.
+
+The pass manager reports every pass execution here via
+:meth:`Instrumentation.record`; the plan cache reports hits and misses
+via :meth:`Instrumentation.count`.  ``--timings`` on any CLI subcommand
+prints :meth:`Instrumentation.timing_table`.
+
+Hooks (:class:`PipelineHooks`) let callers observe pass boundaries and
+diagnostics as they happen -- the protocol a build system or IDE
+integration would attach to.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pipeline.context import PipelineContext
+    from repro.pipeline.diagnostics import Diagnostic
+
+
+class PipelineHooks:
+    """Event-hook protocol; subclass and override what you need."""
+
+    def on_pass_start(self, name: str, ctx: "PipelineContext") -> None:
+        pass
+
+    def on_pass_end(self, name: str, ctx: "PipelineContext",
+                    seconds: float) -> None:
+        pass
+
+    def on_diagnostic(self, diag: "Diagnostic") -> None:
+        pass
+
+
+@dataclass
+class PassStats:
+    """Accumulated timing for one named pass."""
+
+    calls: int = 0
+    seconds: float = 0.0
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.seconds / self.calls if self.calls else 0.0
+
+
+class Instrumentation:
+    """Accumulates pass timings and named counters; fans out to hooks."""
+
+    def __init__(self) -> None:
+        self.passes: dict[str, PassStats] = {}
+        self.counters: dict[str, int] = {}
+        self.hooks: list[PipelineHooks] = []
+
+    # -- recording --------------------------------------------------------
+    def record(self, name: str, seconds: float) -> None:
+        stats = self.passes.setdefault(name, PassStats())
+        stats.calls += 1
+        stats.seconds += seconds
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def reset(self) -> None:
+        self.passes.clear()
+        self.counters.clear()
+
+    # -- hook fan-out -----------------------------------------------------
+    def add_hooks(self, hooks: PipelineHooks) -> None:
+        self.hooks.append(hooks)
+
+    def fire_pass_start(self, name: str, ctx: "PipelineContext") -> None:
+        for h in self.hooks:
+            h.on_pass_start(name, ctx)
+
+    def fire_pass_end(self, name: str, ctx: "PipelineContext",
+                      seconds: float) -> None:
+        for h in self.hooks:
+            h.on_pass_end(name, ctx, seconds)
+
+    def fire_diagnostic(self, diag: "Diagnostic") -> None:
+        for h in self.hooks:
+            h.on_diagnostic(diag)
+
+    # -- reporting --------------------------------------------------------
+    def total_seconds(self) -> float:
+        return sum(s.seconds for s in self.passes.values())
+
+    def timing_table(self) -> str:
+        """A per-pass timing table plus counter lines (cache hits etc.)."""
+        lines = [f"{'pass':<22} {'calls':>6} {'total(ms)':>10} {'mean(ms)':>10}"]
+        if not self.passes:
+            lines.append("(no passes recorded)")
+        for name, st in self.passes.items():
+            lines.append(f"{name:<22} {st.calls:>6} {st.seconds * 1e3:>10.3f} "
+                         f"{st.mean_seconds * 1e3:>10.3f}")
+        total = self.total_seconds()
+        lines.append(f"{'total':<22} {'':>6} {total * 1e3:>10.3f} {'':>10}")
+        for name in sorted(self.counters):
+            lines.append(f"counter {name}: {self.counters[name]}")
+        return "\n".join(lines)
+
+
+class Timer:
+    """Context manager measuring one pass execution."""
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds = time.perf_counter() - self._t0
+
+
+#: Process-wide default sink; the CLI swaps in a fresh one under
+#: ``--timings`` so the table covers exactly one command.
+PIPELINE_METRICS = Instrumentation()
+
+_metrics_stack: list[Instrumentation] = [PIPELINE_METRICS]
+
+
+def current_metrics() -> Instrumentation:
+    """The instrumentation new pipeline contexts default to."""
+    return _metrics_stack[-1]
+
+
+@contextmanager
+def use_metrics(instr: Instrumentation) -> Iterator[Instrumentation]:
+    """Scope the default instrumentation (e.g. per CLI command)."""
+    _metrics_stack.append(instr)
+    try:
+        yield instr
+    finally:
+        _metrics_stack.pop()

@@ -18,8 +18,9 @@ from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
 from repro.analysis.references import extract_references
-from repro.core.plan import PartitionPlan, build_plan
+from repro.core.plan import PartitionPlan
 from repro.core.strategy import Strategy
+from repro.pipeline import PipelineConfig, run_pipeline
 from repro.lang.ast import LoopNest
 from repro.machine.cost import CostModel, TRANSPUTER
 from repro.perf.general import block_to_pid_map, estimate_plan
@@ -147,7 +148,8 @@ def plan_program(
                                    consider_elimination=consider_elimination).best
             plan, est = best.plan, best.estimate
         else:
-            plan = build_plan(nest, strategy)
+            config = PipelineConfig(strategy=strategy)
+            plan = run_pipeline(nest, config, upto="partition").plan
             est = estimate_plan(plan, p, cost=cost)
         tnest = transform_nest(nest, plan.psi)
         grid = shape_grid(p, tnest.k)

@@ -6,28 +6,33 @@ partition, the transformed parallel form, the SPMD mapping -- and
 renders a single human-readable report.  Used by ``python -m repro
 report`` and handy as the one-call "what does the technique say about
 my loop" entry point.
+
+All stages run through the shared pass pipeline
+(:func:`repro.pipeline.run_pipeline`): the analysis artifacts come from
+the ``extract-refs``/``eliminate-redundancy`` passes, the selected
+plan's transformation and mapping from the ``transform``/``map``
+passes, and any structured diagnostics the passes emit are rendered in
+their own report section.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.analysis import (
-    analyze_redundancy,
     build_reference_graph,
     data_referenced_vectors,
-    extract_references,
     is_fully_duplicable,
 )
 from repro.core.plan import PartitionPlan
 from repro.lang.ast import LoopNest
 from repro.lang.printer import to_source
 from repro.machine.cost import CostModel, TRANSPUTER
-from repro.mapping import assign_blocks, shape_grid, workload_stats
 from repro.perf.selector import SelectionResult, choose_strategy
+from repro.pipeline import PipelineConfig, run_pipeline
 from repro.runtime.verify import VerificationReport, verify_plan
-from repro.transform import to_pseudocode, to_spmd_pseudocode, transform_nest
+from repro.transform import to_pseudocode, to_spmd_pseudocode
 from repro.viz.dot import to_dot
 
 
@@ -60,14 +65,29 @@ def compile_report(
     consider_elimination: bool = True,
     verify: bool = True,
     scalars=None,
+    config: Optional[PipelineConfig] = None,
 ) -> CompileReport:
-    """Run the full pipeline and assemble the report."""
-    model = extract_references(nest)
+    """Run the full pipeline and assemble the report.
+
+    ``config`` carries the CLI's shared flag plumbing (scalars,
+    processors); strategy fields are chosen by the selector, so only
+    its elimination/scalars settings matter here.
+    """
+    if config is not None:
+        scalars = scalars if scalars is not None else (
+            config.scalars_dict() or None)
+
+    # -- analysis passes ----------------------------------------------------
+    actx = run_pipeline(
+        nest,
+        PipelineConfig(eliminate_redundant=consider_elimination),
+        upto="eliminate-redundancy",
+    )
+    model = actx.model
     sections: list[tuple[str, str]] = []
 
     sections.append(("input loop", to_source(nest)))
 
-    # -- analysis -----------------------------------------------------------
     lines = []
     for name, info in model.arrays.items():
         drvs = [tuple(int(x) for x in d.vector)
@@ -81,9 +101,8 @@ def compile_report(
             lines.append(f"  {s} -> {d} [{k}]")
     sections.append(("reference analysis", "\n".join(lines)))
 
-    red = None
+    red = actx.redundancy
     if consider_elimination:
-        red = analyze_redundancy(model)
         sections.append(("redundancy analysis", red.summary()))
 
     from repro.analysis.summary import (format_dependence_table,
@@ -93,11 +112,12 @@ def compile_report(
                      format_dependence_table(
                          summarize_dependences(model, red))))
 
-    # -- strategy comparison --------------------------------------------------
+    # -- strategy comparison ------------------------------------------------
     selection = choose_strategy(nest, p, cost=cost,
                                 consider_elimination=consider_elimination)
     sections.append((f"strategy comparison (p={p})", selection.table()))
-    plan = selection.best.plan
+    best = selection.best
+    plan = best.plan
     sections.append(("selected plan", plan.summary()))
 
     from repro.core.provenance import (explain_partitioning_space,
@@ -113,24 +133,36 @@ def compile_report(
     sections.append(("why Psi looks like this",
                      render_contributions(contribs, plan.psi)))
 
-    # -- transformation ---------------------------------------------------------
-    tnest = transform_nest(nest, plan.psi)
+    # -- transformation + mapping via the pipeline --------------------------
+    best_config = replace(
+        PipelineConfig(
+            strategy=plan.strategy,
+            duplicate_arrays=(frozenset(best.duplicate_arrays)
+                              if best.duplicate_arrays else None),
+            eliminate_redundant=best.eliminate_redundant,
+        ),
+        processors=p,
+    )
+    bctx = run_pipeline(nest, best_config, upto="map", model=model)
+    tnest = bctx.tnest
     pseudo = to_pseudocode(tnest)
     sections.append(("parallel form", pseudo))
-    grid = shape_grid(p, tnest.k)
+    grid = bctx.grid
     spmd = to_spmd_pseudocode(tnest, grid)
     sections.append((f"SPMD form (grid {grid.dims})", spmd))
-    balance = workload_stats(assign_blocks(tnest, grid)).summary()
+    from repro.mapping import workload_stats
+
+    balance = workload_stats(bctx.assignment).summary()
     sections.append(("load balance", balance))
 
-    # -- reference graphs as DOT ------------------------------------------------
+    # -- reference graphs as DOT --------------------------------------------
     dot = "\n\n".join(
         to_dot(build_reference_graph(model, name), title=f"G_{name}")
         for name in model.arrays
     )
     sections.append(("reference graphs (DOT)", dot))
 
-    # -- verification ------------------------------------------------------------
+    # -- verification -------------------------------------------------------
     verification: Optional[VerificationReport] = None
     if verify:
         verification = verify_plan(plan, scalars=scalars)
@@ -141,6 +173,14 @@ def compile_report(
             f"parallel == sequential: {verification.equal}\n"
             f"{'OK' if verification.ok else 'FAILED'}",
         ))
+
+    # -- structured diagnostics ---------------------------------------------
+    diags = list(actx.diagnostics) + [
+        d for d in bctx.diagnostics if d not in actx.diagnostics.records
+    ]
+    if diags:
+        sections.append(("diagnostics",
+                         "\n".join(d.render() for d in diags)))
 
     return CompileReport(
         nest=nest, selection=selection, plan=plan,

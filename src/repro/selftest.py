@@ -5,6 +5,10 @@ the analysis results, partition structures, transformation facts and
 performance-shape claims of the paper -- and prints a PASS/FAIL line
 per claim.  A downstream user can run it after install to confirm the
 reproduction is intact on their machine.
+
+Plans are built through the shared pass pipeline with
+:meth:`repro.pipeline.PipelineConfig.from_flags`, so every claim
+exercises exactly the strategy/elimination plumbing the CLI uses.
 """
 
 from __future__ import annotations
@@ -29,14 +33,22 @@ def _claims() -> list[Claim]:
         is_fully_duplicable,
     )
     from repro.baseline import hyperplane_partition
-    from repro.core import Strategy, build_plan
     from repro.lang import catalog
     from repro.machine.cost import TRANSPUTER
     from repro.mapping import assign_blocks, shape_grid, workload_stats
     from repro.perf import simulate_l5, simulate_l5_doubleprime, simulate_l5_prime
+    from repro.pipeline import PipelineConfig, run_pipeline
     from repro.ratlinalg import Subspace
     from repro.runtime import verify_plan
     from repro.transform import transform_nest
+
+    def build_plan(loop, duplicate=False, duplicate_arrays=None,
+                   eliminate=False):
+        # exactly the CLI's flag semantics, via the shared pipeline config
+        config = PipelineConfig.from_flags(
+            duplicate=duplicate, duplicate_arrays=duplicate_arrays,
+            eliminate=eliminate)
+        return run_pipeline(loop, config, upto="partition").plan
 
     def drvs(loop, array):
         model = extract_references(loop)
@@ -60,7 +72,7 @@ def _claims() -> list[Claim]:
                   extract_references(catalog.l2()))),
         Claim("III.B", "L2 duplicate strategy: 16 parallel blocks, exact",
               lambda: (lambda p: p.num_blocks == 16 and verify_plan(p).ok)(
-                  build_plan(catalog.l2(), Strategy.DUPLICATE))),
+                  build_plan(catalog.l2(), duplicate=True))),
         Claim("III.C", "L3: N(S1) = {(i,4)}",
               lambda: analyze_redundancy(
                   extract_references(catalog.l3())).n_set(0)
@@ -71,12 +83,11 @@ def _claims() -> list[Claim]:
         Claim("III.C", "L3 minimal duplicate: Psi = span{(1,0)}, 4 blocks",
               lambda: (lambda p: p.psi == Subspace(2, [[1, 0]])
                        and p.num_blocks == 4)(
-                  build_plan(catalog.l3(), Strategy.DUPLICATE,
-                             eliminate_redundant=True))),
+                  build_plan(catalog.l3(), duplicate=True, eliminate=True))),
         Claim("III.C", "L3 elimination skips 12 computations, stays exact",
               lambda: (lambda r: r.ok and r.skipped_computations == 12)(
-                  verify_plan(build_plan(catalog.l3(), Strategy.DUPLICATE,
-                                         eliminate_redundant=True)))),
+                  verify_plan(build_plan(catalog.l3(), duplicate=True,
+                                         eliminate=True)))),
         Claim("III.A", "R&S baseline inapplicable to L1 (not For-all)",
               lambda: not hyperplane_partition(catalog.l1()).applicable),
         Claim("IV", "L4: Psi = span{(1,-1,1)}, 37 forall points",
@@ -90,10 +101,9 @@ def _claims() -> list[Claim]:
                                  build_plan(catalog.l4()).psi))),
         Claim("IV", "L5 strategies: 1 / 4 / 16 blocks (L5, L5', L5'')",
               lambda: build_plan(catalog.l5()).num_blocks == 1
-              and build_plan(catalog.l5(), Strategy.DUPLICATE,
-                             duplicate_arrays={"B"}).num_blocks == 4
               and build_plan(catalog.l5(),
-                             Strategy.DUPLICATE).num_blocks == 16),
+                             duplicate_arrays={"B"}).num_blocks == 4
+              and build_plan(catalog.l5(), duplicate=True).num_blocks == 16),
         Claim("IV", "Table I shape: L5'' < L5' < L5 at M=64, p=16",
               lambda: simulate_l5_doubleprime(64, 16).total_time
               < simulate_l5_prime(64, 16).total_time

@@ -1,0 +1,111 @@
+"""Structured diagnostics: emission by passes, rendering, CLI surfacing."""
+
+import pytest
+
+from repro.lang import catalog, parse
+from repro.pipeline import (
+    Diagnostic,
+    DiagnosticBag,
+    PipelineConfig,
+    PlanCache,
+    Severity,
+    run_pipeline,
+)
+from repro.pipeline import diagnostics as diag
+
+
+class TestBag:
+    def test_render_format(self):
+        d = Diagnostic(Severity.WARNING, "degenerate-psi", "all sequential",
+                       loc="L2")
+        assert d.render() == "warning[degenerate-psi] at L2: all sequential"
+
+    def test_render_without_loc(self):
+        d = Diagnostic(Severity.NOTE, "x", "msg")
+        assert d.render() == "note[x]: msg"
+
+    def test_queries(self):
+        bag = DiagnosticBag()
+        bag.note("a", "first")
+        bag.warning("b", "second")
+        assert len(bag) == 2 and bool(bag)
+        assert [d.code for d in bag.at_least(Severity.WARNING)] == ["b"]
+        assert bag.with_code("a")[0].message == "first"
+        assert not bag.has_errors()
+        bag.error("c", "third")
+        assert bag.has_errors()
+        assert max(d.severity for d in bag) is Severity.ERROR
+
+
+class TestPassEmission:
+    def test_degenerate_psi_for_sequential_l2(self, l2):
+        ctx = run_pipeline(l2, PipelineConfig(use_cache=False))
+        warnings = ctx.diagnostics.with_code(diag.DEGENERATE_PSI)
+        assert len(warnings) == 1
+        assert warnings[0].severity is Severity.WARNING
+        assert warnings[0].loc == "L2"
+        assert "duplicate strategy" in warnings[0].message
+
+    def test_fully_parallel_note_for_duplicated_l2(self, l2):
+        ctx = run_pipeline(l2, PipelineConfig.from_flags(duplicate=True),
+                           upto="partition")
+        assert not ctx.diagnostics.with_code(diag.DEGENERATE_PSI)
+        notes = ctx.diagnostics.with_code(diag.FULLY_PARALLEL)
+        assert len(notes) == 1
+        assert ctx.plan.num_blocks == 16
+
+    def test_redundancy_found_for_l3(self, l3):
+        config = PipelineConfig.from_flags(duplicate=True, eliminate=True)
+        ctx = run_pipeline(l3, config, upto="partition")
+        notes = ctx.diagnostics.with_code(diag.REDUNDANCY_FOUND)
+        assert len(notes) == 1
+        assert "12 of 32" in notes[0].message
+
+    def test_no_redundancy_note(self, l1):
+        config = PipelineConfig.from_flags(eliminate=True)
+        ctx = run_pipeline(l1, config, upto="partition")
+        assert len(ctx.diagnostics.with_code(diag.NO_REDUNDANCY)) == 1
+        assert not ctx.diagnostics.with_code(diag.REDUNDANCY_FOUND)
+
+    def test_partial_duplication_note(self, l3):
+        """L3's A is only partially duplicable under the duplicate strategy."""
+        ctx = run_pipeline(l3, PipelineConfig.from_flags(duplicate=True),
+                           upto="partition")
+        notes = ctx.diagnostics.with_code(diag.PARTIAL_DUPLICATION)
+        assert any("array A" in d.message for d in notes)
+
+    def test_nonuniform_reference_error(self):
+        from repro.analysis.references import NonUniformReferenceError
+
+        nest = parse("for i = 1 to 4 { A[i * i] = 1; }")
+        with pytest.raises(NonUniformReferenceError):
+            run_pipeline(nest, PipelineConfig(use_cache=False))
+
+    def test_diagnostics_replayed_on_cache_hit(self, l2):
+        cache = PlanCache(maxsize=4)
+        fresh = run_pipeline(l2, PipelineConfig(), cache=cache)
+        served = run_pipeline(catalog.l2(), PipelineConfig(), cache=cache)
+        assert cache.hits == 1
+        assert served.diagnostics.records == fresh.diagnostics.records
+
+
+class TestCliRendering:
+    def test_warning_goes_to_stderr_not_stdout(self, capsys):
+        import io
+
+        from repro.cli import main
+
+        out = io.StringIO()
+        assert main(["partition", "--loop", "L2"], out=out) == 0
+        err = capsys.readouterr().err
+        assert "warning[degenerate-psi] at L2" in err
+        assert "degenerate-psi" not in out.getvalue()
+
+    def test_quiet_when_no_diagnostics(self, capsys):
+        import io
+
+        from repro.cli import main
+
+        out = io.StringIO()
+        assert main(["partition", "--loop", "L1"], out=out) == 0
+        assert capsys.readouterr().err == ""

@@ -105,6 +105,50 @@ class TestSelect:
         assert "best:" in text and "duplicate{A,B}" in text
 
 
+class TestVersion:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            run("--version")
+        assert exc.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+    def test_short_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            run("-V")
+        assert exc.value.code == 0
+        assert "repro " in capsys.readouterr().out
+
+
+class TestTimings:
+    def test_partition_timing_table(self):
+        from repro.pipeline import PLAN_CACHE
+
+        PLAN_CACHE.clear()                    # cold cache: every pass runs
+        code, text = run("partition", "--loop", "L4", "--timings")
+        assert code == 0
+        assert "blocks: 37" in text           # normal output still present
+        assert "calls" in text and "total(ms)" in text
+        for name in ("extract-refs", "choose-space", "partition"):
+            assert name in text
+        assert "counter cache.miss: 1" in text
+
+    def test_cache_counters_in_table(self):
+        code1, _ = run("partition", "--loop", "L5", "--timings")
+        code2, text2 = run("partition", "--loop", "L5", "--timings")
+        assert code1 == code2 == 0
+        # the second invocation is served from the warm in-process cache
+        assert "counter cache.hit: 1" in text2
+
+    def test_timings_scoped_per_invocation(self):
+        _, first = run("verify", "--loop", "L1", "--timings")
+        assert "total(ms)" in first
+        # a run without the flag prints no table
+        _, quiet = run("verify", "--loop", "L1")
+        assert "total(ms)" not in quiet
+
+
 class TestFiguresAndTables:
     def test_figures(self):
         code, text = run("figures")
