@@ -140,6 +140,13 @@ def cmd_verify(args, out) -> int:
           f"{report.skipped_computations}", file=out)
     print(f"remote accesses: {report.remote_accesses}", file=out)
     print(f"parallel == sequential: {report.equal}", file=out)
+    if report.cross_checked:
+        agreed = ", ".join(
+            f"{name}:{'ok' if rep.ok else 'FAIL'}"
+            for name, rep in sorted(report.cross_checked.items()))
+        print(f"backends cross-checked: {agreed}", file=out)
+    elif args.backend:
+        print(f"backend: {report.backend}", file=out)
     print("OK" if report.ok else "FAILED", file=out)
     return 0 if report.ok else 1
 
@@ -268,6 +275,10 @@ def build_parser() -> argparse.ArgumentParser:
     add_loop_args(p)
     add_strategy_args(p)
     p.add_argument("--scalars", help="bindings, e.g. 'D=2,F=3'")
+    p.add_argument("--backend",
+                   help="execution engine: interp, compiled, vectorized, "
+                        "multiprocess, auto, or 'all' to cross-check "
+                        "every available backend")
     p.set_defaults(fn=cmd_verify)
 
     p = add_subparser("select", help="cost-based strategy selection")
@@ -293,6 +304,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-eliminate", action="store_true",
                    help="skip the redundancy-elimination comparison")
     p.add_argument("--scalars", help="bindings, e.g. 'D=2,F=3'")
+    p.add_argument("--backend",
+                   help="execution engine for the verification run")
     p.set_defaults(fn=cmd_report)
 
     p = add_subparser("figures", help="regenerate Figures 1-10")

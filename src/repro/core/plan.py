@@ -135,17 +135,33 @@ def build_plan(
 # ---------------------------------------------------------------------------
 
 def check_partition_covers_space(plan: PartitionPlan) -> None:
-    """Blocks are disjoint and their union is the iteration space."""
-    seen: set[tuple[int, ...]] = set()
+    """Blocks are disjoint and their union is the iteration space.
+
+    Runs off :meth:`~repro.lang.space.IterationSpace.rank_of` -- the
+    same cached enumeration/closed-form rank the runtime uses for write
+    stamps -- so no fresh point sets are materialized: one bit per
+    iteration marks coverage, and an out-of-space rank is an "extra"
+    iteration.
+    """
+    space = plan.model.space
+    total = space.size()
+    seen = bytearray(total)
+    covered = 0
+    extra: list[tuple[int, ...]] = []
     for b in plan.blocks:
         for it in b.iterations:
-            if it in seen:
+            try:
+                r = space.rank_of(it)
+            except ValueError:
+                extra.append(it)
+                continue
+            if seen[r]:
                 raise AssertionError(f"iteration {it} appears in two blocks")
-            seen.add(it)
-    expected = set(plan.model.space.points())
-    if seen != expected:
-        missing = expected - seen
-        extra = seen - expected
+            seen[r] = 1
+            covered += 1
+    if extra or covered != total:
+        pts = space.points()
+        missing = [p for r, p in enumerate(pts) if not seen[r]]
         raise AssertionError(
             f"partition mismatch: missing={sorted(missing)[:5]} extra={sorted(extra)[:5]}"
         )

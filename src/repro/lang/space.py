@@ -30,6 +30,8 @@ class IterationSpace:
         ]
         self._points_cache: Optional[list[tuple[int, ...]]] = None
         self._box_cache: Optional[tuple[tuple[int, ...], tuple[int, ...]]] = None
+        # rank_of support: ("rect", los, his, strides) or ("map", {point: rank})
+        self._rank_cache: Optional[tuple] = None
 
     # -- structural ----------------------------------------------------------
     def is_rectangular(self) -> bool:
@@ -65,6 +67,64 @@ class IterationSpace:
         if self._points_cache is None:
             self._points_cache = list(self.iterate())
         return self._points_cache
+
+    def rank_of(self, point) -> int:
+        """Lexicographic rank of ``point`` within the space.
+
+        ``rank_of(p) == space.points().index(p)``, but O(1): rectangular
+        spaces use a closed-form stride formula (derived once from the
+        loop bounds), non-rectangular ones a lookup table built from the
+        cached enumeration.  Raises :class:`ValueError` for points
+        outside the space, so callers can use it as a membership check.
+        """
+        pt = tuple(int(x) for x in point)
+        if self._rank_cache is None:
+            if self.is_rectangular():
+                los, his, strides = [], [], []
+                for k in range(self.depth):
+                    lo, hi = self.bounds_at((), k)
+                    los.append(lo)
+                    his.append(hi)
+                extents = [max(0, h - l + 1) for l, h in zip(los, his)]
+                stride = 1
+                strides = [0] * self.depth
+                for k in range(self.depth - 1, -1, -1):
+                    strides[k] = stride
+                    stride *= extents[k]
+                self._rank_cache = ("rect", tuple(los), tuple(his),
+                                    tuple(strides))
+            else:
+                self._rank_cache = (
+                    "map", {p: r for r, p in enumerate(self.points())})
+        kind = self._rank_cache[0]
+        if kind == "rect":
+            _, los, his, strides = self._rank_cache
+            if len(pt) != self.depth:
+                raise ValueError(f"rank_of: {pt} has wrong depth")
+            rank = 0
+            for v, lo, hi, s in zip(pt, los, his, strides):
+                if not lo <= v <= hi:
+                    raise ValueError(f"rank_of: {pt} outside the space")
+                rank += (v - lo) * s
+            return rank
+        try:
+            return self._rank_cache[1][pt]
+        except KeyError:
+            raise ValueError(f"rank_of: {pt} outside the space") from None
+
+    def rank_strides(self) -> Optional[tuple[tuple[int, ...], tuple[int, ...]]]:
+        """``(los, strides)`` of the closed-form rank, or ``None`` if the
+        space is not rectangular.  Used by the compiled/vectorized
+        engines to inline write-stamp computation."""
+        if self._rank_cache is None or self._rank_cache[0] != "rect":
+            if not self.is_rectangular():
+                return None
+            self.rank_of(tuple(self.bounds_at((), k)[0]
+                               for k in range(self.depth)))
+        if self._rank_cache[0] != "rect":
+            return None
+        _, los, _his, strides = self._rank_cache
+        return los, strides
 
     def size(self) -> int:
         if self.is_rectangular():

@@ -37,6 +37,10 @@ class PipelineConfig:
     processors: int = 0
     scalars: tuple[tuple[str, float], ...] = ()
     use_cache: bool = True
+    # execution-engine backend for the verify pass (None = default;
+    # "all" = cross-check every available backend); like ``scalars``,
+    # it affects execution only, never the partition or the cache key
+    backend: Optional[str] = None
 
     @classmethod
     def from_flags(
@@ -47,6 +51,7 @@ class PipelineConfig:
         processors: int = 0,
         scalars: Optional[Mapping[str, float]] = None,
         use_cache: bool = True,
+        backend: Optional[str] = None,
     ) -> "PipelineConfig":
         """The CLI flag semantics: ``--duplicate`` / ``--duplicate-arrays``
         select the duplicate strategy, ``--eliminate`` turns on
@@ -63,6 +68,7 @@ class PipelineConfig:
             processors=int(processors),
             scalars=tuple(sorted((scalars or {}).items())),
             use_cache=use_cache,
+            backend=backend,
         )
 
     @classmethod
@@ -81,6 +87,7 @@ class PipelineConfig:
             eliminate=getattr(args, "eliminate", False),
             processors=getattr(args, "processors", 0) or 0,
             scalars=scalars,
+            backend=getattr(args, "backend", None),
         )
 
     def with_processors(self, p: int) -> "PipelineConfig":
@@ -109,6 +116,8 @@ class PipelineConfig:
             bits.append("dup{" + ",".join(sorted(self.duplicate_arrays)) + "}")
         if self.eliminate_redundant:
             bits.append("elim")
+        if self.backend is not None:
+            bits.append(f"backend={self.backend}")
         return "+".join(bits)
 
 

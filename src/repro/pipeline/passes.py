@@ -298,7 +298,13 @@ def _pass_verify(ctx: PipelineContext) -> None:
 
     plan = ctx.require("plan")
     scalars = ctx.config.scalars_dict()
-    ctx.put("verification", verify_plan(plan, scalars=scalars or None))
+    report = verify_plan(plan, scalars=scalars or None,
+                         backend=ctx.config.backend)
+    ctx.instrumentation.count(f"engine:{report.backend}")
+    for name in report.cross_checked:
+        if name != report.backend:
+            ctx.instrumentation.count(f"engine:{name}")
+    ctx.put("verification", report)
 
 
 EXTRACT_REFS = Pass(

@@ -165,14 +165,20 @@ def compile_report(
     # -- verification -------------------------------------------------------
     verification: Optional[VerificationReport] = None
     if verify:
-        verification = verify_plan(plan, scalars=scalars)
-        sections.append((
-            "verification",
+        backend = config.backend if config is not None else None
+        verification = verify_plan(plan, scalars=scalars, backend=backend)
+        body = (
             f"blocks: {verification.num_blocks}\n"
             f"remote accesses: {verification.remote_accesses}\n"
             f"parallel == sequential: {verification.equal}\n"
-            f"{'OK' if verification.ok else 'FAILED'}",
-        ))
+        )
+        if verification.cross_checked:
+            body += ("backends cross-checked: "
+                     + ", ".join(sorted(verification.cross_checked)) + "\n")
+        elif backend:
+            body += f"backend: {verification.backend}\n"
+        body += "OK" if verification.ok else "FAILED"
+        sections.append(("verification", body))
 
     # -- structured diagnostics ---------------------------------------------
     diags = list(actx.diagnostics) + [

@@ -11,15 +11,24 @@
   raises), and timestamps writes for merging;
 - :mod:`~repro.runtime.merge`: last-writer merge of replicated copies
   (the duplicate-data strategy's output-dependence semantics);
-- :mod:`~repro.runtime.verify`: one-call end-to-end verification.
+- :mod:`~repro.runtime.verify`: one-call end-to-end verification;
+- :mod:`~repro.runtime.engine`: the pluggable execution-engine layer
+  (interpreter / compiled kernels / vectorized / multiprocess), all
+  bit-identical, selected with ``backend=`` on the entry points.
 """
 
 from repro.runtime.arrays import DataSpace, array_footprints, default_init, make_arrays
 from repro.runtime.seq import run_sequential, eval_expr
 from repro.runtime.parallel import ParallelResult, run_parallel
 from repro.runtime.merge import merge_copies
-from repro.runtime.verify import VerificationReport, verify_plan
+from repro.runtime.verify import VerificationReport, cross_check_backends, verify_plan
 from repro.runtime.machine_run import MachineRun, run_on_machine
+from repro.runtime.engine import (
+    available_backends,
+    backend_names,
+    get_engine,
+    resolve_engine,
+)
 
 __all__ = [
     "DataSpace",
@@ -32,7 +41,12 @@ __all__ = [
     "run_parallel",
     "merge_copies",
     "VerificationReport",
+    "cross_check_backends",
     "verify_plan",
     "MachineRun",
     "run_on_machine",
+    "available_backends",
+    "backend_names",
+    "get_engine",
+    "resolve_engine",
 ]

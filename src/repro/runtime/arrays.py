@@ -1,10 +1,12 @@
 """Array storage for the interpreters.
 
-:class:`DataSpace` wraps a numpy ``float64`` array with per-dimension
-origin offsets so the paper's arbitrary subscript ranges (e.g. array A
-of L1 spanning ``[0:8, 0:4]``) map directly.  Footprints are computed
-exactly: a reference ``H i + c`` is affine, so its componentwise extrema
-over the iteration space's bounding box occur at box corners.
+:class:`DataSpace` wraps a ``float64`` grid (a numpy array when numpy is
+available, a pure-Python :class:`~repro.runtime.numpy_compat.PyGrid`
+otherwise) with per-dimension origin offsets so the paper's arbitrary
+subscript ranges (e.g. array A of L1 spanning ``[0:8, 0:4]``) map
+directly.  Footprints are computed exactly: a reference ``H i + c`` is
+affine, so its componentwise extrema over the iteration space's bounding
+box occur at box corners.
 """
 
 from __future__ import annotations
@@ -12,10 +14,9 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Iterable, Optional
 
-import numpy as np
-
 from repro.analysis.references import ReferenceModel
 from repro.ratlinalg.matrix import RatVec
+from repro.runtime import numpy_compat as npc
 
 Coords = tuple[int, ...]
 
@@ -32,7 +33,7 @@ class DataSpace:
         self.lo = tuple(lo)
         self.hi = tuple(hi)
         shape = tuple(h - l + 1 for l, h in zip(lo, hi))
-        self.data = np.full(shape, fill, dtype=np.float64)
+        self.data = npc.full(shape, fill)
 
     @property
     def rank(self) -> int:
@@ -77,13 +78,13 @@ class DataSpace:
 
     def allclose(self, other: "DataSpace", **kw) -> bool:
         return (self.lo == other.lo and self.hi == other.hi
-                and np.allclose(self.data, other.data, **kw))
+                and npc.allclose(self.data, other.data, **kw))
 
     def __eq__(self, other) -> bool:
         if not isinstance(other, DataSpace):
             return NotImplemented
         return (self.lo == other.lo and self.hi == other.hi
-                and np.array_equal(self.data, other.data))
+                and npc.array_equal(self.data, other.data))
 
     def __repr__(self) -> str:
         return f"DataSpace({self.name}[{self.lo}..{self.hi}])"

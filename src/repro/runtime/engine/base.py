@@ -1,0 +1,153 @@
+"""The :class:`Engine` interface and the backend registry.
+
+An engine implements two operations:
+
+- :meth:`Engine.run_nest` -- execute a whole loop nest sequentially,
+  in place, over :class:`~repro.runtime.arrays.DataSpace` storage
+  (the ``run_sequential`` entry point);
+- :meth:`Engine.run_blocks` -- execute every iteration block of a
+  :class:`~repro.core.plan.PartitionPlan` into pre-allocated per-block
+  :class:`~repro.machine.memory.LocalMemory` regions, filling the
+  :class:`~repro.runtime.parallel.ParallelResult` counters and write
+  stamps (the ``run_parallel`` entry point).
+
+Backends register themselves under a canonical name plus aliases;
+:func:`resolve_engine` walks the declared ``fallback`` chain until it
+finds an available tier, so ``backend="vectorized"`` on a numpy-free
+interpreter silently degrades to ``compiled`` (and ultimately
+``interp``) instead of failing.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Mapping, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.plan import PartitionPlan
+    from repro.lang.ast import LoopNest
+    from repro.lang.space import IterationSpace
+    from repro.machine.memory import LocalMemory
+    from repro.runtime.arrays import DataSpace
+    from repro.runtime.parallel import ParallelResult
+
+#: Default backend when neither the caller nor ``REPRO_BACKEND`` chooses.
+DEFAULT_BACKEND = "interp"
+
+#: Environment variable consulted by :func:`resolve_engine`.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+
+class BackendUnavailable(RuntimeError):
+    """The requested backend (and its whole fallback chain) cannot run."""
+
+
+class Engine:
+    """One execution backend; subclasses override the two run methods."""
+
+    #: canonical registry name
+    name: str = "?"
+    #: backend to degrade to when this one is unavailable / unsupported
+    fallback: Optional[str] = None
+
+    @classmethod
+    def is_available(cls) -> bool:
+        """Can this backend run at all in this interpreter?"""
+        return True
+
+    # -- execution --------------------------------------------------------
+    def run_nest(self, nest: "LoopNest", arrays: dict[str, "DataSpace"],
+                 scalars: Mapping[str, float],
+                 space: "IterationSpace") -> None:
+        raise NotImplementedError
+
+    def run_blocks(self, plan: "PartitionPlan",
+                   memories: dict[int, "LocalMemory"],
+                   result: "ParallelResult",
+                   initial: dict[str, "DataSpace"],
+                   scalars: Mapping[str, float],
+                   strict: bool = True) -> None:
+        raise NotImplementedError
+
+    # -- chaining ---------------------------------------------------------
+    def delegate(self) -> "Engine":
+        """The next engine down the fallback chain (interp terminates it)."""
+        return get_engine(self.fallback or DEFAULT_BACKEND)
+
+
+_REGISTRY: dict[str, type] = {}
+_ALIASES: dict[str, str] = {}
+
+
+def register_backend(cls: type, aliases: tuple[str, ...] = ()) -> type:
+    _REGISTRY[cls.name] = cls
+    for a in aliases:
+        _ALIASES[a] = cls.name
+    return cls
+
+
+def _canonical(name: str) -> str:
+    name = name.strip().lower()
+    return _ALIASES.get(name, name)
+
+
+def backend_names() -> list[str]:
+    """Canonical names of every registered backend, tier order."""
+    _load_backends()
+    return list(_REGISTRY)
+
+
+def available_backends() -> list[str]:
+    """Registered backends whose availability check passes right now."""
+    _load_backends()
+    return [name for name, cls in _REGISTRY.items() if cls.is_available()]
+
+
+def get_engine(name: str) -> Engine:
+    """A fresh engine instance for ``name`` (alias-resolved, no fallback)."""
+    _load_backends()
+    canon = _canonical(name)
+    if canon == "auto":
+        for candidate in ("vectorized", "compiled", "interp"):
+            cls = _REGISTRY[candidate]
+            if cls.is_available():
+                return cls()
+        raise BackendUnavailable("no backend available")  # pragma: no cover
+    cls = _REGISTRY.get(canon)
+    if cls is None:
+        raise BackendUnavailable(
+            f"unknown backend {name!r}; known: {', '.join(backend_names())} "
+            "(or 'auto')")
+    return cls()
+
+
+def resolve_engine(name: Optional[str] = None) -> Engine:
+    """The engine for ``name`` (or ``$REPRO_BACKEND``, or the default),
+    degraded along the fallback chain until an available tier is found."""
+    requested = name or os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
+    engine = get_engine(requested)
+    hops = 0
+    while not engine.is_available():
+        if engine.fallback is None or hops > len(_REGISTRY):
+            raise BackendUnavailable(
+                f"backend {requested!r} is unavailable and has no fallback")
+        engine = get_engine(engine.fallback)
+        hops += 1
+    return engine
+
+
+_loaded = False
+
+
+def _load_backends() -> None:
+    """Import the backend modules (idempotent; registration on import).
+
+    Guarded by a flag rather than a non-empty registry: importing one
+    backend module directly registers it, which must not stop the rest
+    of the tiers from loading.
+    """
+    global _loaded
+    if _loaded:
+        return
+    _loaded = True
+    from repro.runtime.engine import compiled, interp, multiproc, vectorized  # noqa: F401

@@ -1,0 +1,137 @@
+"""The multiprocess backend: blocks fanned out across worker processes.
+
+Communication-freedom is exactly the property that makes this trivial:
+iteration blocks touch disjoint written data, so each worker can
+execute its share of blocks against its own copies of their local
+memories with *zero* coordination, and the parent merges the results
+back deterministically (chunks are merged in block order, and write
+stamps are keyed by block index, so the merge is independent of worker
+scheduling).
+
+Each worker runs the ``compiled`` tier on its chunk.  A
+:class:`~repro.machine.memory.RemoteAccessError` cannot cross a process
+boundary (its constructor signature defeats pickling), so workers catch
+it and return a marker tuple; the parent re-raises the first one in
+block order -- the same violation the interpreter would have hit first.
+
+If a process pool cannot be created at all (sandboxes, missing fork),
+the engine degrades to the compiled tier in-process.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+
+from repro.machine.memory import RemoteAccessError
+from repro.runtime.engine.base import Engine, register_backend
+
+#: Environment variable overriding the worker count.
+WORKERS_ENV_VAR = "REPRO_MP_WORKERS"
+
+_MAX_WORKERS = 8
+
+
+class _ChunkResult:
+    """ParallelResult stand-in a worker can fill and pickle back."""
+
+    def __init__(self):
+        self.write_stamps = {}
+        self.executed_iterations = 0
+        self.skipped_computations = 0
+
+
+def _run_chunk(payload):
+    """Worker entry point: run one chunk of blocks on the compiled tier."""
+    sub, mems, scalars = payload
+    from repro.runtime.engine.base import get_engine
+
+    res = _ChunkResult()
+    try:
+        get_engine("compiled").run_blocks(sub, mems, res, {}, scalars,
+                                          strict=True)
+    except RemoteAccessError as exc:
+        return ("remote", exc.pid, exc.array, exc.coords)
+    return ("ok", mems, res.write_stamps, res.executed_iterations,
+            res.skipped_computations)
+
+
+def worker_count(nblocks: int) -> int:
+    env = os.environ.get(WORKERS_ENV_VAR)
+    if env:
+        return max(1, min(int(env), nblocks))
+    return max(1, min(os.cpu_count() or 1, _MAX_WORKERS, nblocks))
+
+
+class MultiprocessEngine(Engine):
+    """ProcessPoolExecutor fan-out of independent blocks."""
+
+    name = "multiprocess"
+    fallback = "compiled"
+
+    @classmethod
+    def is_available(cls) -> bool:
+        try:
+            import concurrent.futures  # noqa: F401
+            import multiprocessing
+
+            multiprocessing.cpu_count()
+            return True
+        except (ImportError, NotImplementedError):  # pragma: no cover
+            return False
+
+    def run_nest(self, nest, arrays, scalars, space) -> None:
+        # a sequential nest is one dependence chain; nothing to fan out
+        self.delegate().run_nest(nest, arrays, scalars, space)
+
+    def run_blocks(self, plan, memories, result, initial, scalars,
+                   strict: bool = True) -> None:
+        if not strict or not plan.blocks:
+            self.delegate().run_blocks(plan, memories, result, initial,
+                                       scalars, strict=strict)
+            return
+        from concurrent.futures import ProcessPoolExecutor
+
+        nw = worker_count(len(plan.blocks))
+        # contiguous chunks preserve block order for deterministic merge
+        per = -(-len(plan.blocks) // nw)
+        chunks = [plan.blocks[i:i + per]
+                  for i in range(0, len(plan.blocks), per)]
+        # sub-plans are built in the parent so only dataclass fields
+        # (never runtime caches attached to the full plan) get pickled
+        payloads = [
+            (replace(plan, blocks=chunk),
+             {b.index: memories[b.index] for b in chunk}, dict(scalars))
+            for chunk in chunks
+        ]
+        try:
+            with ProcessPoolExecutor(max_workers=nw) as pool:
+                outcomes = list(pool.map(_run_chunk, payloads))
+        except (OSError, PermissionError, ValueError, RuntimeError,
+                ImportError):
+            # no process pool in this environment: run in-process instead
+            self.delegate().run_blocks(plan, memories, result, initial,
+                                       scalars, strict=strict)
+            return
+
+        # merge in submission (= block) order: deterministic by design
+        for out in outcomes:
+            if out[0] == "remote":
+                _, pid, array, coords = out
+                memories[pid].remote_attempts += 1
+                raise RemoteAccessError(pid, array, coords)
+        for out in outcomes:
+            _, mems, stamps, executed, skipped = out
+            for pid, worker_mem in mems.items():
+                mem = memories[pid]
+                mem.values = worker_mem.values
+                mem.allocated = worker_mem.allocated
+                mem.reads = worker_mem.reads
+                mem.writes = worker_mem.writes
+                mem.remote_attempts = worker_mem.remote_attempts
+            result.write_stamps.update(stamps)
+            result.executed_iterations += executed
+            result.skipped_computations += skipped
+
+
+register_backend(MultiprocessEngine, aliases=("mp", "processes", "pool"))

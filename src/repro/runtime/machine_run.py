@@ -86,12 +86,14 @@ def run_on_machine(
     initial: Optional[dict[str, DataSpace]] = None,
     scalars: Optional[Mapping[str, float]] = None,
     verify: bool = True,
+    backend: Optional[str] = None,
 ) -> MachineRun:
     """Distribute, execute, merge and (optionally) verify on one machine.
 
     ``p`` shapes the processor grid through the paper's rule; blocks are
     assigned cyclically.  The returned stats combine the charged
     distribution time with the per-processor compute makespan.
+    ``backend`` selects the execution engine for the functional run.
     """
     tnest = transform_nest(plan.nest, plan.psi)
     grid = shape_grid(p, tnest.k)
@@ -110,7 +112,7 @@ def run_on_machine(
     _distribute(machine, plan, mapping, initial)
 
     result = run_parallel(plan, initial=initial, scalars=scalars,
-                          block_to_pid=mapping)
+                          block_to_pid=mapping, backend=backend)
     # charge compute: executed computations per processor, normalized to
     # the paper's "one iteration = one t_comp" unit
     nstmts = len(plan.nest.statements)

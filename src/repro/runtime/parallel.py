@@ -31,7 +31,6 @@ from typing import Mapping, Optional
 from repro.core.plan import PartitionPlan
 from repro.machine.memory import LocalMemory
 from repro.runtime.arrays import Coords, DataSpace, make_arrays
-from repro.runtime.seq import eval_expr, subscript_coords
 
 Element = tuple[str, Coords]
 
@@ -51,6 +50,8 @@ class ParallelResult:
     write_stamps: dict[tuple[int, str, Coords], int] = field(default_factory=dict)
     executed_iterations: int = 0
     skipped_computations: int = 0
+    # canonical name of the engine that executed the blocks
+    backend: str = "interp"
 
     @property
     def remote_accesses(self) -> int:
@@ -79,15 +80,21 @@ def run_parallel(
     scalars: Optional[Mapping[str, float]] = None,
     block_to_pid: Optional[Mapping[int, int]] = None,
     strict: bool = True,
+    backend: Optional[str] = None,
 ) -> ParallelResult:
     """Execute the plan; see module docstring.
 
     ``block_to_pid`` defaults to the identity (one processor per
     block).  ``initial`` defaults to the standard deterministic init.
+    ``backend`` picks the execution engine (default: the interpreter,
+    or ``$REPRO_BACKEND``); non-strict runs always use the
+    interpreter, the only tier modeling tolerated remote accesses.
     """
+    # local import: backends call back into this module's types
+    from repro.runtime.engine import resolve_engine
+
     scalars = scalars or {}
     model = plan.model
-    nest = plan.nest
     if initial is None:
         initial = make_arrays(model)
     if block_to_pid is None:
@@ -105,37 +112,11 @@ def run_parallel(
             mem.allocate(name, elems, init=lambda c, s=src: s[c])
         memories[b.index] = mem
 
-    result = ParallelResult(plan=plan, memories=memories, block_to_pid=mapping)
+    engine = resolve_engine("interp" if not strict else backend)
+    result = ParallelResult(plan=plan, memories=memories, block_to_pid=mapping,
+                            backend=engine.name)
 
-    # -- global sequential order of computations (for merge stamps) --------
-    seq_of: dict[tuple[int, Coords], int] = {}
-    order = 0
-    nstmts = len(nest.statements)
-    for it in model.space.iterate():
-        for k in range(nstmts):
-            seq_of[(k, it)] = order
-            order += 1
-
-    # -- execution -----------------------------------------------------------
-    for b in plan.blocks:
-        mem = memories[b.index]
-
-        def read(a: str, c: Coords) -> float:
-            return mem.load(a, c)
-
-        for it in b.iterations:
-            env = dict(zip(nest.indices, it))
-            executed_any = False
-            for k, stmt in enumerate(nest.statements):
-                if not plan.executes(k, it):
-                    result.skipped_computations += 1
-                    continue
-                value = eval_expr(stmt.rhs, env, scalars, read)
-                coords = subscript_coords(stmt.lhs, env)
-                mem.store(stmt.lhs.array, coords, value)
-                result.write_stamps[(b.index, stmt.lhs.array, coords)] = \
-                    seq_of[(k, it)]
-                executed_any = True
-            if executed_any:
-                result.executed_iterations += 1
+    # -- execution (write stamps record the global sequential order of
+    # each computation, rank_of(it) * nstmts + k, for the merge) ----------
+    engine.run_blocks(plan, memories, result, initial, scalars, strict=strict)
     return result

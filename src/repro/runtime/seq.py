@@ -72,19 +72,19 @@ def run_sequential(
     arrays: dict[str, DataSpace],
     scalars: Optional[Mapping[str, float]] = None,
     space: Optional[IterationSpace] = None,
+    backend: Optional[str] = None,
 ) -> dict[str, DataSpace]:
-    """Run the nest in place over ``arrays``; returns ``arrays``."""
+    """Run the nest in place over ``arrays``; returns ``arrays``.
+
+    ``backend`` picks the execution engine (default: the interpreter,
+    or ``$REPRO_BACKEND``); every engine is bit-identical to the
+    interpreter on the final arrays.
+    """
+    # local import: the engine layer's interp backend calls back into
+    # execute_statement here
+    from repro.runtime.engine import resolve_engine
+
     scalars = scalars or {}
     space = space or IterationSpace(nest)
-
-    def read(a: str, c: Coords) -> float:
-        return arrays[a][c]
-
-    def write(a: str, c: Coords, v: float) -> None:
-        arrays[a][c] = v
-
-    for it in space.iterate():
-        env = dict(zip(nest.indices, it))
-        for stmt in nest.statements:
-            execute_statement(stmt, env, scalars, read, write)
+    resolve_engine(backend).run_nest(nest, arrays, scalars, space)
     return arrays

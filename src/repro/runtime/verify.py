@@ -4,12 +4,15 @@
 the sequential golden model and the partitioned parallel execution from
 identical initial data, merges the replicated copies, and compares
 final array contents bit-for-bit, while also asserting that not a
-single remote access occurred.
+single remote access occurred.  The parallel execution can run on any
+engine backend (``backend=``); :func:`cross_check_backends` runs it on
+*every* available backend and demands they all agree with the golden
+model -- the strongest form, used by ``verify --backend all``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
 from repro.core.plan import PartitionPlan
@@ -30,6 +33,10 @@ class VerificationReport:
     executed_iterations: int
     skipped_computations: int
     mismatches: list[tuple[str, tuple[int, ...], float, float]]
+    # canonical name of the engine that ran the parallel execution
+    backend: str = "interp"
+    # backend-name -> report, when cross-checking every backend
+    cross_checked: dict[str, "VerificationReport"] = field(default_factory=dict)
 
     @property
     def communication_free(self) -> bool:
@@ -58,15 +65,25 @@ def verify_plan(
     scalars: Optional[Mapping[str, float]] = None,
     initial: Optional[dict[str, DataSpace]] = None,
     block_to_pid: Optional[Mapping[int, int]] = None,
+    backend: Optional[str] = None,
 ) -> VerificationReport:
-    """Run sequential and parallel executions and compare final arrays."""
+    """Run sequential and parallel executions and compare final arrays.
+
+    ``backend`` selects the parallel execution engine; ``"all"``
+    cross-checks every available backend (see
+    :func:`cross_check_backends`).
+    """
+    if backend == "all":
+        return cross_check_backends(plan, scalars=scalars, initial=initial,
+                                    block_to_pid=block_to_pid)
     if initial is None:
         initial = make_arrays(plan.model)
     seq_arrays = {name: ds.copy() for name, ds in initial.items()}
     run_sequential(plan.nest, seq_arrays, scalars=scalars, space=plan.model.space)
 
     result: ParallelResult = run_parallel(
-        plan, initial=initial, scalars=scalars, block_to_pid=block_to_pid
+        plan, initial=initial, scalars=scalars, block_to_pid=block_to_pid,
+        backend=backend,
     )
     merged = merge_copies(result, initial)
 
@@ -86,4 +103,47 @@ def verify_plan(
         executed_iterations=result.executed_iterations,
         skipped_computations=result.skipped_computations,
         mismatches=mismatches,
+        backend=result.backend,
     )
+
+
+def cross_check_backends(
+    plan: PartitionPlan,
+    scalars: Optional[Mapping[str, float]] = None,
+    initial: Optional[dict[str, DataSpace]] = None,
+    block_to_pid: Optional[Mapping[int, int]] = None,
+) -> VerificationReport:
+    """Verify the plan on *every* available backend.
+
+    Each backend's merged arrays are compared against the sequential
+    golden model; additionally all backends must produce identical
+    write stamps (the merge inputs), so agreement is bit-for-bit, not
+    just value-equal.  Returns the interpreter's report with
+    ``cross_checked`` filled in; ``ok`` is True only if every backend
+    passed and agreed.
+    """
+    from repro.runtime.engine import available_backends
+
+    if initial is None:
+        initial = make_arrays(plan.model)
+    reports: dict[str, VerificationReport] = {}
+    stamps: dict[str, dict] = {}
+    for name in available_backends():
+        result = run_parallel(plan, initial=initial, scalars=scalars,
+                              block_to_pid=block_to_pid, backend=name)
+        stamps[name] = result.write_stamps
+        reports[name] = verify_plan(plan, scalars=scalars, initial=initial,
+                                    block_to_pid=block_to_pid, backend=name)
+    main = reports["interp"]
+    main.cross_checked = reports
+    golden_stamps = stamps["interp"]
+    for name, report in reports.items():
+        if stamps[name] != golden_stamps or not report.ok:
+            main.equal = main.equal and report.equal
+            main.remote_accesses = max(main.remote_accesses,
+                                       report.remote_accesses)
+            if stamps[name] != golden_stamps:
+                main.mismatches.append(
+                    (f"<write-stamps:{name}>", (), 0.0, 0.0))
+                main.equal = False
+    return main
