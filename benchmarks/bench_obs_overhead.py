@@ -1,0 +1,144 @@
+"""Observability overhead: disabled tracing must stay under 2%.
+
+The tracer call sites (pipeline passes, plan-cache lookups, per-block
+engine runs, machine phases) are *unconditional* -- no ``if tracing:``
+guards -- so the disabled path must be essentially free.  This bench
+enforces that with two measurements on a real workload (a parallel run
+of a scaled matrix multiply, the same Theorem 2 workload
+``bench_engine.py`` uses):
+
+1. **Accounting bound** -- microbenchmark the per-call cost of a
+   disabled ``tracer.span(...)`` (the null-recorder path: one
+   ``enabled`` check, return the shared ``NULL_SPAN``), count the spans
+   the workload would open (by running it once under an *enabled*
+   tracer), and bound the disabled-tracing tax as
+   ``spans * per_call / workload_time``.  Asserted ``< DISABLED_FLOOR``
+   (2%).
+2. **A/B wall time** -- best-of workload time under the default null
+   tracer vs. under an enabled tracer, recorded in ``BENCH_obs.json``
+   as the honest flip side (enabled tracing is allowed to cost more;
+   only the disabled path has a floor).
+
+``python benchmarks/bench_obs_overhead.py`` regenerates
+``BENCH_obs.json``.
+"""
+
+import json
+from functools import lru_cache
+from pathlib import Path
+from time import perf_counter
+
+from repro.core import Strategy, build_plan
+from repro.lang.parser import parse
+from repro.obs import Tracer, current_tracer, use_tracer
+from repro.runtime import make_arrays
+from repro.runtime.parallel import run_parallel
+
+#: Maximum tolerated disabled-tracing overhead, as a fraction of
+#: workload wall time (the issue's acceptance bound).
+DISABLED_FLOOR = 0.02
+
+MATMUL_N = 24
+SPAN_CALLS = 200_000
+
+
+def matmul_nest(n: int = MATMUL_N):
+    hi = n - 1
+    return parse(
+        f"""
+        for i = 0 to {hi} {{
+          for j = 0 to {hi} {{
+            for k = 0 to {hi} {{
+              C[i,j] = C[i,j] + A[i,k] * B[k,j];
+            }} }} }}
+        """,
+        name=f"MATMUL{n}",
+    )
+
+
+def null_span_per_call_s(calls: int = SPAN_CALLS) -> float:
+    """Per-call seconds of a disabled span open/close, best of 3."""
+    tracer = Tracer(enabled=False)
+    best = float("inf")
+    for _ in range(3):
+        t0 = perf_counter()
+        for _ in range(calls):
+            with tracer.span("bench.noop", category="bench", k=1) as sp:
+                sp.set(v=2)
+        best = min(best, perf_counter() - t0)
+    return best / calls
+
+
+def workload(plan, initial):
+    run_parallel(plan, initial=initial, backend="interp")
+
+
+def _best_workload_s(plan, initial, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = perf_counter()
+        workload(plan, initial)
+        best = min(best, perf_counter() - t0)
+    return best
+
+
+@lru_cache(maxsize=None)
+def measure():
+    plan = build_plan(matmul_nest(), strategy=Strategy.DUPLICATE)
+    initial = make_arrays(plan.model)
+
+    assert not current_tracer().enabled, \
+        "bench must run under the default null tracer"
+    disabled_s = _best_workload_s(plan, initial)
+
+    enabled = Tracer(enabled=True)
+    with use_tracer(enabled):
+        enabled_s = _best_workload_s(plan, initial)
+        spans_per_run = len(enabled.find()) // 3 + 1
+
+    per_call = null_span_per_call_s()
+    accounted = spans_per_run * per_call / disabled_s
+    return {
+        "workload": f"run_parallel(MATMUL{MATMUL_N}, duplicate, interp)",
+        "disabled_ms": round(disabled_s * 1e3, 3),
+        "enabled_ms": round(enabled_s * 1e3, 3),
+        "spans_per_run": spans_per_run,
+        "null_span_ns_per_call": round(per_call * 1e9, 1),
+        "disabled_overhead_fraction": round(accounted, 6),
+        "floor": DISABLED_FLOOR,
+    }
+
+
+def test_disabled_overhead_under_floor(benchmark):
+    row = measure()
+    benchmark(lambda: null_span_per_call_s(10_000))
+    benchmark.extra_info.update(**row)
+    assert row["disabled_overhead_fraction"] < DISABLED_FLOOR, (
+        f"disabled tracing costs {row['disabled_overhead_fraction']:.2%} "
+        f"of the workload (floor {DISABLED_FLOOR:.0%}): "
+        f"{row['spans_per_run']} spans x "
+        f"{row['null_span_ns_per_call']}ns over {row['disabled_ms']}ms")
+
+
+def test_null_span_is_shared_singleton():
+    """The fast path allocates nothing: every disabled span is NULL_SPAN."""
+    from repro.obs import NULL_SPAN
+
+    tracer = Tracer(enabled=False)
+    assert tracer.span("a", category="b", x=1) is NULL_SPAN
+    assert tracer.span("c") is NULL_SPAN
+
+
+def main():
+    out = measure()
+    path = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+    path.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(out, indent=2, sort_keys=True))
+    ok = out["disabled_overhead_fraction"] < DISABLED_FLOOR
+    print(f"floor: {'PASS' if ok else 'FAIL'} "
+          f"({out['disabled_overhead_fraction']:.3%} < {DISABLED_FLOOR:.0%})")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,9 +14,14 @@ Loops come from a mini-language source file or the built-in catalog
 
 Every subcommand runs through the instrumented pass pipeline
 (:mod:`repro.pipeline`); add ``--timings`` to print the per-pass timing
-table (including plan-cache hit/miss counters).  Structured diagnostics
-(degenerate Psi, partial duplication, ...) go to stderr so stdout stays
-machine-stable.
+table (including plan-cache hit/miss counters with miss reasons).
+Observability flags work on every subcommand too: ``--trace FILE``
+writes Chrome trace-event JSON (open in chrome://tracing or Perfetto),
+``--metrics`` prints Prometheus-style metrics, ``--metrics-out FILE``
+writes them to a file (JSON when the name ends in ``.json``), and
+``--events FILE`` writes a JSON-lines event log.  Structured
+diagnostics (degenerate Psi, partial duplication, ...) go to stderr so
+stdout stays machine-stable.
 """
 
 from __future__ import annotations
@@ -252,6 +257,17 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, **kwargs)
         p.add_argument("--timings", action="store_true",
                        help="print the per-pass timing table")
+        p.add_argument("--trace", metavar="FILE",
+                       help="write a Chrome trace-event JSON "
+                            "(chrome://tracing / Perfetto) for this command")
+        p.add_argument("--metrics", action="store_true",
+                       help="print Prometheus-style metrics after the "
+                            "command output")
+        p.add_argument("--metrics-out", metavar="FILE",
+                       help="write metrics to FILE (.json for JSON, "
+                            "anything else for Prometheus text)")
+        p.add_argument("--events", metavar="FILE",
+                       help="write a JSON-lines structured event log")
         return p
 
     p = add_subparser("analyze", help="reference-pattern analysis")
@@ -324,14 +340,44 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     args = build_parser().parse_args(argv)
     out = out or sys.stdout
-    if getattr(args, "timings", False):
-        # a fresh sink so the table covers exactly this command
-        with use_metrics(Instrumentation()) as instr:
+    trace_path = getattr(args, "trace", None)
+    events_path = getattr(args, "events", None)
+    metrics_flag = getattr(args, "metrics", False)
+    metrics_out = getattr(args, "metrics_out", None)
+    timings = getattr(args, "timings", False)
+    if not (trace_path or events_path or metrics_flag or metrics_out
+            or timings):
+        return args.fn(args, out)
+
+    from repro.obs import (MetricsRegistry, Tracer, prometheus_text,
+                           use_registry, use_tracer, write_chrome_trace,
+                           write_event_log, write_metrics)
+    from repro.obs.hooks import TracingHooks
+
+    # fresh sinks so every dump covers exactly this command; the tracer
+    # stays the null recorder unless a trace/event file was requested
+    instr = Instrumentation()
+    registry = MetricsRegistry()
+    tracer = Tracer(enabled=bool(trace_path or events_path))
+    if tracer.enabled:
+        instr.add_hooks(TracingHooks(tracer))
+    with use_metrics(instr), use_registry(registry), use_tracer(tracer):
+        with tracer.span(f"cli.{args.command}", category="cli") as sp:
             code = args.fn(args, out)
+            sp.set(exit_code=code)
+    if timings:
         print(file=out)
         print(instr.timing_table(), file=out)
-        return code
-    return args.fn(args, out)
+    if metrics_flag:
+        print(file=out)
+        print(prometheus_text(registry), file=out)
+    if metrics_out:
+        write_metrics(registry, metrics_out)
+    if trace_path:
+        write_chrome_trace(tracer, trace_path)
+    if events_path:
+        write_event_log(tracer, events_path)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

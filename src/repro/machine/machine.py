@@ -9,11 +9,17 @@ from repro.machine.cost import CostModel, TRANSPUTER
 from repro.machine.network import Network
 from repro.machine.processor import Processor
 from repro.machine.topology import HOST, Mesh2D, Topology
+from repro.obs.metrics import MetricsRegistry, current_registry
 
 
 @dataclass
 class MachineStats:
-    """Aggregate statistics of one simulated run."""
+    """Aggregate statistics of one simulated run.
+
+    These are the paper's Tables I & II quantities: the distribution
+    time is the ``T3``-style data-download term, the compute makespan
+    the ``T1``/``T2`` execution term (see docs/PAPER_MAP.md).
+    """
 
     distribution_time: float
     max_compute_time: float
@@ -39,6 +45,18 @@ class MachineStats:
             "remote_accesses": self.remote_accesses,
             "memory_words": dict(self.memory_words),
         }
+
+    def publish(self, registry: Optional[MetricsRegistry] = None) -> None:
+        """Publish this snapshot as ``machine.*`` gauges (last run wins)."""
+        reg = registry if registry is not None else current_registry()
+        reg.set("machine.distribution_time", self.distribution_time)
+        reg.set("machine.max_compute_time", self.max_compute_time)
+        reg.set("machine.makespan", self.makespan)
+        reg.set("machine.total_iterations", self.total_iterations)
+        reg.set("machine.messages", self.messages)
+        reg.set("machine.words_sent", self.words_sent)
+        reg.set("machine.remote_accesses", self.remote_accesses)
+        reg.set("machine.memory_words", sum(self.memory_words.values()))
 
 
 class Multicomputer:
@@ -71,7 +89,7 @@ class Multicomputer:
 
     # -- stats ------------------------------------------------------------------
     def stats(self) -> MachineStats:
-        return MachineStats(
+        snap = MachineStats(
             distribution_time=self.network.elapsed,
             max_compute_time=max((p.compute_time for p in self.processors),
                                  default=0.0),
@@ -81,6 +99,8 @@ class Multicomputer:
             remote_accesses=sum(p.memory.remote_attempts for p in self.processors),
             memory_words={p.pid: p.memory.words() for p in self.processors},
         )
+        snap.publish()
+        return snap
 
     def makespan(self) -> float:
         """Distribution (serialized on the host) + slowest processor's compute."""

@@ -1,0 +1,77 @@
+"""Unified observability: structured tracing, metrics, exporters.
+
+One subsystem sees a whole run end-to-end -- compile (pipeline passes,
+plan-cache lookups), execute (engine resolution, per-block runs), and
+simulate (machine distribution/compute phases):
+
+- :mod:`~repro.obs.trace`: the hierarchical span tracer with a
+  null-recorder fast path (disabled by default; near-zero overhead,
+  enforced by ``benchmarks/bench_obs_overhead.py``);
+- :mod:`~repro.obs.metrics`: the counters/gauges/histograms registry
+  that absorbs the ``Instrumentation`` / ``ParallelResult`` /
+  ``MachineStats`` counter systems behind one API;
+- :mod:`~repro.obs.export`: Chrome trace-event JSON (Perfetto-viewable),
+  Prometheus-style text, JSON metrics dumps and a JSON-lines event log;
+- :mod:`~repro.obs.hooks`: the ``PipelineHooks`` adapter mirroring pass
+  boundaries and diagnostics into the tracer;
+- :mod:`~repro.obs.schema`: the in-tree Chrome-trace schema check
+  (``python -m repro.obs.schema trace.json``), used by CI.
+
+Every CLI subcommand accepts ``--trace FILE``, ``--metrics``,
+``--metrics-out FILE`` and ``--events FILE``.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    event_log_lines,
+    metrics_json,
+    prometheus_text,
+    write_chrome_trace,
+    write_event_log,
+    write_metrics,
+)
+from repro.obs.metrics import (
+    METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    current_registry,
+    use_registry,
+)
+from repro.obs.schema import CHROME_TRACE_SCHEMA, validate_chrome_trace
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    Event,
+    Span,
+    Tracer,
+    current_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "Event",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "current_tracer",
+    "use_tracer",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "METRICS",
+    "current_registry",
+    "use_registry",
+    "chrome_trace",
+    "write_chrome_trace",
+    "prometheus_text",
+    "metrics_json",
+    "write_metrics",
+    "event_log_lines",
+    "write_event_log",
+    "CHROME_TRACE_SCHEMA",
+    "validate_chrome_trace",
+]

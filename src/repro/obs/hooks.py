@@ -1,0 +1,52 @@
+"""Observability hooks for the pass pipeline.
+
+:class:`TracingHooks` attaches to
+:class:`~repro.pipeline.instrument.Instrumentation` through the
+existing :class:`~repro.pipeline.instrument.PipelineHooks` protocol and
+mirrors pass boundaries into the span tracer: one ``pipeline`` span per
+pass execution, plus an instant event per structured diagnostic.  The
+CLI installs it whenever ``--trace``/``--events`` is given; library
+callers can attach it to any instrumentation sink.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.trace import Span, Tracer, current_tracer
+from repro.pipeline.instrument import PipelineHooks
+
+
+class TracingHooks(PipelineHooks):
+    """Mirror pass start/end and diagnostics into a tracer."""
+
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
+        # resolved lazily so one hooks object follows use_tracer scoping
+        self._tracer = tracer
+        self._open: list[tuple[str, object, Span]] = []
+
+    def _tr(self) -> Tracer:
+        return self._tracer if self._tracer is not None else current_tracer()
+
+    def on_pass_start(self, name, ctx) -> None:
+        cm = self._tr().span(f"pass:{name}", category="pipeline",
+                             config=ctx.config.describe(),
+                             nest=ctx.nest.name or "<anon>")
+        span = cm.__enter__()
+        self._open.append((name, cm, span))
+
+    def on_pass_end(self, name, ctx, seconds) -> None:
+        # close the matching span; tolerate nested pipelines sharing hooks
+        for i in range(len(self._open) - 1, -1, -1):
+            opened_name, cm, span = self._open[i]
+            if opened_name == name:
+                span.set(artifacts=sorted(ctx.artifacts))
+                del self._open[i]
+                cm.__exit__(None, None, None)
+                return
+
+    def on_diagnostic(self, diag) -> None:
+        self._tr().event(f"diagnostic:{diag.code}", category="pipeline",
+                         severity=diag.severity.label,
+                         message=diag.message,
+                         **({"loc": diag.loc} if diag.loc else {}))

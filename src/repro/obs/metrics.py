@@ -1,0 +1,214 @@
+"""The unified metrics registry: counters, gauges, histograms.
+
+One registry absorbs the three counter systems that grew independently
+-- :class:`~repro.pipeline.instrument.Instrumentation` (pass timings,
+cache counters), :class:`~repro.runtime.parallel.ParallelResult`
+(remote accesses, loads, memory words) and
+:class:`~repro.machine.machine.MachineStats` (makespan, per-processor
+costs) -- behind one API.  Those classes keep their public fields; they
+additionally *publish* into the current registry, so one run can be
+read end-to-end (compile, execute, simulate) from a single snapshot.
+
+Metric names are dotted (``runtime.remote_accesses``); the Prometheus
+exporter sanitizes them.  Conventions:
+
+- counters accumulate over the registry's lifetime (``cache.hit``);
+- gauges hold the *most recent* observation (``runtime.remote_accesses``
+  is the last parallel run's count, exactly equal to
+  ``ParallelResult.remote_accesses``);
+- histograms record count/sum/min/max plus fixed log-spaced buckets
+  (pass wall times land in ``pipeline.pass.seconds.<name>``).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional, Union
+
+#: Log-spaced histogram bucket upper bounds, in the metric's own unit
+#: (seconds for timings): 1us .. 100s.
+DEFAULT_BUCKETS = tuple(10.0 ** e for e in range(-6, 3))
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count."""
+
+    name: str
+    help: str = ""
+    value: Union[int, float] = 0
+
+    kind = "counter"
+
+    def inc(self, n: Union[int, float] = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += n
+
+
+@dataclass
+class Gauge:
+    """Last observed value (may go up or down)."""
+
+    name: str
+    help: str = ""
+    value: float = 0.0
+
+    kind = "gauge"
+
+    def set(self, v: float) -> None:
+        self.value = v
+
+    def inc(self, n: float = 1) -> None:
+        self.value += n
+
+
+@dataclass
+class Histogram:
+    """Count/sum/min/max plus fixed cumulative buckets."""
+
+    name: str
+    help: str = ""
+    buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    counts: list[int] = field(default_factory=list)
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+
+    kind = "histogram"
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * (len(self.buckets) + 1)  # +inf bucket
+
+    def observe(self, v: float) -> None:
+        self.count += 1
+        self.total += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+        for i, le in enumerate(self.buckets):
+            if v <= le:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def value(self) -> float:
+        """Snapshot scalar: the running sum (see :meth:`MetricsRegistry.value`)."""
+        return self.total
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """A named collection of metrics with create-on-first-use helpers."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    # -- creation ---------------------------------------------------------
+    def _get_or_make(self, name: str, cls, help: str = "") -> Metric:
+        m = self._metrics.get(name)
+        if m is None:
+            with self._lock:
+                m = self._metrics.get(name)
+                if m is None:
+                    m = cls(name=name, help=help)
+                    self._metrics[name] = m
+        if not isinstance(m, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {m.kind}")
+        return m
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_make(name, Counter, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_make(name, Gauge, help)
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        return self._get_or_make(name, Histogram, help)
+
+    # -- one-line recording helpers ---------------------------------------
+    def inc(self, name: str, n: Union[int, float] = 1) -> None:
+        self.counter(name).inc(n)
+
+    def set(self, name: str, v: float) -> None:
+        self.gauge(name).set(v)
+
+    def observe(self, name: str, v: float) -> None:
+        self.histogram(name).observe(v)
+
+    # -- queries ----------------------------------------------------------
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def value(self, name: str, default: float = 0) -> Union[int, float]:
+        m = self._metrics.get(name)
+        return default if m is None else m.value
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready dump of every metric, sorted by name."""
+        out: dict[str, Any] = {}
+        for name in self.names():
+            m = self._metrics[name]
+            if isinstance(m, Histogram):
+                out[name] = {
+                    "kind": m.kind,
+                    "count": m.count,
+                    "sum": m.total,
+                    "min": None if m.count == 0 else m.min,
+                    "max": None if m.count == 0 else m.max,
+                    "mean": m.mean,
+                }
+            else:
+                out[name] = {"kind": m.kind, "value": m.value}
+        return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+
+#: Process-wide default registry.  Unlike the tracer there is no null
+#: tier: metric updates are cheap, never per-iteration, and a default
+#: live registry means library callers can always read one.
+METRICS = MetricsRegistry()
+
+_registry_stack: list[MetricsRegistry] = [METRICS]
+
+
+def current_registry() -> MetricsRegistry:
+    """The registry instrumented call sites publish to."""
+    return _registry_stack[-1]
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Scope the active registry (e.g. per CLI command)."""
+    _registry_stack.append(registry)
+    try:
+        yield registry
+    finally:
+        _registry_stack.pop()

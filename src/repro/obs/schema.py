@@ -1,0 +1,112 @@
+"""In-tree JSON schema check for emitted Chrome trace-event files.
+
+No external jsonschema dependency: :data:`CHROME_TRACE_SCHEMA` is the
+schema document (kept for reference and for external validators), and
+:func:`validate_chrome_trace` enforces it directly.  The CI smoke job
+runs ``python -m repro.obs.schema trace.json`` on a trace produced by
+``repro report --trace`` and fails on any violation.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any
+
+#: JSON Schema (draft-07 subset) for the documents we emit.
+CHROME_TRACE_SCHEMA: dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "type": "object",
+    "required": ["traceEvents"],
+    "properties": {
+        "traceEvents": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["name", "cat", "ph", "ts", "pid", "tid"],
+                "properties": {
+                    "name": {"type": "string", "minLength": 1},
+                    "cat": {"type": "string", "minLength": 1},
+                    "ph": {"enum": ["X", "i"]},
+                    "ts": {"type": "number", "minimum": 0},
+                    "dur": {"type": "number", "minimum": 0},
+                    "pid": {"type": "integer"},
+                    "tid": {"type": "integer"},
+                    "args": {"type": "object"},
+                },
+            },
+        },
+        "displayTimeUnit": {"enum": ["ms", "ns"]},
+    },
+}
+
+
+def validate_chrome_trace(doc: Any) -> list[str]:
+    """Every schema violation in ``doc``, as human-readable strings."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["top level: expected an object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents: missing or not an array"]
+    unit = doc.get("displayTimeUnit")
+    if unit is not None and unit not in ("ms", "ns"):
+        errors.append(f"displayTimeUnit: invalid value {unit!r}")
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: expected an object")
+            continue
+        for key, typ in (("name", str), ("cat", str)):
+            v = ev.get(key)
+            if not isinstance(v, typ) or not v:
+                errors.append(f"{where}.{key}: missing or empty")
+        ph = ev.get("ph")
+        if ph not in ("X", "i"):
+            errors.append(f"{where}.ph: invalid phase {ph!r}")
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+            errors.append(f"{where}.ts: missing or negative")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or isinstance(dur, bool) \
+                    or dur < 0:
+                errors.append(f"{where}.dur: complete events need dur >= 0")
+        for key in ("pid", "tid"):
+            v = ev.get(key)
+            if not isinstance(v, int) or isinstance(v, bool):
+                errors.append(f"{where}.{key}: missing or not an integer")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            errors.append(f"{where}.args: not an object")
+    return errors
+
+
+def main(argv=None) -> int:
+    """``python -m repro.obs.schema trace.json [...]`` -> 0 iff all valid."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        print("usage: python -m repro.obs.schema TRACE.json [...]",
+              file=sys.stderr)
+        return 2
+    bad = 0
+    for path in argv:
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: unreadable: {exc}", file=sys.stderr)
+            bad += 1
+            continue
+        errors = validate_chrome_trace(doc)
+        if errors:
+            bad += 1
+            for e in errors:
+                print(f"{path}: {e}", file=sys.stderr)
+        else:
+            n = len(doc["traceEvents"])
+            print(f"{path}: valid chrome trace ({n} events)")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -22,6 +22,7 @@ The compiler's stages run as named, registered passes over a
 
 from repro.pipeline.cache import (
     PLAN_CACHE,
+    MissReason,
     PlanCache,
     configure_plan_cache,
 )
@@ -66,5 +67,6 @@ __all__ = [
     "PIPELINE_METRICS",
     "PlanCache",
     "PLAN_CACHE",
+    "MissReason",
     "configure_plan_cache",
 ]

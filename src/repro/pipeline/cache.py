@@ -5,7 +5,9 @@ Plans are keyed by the canonical nest fingerprint
 elimination triple, so repeated ``build_plan``/CLI/benchmark invocations
 on structurally identical nests are near-free.  Hit/miss counts are
 surfaced through the instrumentation layer (``counter cache.hit`` /
-``cache.miss`` in the ``--timings`` table).
+``cache.miss`` in the ``--timings`` table), and misses carry a
+clcache-style reason breakdown (:class:`MissReason`: new fingerprint
+vs. options change vs. eviction) as ``cache.miss.<reason>`` counters.
 
 The disk store (one pickle per key under a directory, enabled via the
 ``REPRO_PLAN_CACHE_DIR`` environment variable or
@@ -22,11 +24,29 @@ from collections import OrderedDict
 from typing import Any, Optional
 
 from repro.lang.fingerprint import plan_cache_key
+from repro.obs.metrics import current_registry
+from repro.obs.trace import current_tracer
 from repro.pipeline.instrument import Instrumentation
 
 HIT_COUNTER = "cache.hit"
 MISS_COUNTER = "cache.miss"
 EVICT_COUNTER = "cache.evict"
+
+
+class MissReason:
+    """Why a lookup missed (the clcache-style breakdown).
+
+    - ``NEW_FINGERPRINT``: this nest structure was never compiled here;
+    - ``OPTIONS_CHANGE``: the nest was seen before, but under different
+      strategy/duplication/elimination options;
+    - ``EVICTED``: the exact key was cached once and fell out of the LRU.
+    """
+
+    NEW_FINGERPRINT = "new-fingerprint"
+    OPTIONS_CHANGE = "options-change"
+    EVICTED = "evicted"
+
+    ALL = (NEW_FINGERPRINT, OPTIONS_CHANGE, EVICTED)
 
 
 def _detach(plan: Any) -> Any:
@@ -69,6 +89,10 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: miss-reason name -> count (see :class:`MissReason`)
+        self.miss_reasons: dict[str, int] = {r: 0 for r in MissReason.ALL}
+        self._fingerprints: set = set()   # every fingerprint ever stored
+        self._evicted: set = set()        # keys dropped by the LRU
 
     # -- keys -------------------------------------------------------------
     @staticmethod
@@ -79,27 +103,47 @@ class PlanCache:
                               eliminate_redundant=elim)
 
     # -- lookup -----------------------------------------------------------
+    def _classify_miss(self, key: tuple) -> str:
+        if key in self._evicted:
+            return MissReason.EVICTED
+        if key[0] in self._fingerprints:
+            return MissReason.OPTIONS_CHANGE
+        return MissReason.NEW_FINGERPRINT
+
     def get(self, key: tuple,
             instrumentation: Optional[Instrumentation] = None) -> Any:
-        plan = self._store.get(key)
-        if plan is None and self.directory is not None:
-            plan = self._disk_read(key)
+        with current_tracer().span("cache.lookup", category="cache") as sp:
+            plan = self._store.get(key)
+            if plan is None and self.directory is not None:
+                plan = self._disk_read(key)
+                if plan is not None:
+                    self._remember(key, plan)
             if plan is not None:
-                self._remember(key, plan)
-        if plan is not None:
-            self._store.move_to_end(key)
-            self.hits += 1
+                self._store.move_to_end(key)
+                self.hits += 1
+                sp.set(outcome="hit")
+                if instrumentation is not None:
+                    instrumentation.count(HIT_COUNTER)
+                else:
+                    current_registry().inc(HIT_COUNTER)
+                return _detach(plan)
+            reason = self._classify_miss(key)
+            self.misses += 1
+            self.miss_reasons[reason] += 1
+            sp.set(outcome="miss", reason=reason)
             if instrumentation is not None:
-                instrumentation.count(HIT_COUNTER)
-            return _detach(plan)
-        self.misses += 1
-        if instrumentation is not None:
-            instrumentation.count(MISS_COUNTER)
-        return None
+                instrumentation.count(MISS_COUNTER)
+                instrumentation.count(f"{MISS_COUNTER}.{reason}")
+            else:
+                current_registry().inc(MISS_COUNTER)
+                current_registry().inc(f"{MISS_COUNTER}.{reason}")
+            return None
 
     def put(self, key: tuple, plan: Any,
             instrumentation: Optional[Instrumentation] = None) -> None:
         plan = _detach(plan)
+        self._fingerprints.add(key[0])
+        self._evicted.discard(key)
         self._remember(key, plan, instrumentation)
         if self.directory is not None:
             self._disk_write(key, plan)
@@ -109,10 +153,13 @@ class PlanCache:
         self._store[key] = plan
         self._store.move_to_end(key)
         while len(self._store) > self.maxsize:
-            self._store.popitem(last=False)
+            dropped, _ = self._store.popitem(last=False)
+            self._evicted.add(dropped)
             self.evictions += 1
             if instrumentation is not None:
                 instrumentation.count(EVICT_COUNTER)
+            else:
+                current_registry().inc(EVICT_COUNTER)
 
     # -- disk store -------------------------------------------------------
     def _path_for(self, key: tuple) -> str:
@@ -155,6 +202,9 @@ class PlanCache:
     def clear(self) -> None:
         self._store.clear()
         self.hits = self.misses = self.evictions = 0
+        self.miss_reasons = {r: 0 for r in MissReason.ALL}
+        self._fingerprints.clear()
+        self._evicted.clear()
 
 
 #: Process-wide default used by ``build_plan`` and the CLI.

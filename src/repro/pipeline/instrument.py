@@ -7,7 +7,14 @@ prints :meth:`Instrumentation.timing_table`.
 
 Hooks (:class:`PipelineHooks`) let callers observe pass boundaries and
 diagnostics as they happen -- the protocol a build system or IDE
-integration would attach to.
+integration would attach to.  A hook that raises never aborts the
+build: the error is isolated, counted under the ``hooks.errors``
+counter, and surfaced as a warning diagnostic on the context.
+
+Everything recorded here is also published to the unified metrics
+registry (:mod:`repro.obs.metrics`): pass timings as
+``pipeline.pass.seconds.<name>`` histograms, counters under their own
+names -- so one registry snapshot covers compile, execute and simulate.
 """
 
 from __future__ import annotations
@@ -17,9 +24,14 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator, Optional
 
+from repro.obs.metrics import current_registry
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.pipeline.context import PipelineContext
     from repro.pipeline.diagnostics import Diagnostic
+
+#: Counter charged once per isolated (swallowed) hook exception.
+HOOK_ERROR_COUNTER = "hooks.errors"
 
 
 class PipelineHooks:
@@ -55,15 +67,19 @@ class Instrumentation:
         self.passes: dict[str, PassStats] = {}
         self.counters: dict[str, int] = {}
         self.hooks: list[PipelineHooks] = []
+        #: isolated hook failures, newest last: (hook class, method, error)
+        self.hook_errors: list[tuple[str, str, str]] = []
 
     # -- recording --------------------------------------------------------
     def record(self, name: str, seconds: float) -> None:
         stats = self.passes.setdefault(name, PassStats())
         stats.calls += 1
         stats.seconds += seconds
+        current_registry().observe(f"pipeline.pass.seconds.{name}", seconds)
 
     def count(self, name: str, n: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + n
+        current_registry().inc(name, n)
 
     def counter(self, name: str) -> int:
         return self.counters.get(name, 0)
@@ -71,34 +87,67 @@ class Instrumentation:
     def reset(self) -> None:
         self.passes.clear()
         self.counters.clear()
+        self.hook_errors.clear()
 
     # -- hook fan-out -----------------------------------------------------
     def add_hooks(self, hooks: PipelineHooks) -> None:
         self.hooks.append(hooks)
 
+    def _isolate(self, hook: PipelineHooks, method: str, exc: Exception,
+                 ctx: Optional["PipelineContext"]) -> None:
+        """Record a hook failure without letting it abort the build."""
+        self.count(HOOK_ERROR_COUNTER)
+        name = type(hook).__name__
+        self.hook_errors.append((name, method, f"{type(exc).__name__}: {exc}"))
+        if ctx is not None:
+            # append directly (not via ctx.diagnose) so a broken
+            # on_diagnostic hook cannot recurse through the fan-out
+            from repro.pipeline import diagnostics as diag
+
+            ctx.diagnostics.emit(
+                diag.Severity.WARNING, diag.HOOK_ERROR,
+                f"pipeline hook {name}.{method} raised "
+                f"{type(exc).__name__}: {exc}; hook isolated, build "
+                "continues", loc=method)
+
     def fire_pass_start(self, name: str, ctx: "PipelineContext") -> None:
         for h in self.hooks:
-            h.on_pass_start(name, ctx)
+            try:
+                h.on_pass_start(name, ctx)
+            except Exception as exc:
+                self._isolate(h, "on_pass_start", exc, ctx)
 
     def fire_pass_end(self, name: str, ctx: "PipelineContext",
                       seconds: float) -> None:
         for h in self.hooks:
-            h.on_pass_end(name, ctx, seconds)
+            try:
+                h.on_pass_end(name, ctx, seconds)
+            except Exception as exc:
+                self._isolate(h, "on_pass_end", exc, ctx)
 
     def fire_diagnostic(self, diag: "Diagnostic") -> None:
         for h in self.hooks:
-            h.on_diagnostic(diag)
+            try:
+                h.on_diagnostic(diag)
+            except Exception as exc:
+                self._isolate(h, "on_diagnostic", exc, None)
 
     # -- reporting --------------------------------------------------------
     def total_seconds(self) -> float:
         return sum(s.seconds for s in self.passes.values())
 
     def timing_table(self) -> str:
-        """A per-pass timing table plus counter lines (cache hits etc.)."""
+        """A per-pass timing table plus counter lines (cache hits etc.).
+
+        Deterministic: passes are sorted by total time (descending),
+        ties broken by name; counters are sorted by name.
+        """
         lines = [f"{'pass':<22} {'calls':>6} {'total(ms)':>10} {'mean(ms)':>10}"]
         if not self.passes:
             lines.append("(no passes recorded)")
-        for name, st in self.passes.items():
+        ordered = sorted(self.passes.items(),
+                         key=lambda kv: (-kv[1].seconds, kv[0]))
+        for name, st in ordered:
             lines.append(f"{name:<22} {st.calls:>6} {st.seconds * 1e3:>10.3f} "
                          f"{st.mean_seconds * 1e3:>10.3f}")
         total = self.total_seconds()

@@ -162,10 +162,30 @@ def compile_report(
     )
     sections.append(("reference graphs (DOT)", dot))
 
+    # -- simulated machine --------------------------------------------------
+    # functional re-execution on the cost-charged multicomputer; feeds
+    # the machine.* metrics and category-"machine" trace spans
+    from repro.runtime.machine_run import run_on_machine
+
+    backend = config.backend if config is not None else None
+    mrun = run_on_machine(
+        plan, p, cost=cost, scalars=scalars, verify=False,
+        backend=None if backend == "all" else backend,
+    )
+    st = mrun.stats
+    sections.append((
+        f"simulated machine (p={mrun.machine.num_processors})",
+        f"distribution time: {st.distribution_time:.6f}\n"
+        f"max compute time: {st.max_compute_time:.6f}\n"
+        f"makespan: {st.makespan:.6f}\n"
+        f"messages: {st.messages} ({st.words_sent} words)\n"
+        f"remote accesses: {st.remote_accesses}\n"
+        f"communication-free: {mrun.communication_free}",
+    ))
+
     # -- verification -------------------------------------------------------
     verification: Optional[VerificationReport] = None
     if verify:
-        backend = config.backend if config is not None else None
         verification = verify_plan(plan, scalars=scalars, backend=backend)
         body = (
             f"blocks: {verification.num_blocks}\n"
@@ -187,6 +207,24 @@ def compile_report(
     if diags:
         sections.append(("diagnostics",
                          "\n".join(d.render() for d in diags)))
+
+    # -- observability -------------------------------------------------------
+    # deterministic view of the unified registry: scalar metrics by
+    # value, histograms by sample count only (times vary run to run)
+    from repro.obs.metrics import Histogram, current_registry
+
+    reg = current_registry()
+    obs_lines = []
+    for name in reg.names():
+        m = reg.get(name)
+        if isinstance(m, Histogram):
+            obs_lines.append(f"histogram {name}: {m.count} samples")
+        else:
+            v = m.value
+            shown = int(v) if float(v).is_integer() else v
+            obs_lines.append(f"{m.kind} {name}: {shown}")
+    if obs_lines:
+        sections.append(("observability", "\n".join(obs_lines)))
 
     return CompileReport(
         nest=nest, selection=selection, plan=plan,

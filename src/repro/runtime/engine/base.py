@@ -123,16 +123,31 @@ def get_engine(name: str) -> Engine:
 
 def resolve_engine(name: Optional[str] = None) -> Engine:
     """The engine for ``name`` (or ``$REPRO_BACKEND``, or the default),
-    degraded along the fallback chain until an available tier is found."""
+    degraded along the fallback chain until an available tier is found.
+
+    Precedence: an explicit ``name`` wins over ``$REPRO_BACKEND``, which
+    wins over :data:`DEFAULT_BACKEND`.  Every resolution is traced as an
+    ``engine.resolve`` span (requested vs. resolved backend, fallback
+    hops) and counted as ``engine.resolved.<name>`` in the metrics
+    registry.
+    """
+    from repro.obs.metrics import current_registry
+    from repro.obs.trace import current_tracer
+
     requested = name or os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
-    engine = get_engine(requested)
-    hops = 0
-    while not engine.is_available():
-        if engine.fallback is None or hops > len(_REGISTRY):
-            raise BackendUnavailable(
-                f"backend {requested!r} is unavailable and has no fallback")
-        engine = get_engine(engine.fallback)
-        hops += 1
+    with current_tracer().span("engine.resolve", category="engine",
+                               requested=requested) as sp:
+        engine = get_engine(requested)
+        hops = 0
+        while not engine.is_available():
+            if engine.fallback is None or hops > len(_REGISTRY):
+                raise BackendUnavailable(
+                    f"backend {requested!r} is unavailable and has no "
+                    "fallback")
+            engine = get_engine(engine.fallback)
+            hops += 1
+        sp.set(resolved=engine.name, fallback_hops=hops)
+        current_registry().inc(f"engine.resolved.{engine.name}")
     return engine
 
 

@@ -360,8 +360,11 @@ class CompiledEngine(Engine):
             self.delegate().run_blocks(plan, memories, result, initial,
                                        scalars, strict=strict)
             return
+        from repro.obs.trace import current_tracer
+
         nreads = _reads_per_statement(nest)
         stamps = result.write_stamps
+        tracer = current_tracer()
         for b in plan.blocks:
             mem = memories[b.index]
 
@@ -378,14 +381,20 @@ class CompiledEngine(Engine):
                     "compiled kernel raised KeyError but the interpreter "
                     "slow path found every element local")  # pragma: no cover
 
-            executed, counts = kernel(b.index, b.iterations, mem.values,
-                                      stamps, live, space.rank_of, remote)
-            result.executed_iterations += executed
-            for k, n in enumerate(counts):
-                mem.writes += n
-                mem.reads += n * nreads[k]
-                if live is not None:
-                    result.skipped_computations += len(b.iterations) - n
+            with tracer.span("engine.block", category="engine",
+                             backend=self.name, block=b.index,
+                             iterations=len(b.iterations)) as sp:
+                remote_before = mem.remote_attempts
+                executed, counts = kernel(b.index, b.iterations, mem.values,
+                                          stamps, live, space.rank_of, remote)
+                result.executed_iterations += executed
+                for k, n in enumerate(counts):
+                    mem.writes += n
+                    mem.reads += n * nreads[k]
+                    if live is not None:
+                        result.skipped_computations += len(b.iterations) - n
+                sp.set(statements=sum(counts),
+                       remote_accesses=mem.remote_attempts - remote_before)
 
 
 register_backend(CompiledEngine, aliases=("kernel", "kernels", "jit"))

@@ -38,33 +38,44 @@ class InterpreterEngine(Engine):
 
     def run_blocks(self, plan, memories, result, initial, scalars,
                    strict: bool = True) -> None:
+        from repro.obs.trace import current_tracer
         from repro.runtime.seq import eval_expr, subscript_coords
 
         nest = plan.nest
         space = plan.model.space
         nstmts = len(nest.statements)
         live = plan.live
+        tracer = current_tracer()
         for b in plan.blocks:
             mem = memories[b.index]
 
             def read(a, c, mem=mem):
                 return mem.load(a, c)
 
-            for it in b.iterations:
-                env = dict(zip(nest.indices, it))
-                executed_any = False
-                for k, stmt in enumerate(nest.statements):
-                    if live is not None and (k, it) not in live:
-                        result.skipped_computations += 1
-                        continue
-                    value = eval_expr(stmt.rhs, env, scalars, read)
-                    coords = subscript_coords(stmt.lhs, env)
-                    mem.store(stmt.lhs.array, coords, value)
-                    result.write_stamps[(b.index, stmt.lhs.array, coords)] = \
-                        space.rank_of(it) * nstmts + k
-                    executed_any = True
-                if executed_any:
-                    result.executed_iterations += 1
+            with tracer.span("engine.block", category="engine",
+                             backend=self.name, block=b.index,
+                             iterations=len(b.iterations)) as sp:
+                remote_before = mem.remote_attempts
+                statements = 0
+                for it in b.iterations:
+                    env = dict(zip(nest.indices, it))
+                    executed_any = False
+                    for k, stmt in enumerate(nest.statements):
+                        if live is not None and (k, it) not in live:
+                            result.skipped_computations += 1
+                            continue
+                        value = eval_expr(stmt.rhs, env, scalars, read)
+                        coords = subscript_coords(stmt.lhs, env)
+                        mem.store(stmt.lhs.array, coords, value)
+                        result.write_stamps[
+                            (b.index, stmt.lhs.array, coords)] = \
+                            space.rank_of(it) * nstmts + k
+                        statements += 1
+                        executed_any = True
+                    if executed_any:
+                        result.executed_iterations += 1
+                sp.set(statements=statements,
+                       remote_accesses=mem.remote_attempts - remote_before)
 
 
 register_backend(InterpreterEngine, aliases=("interpreter", "seq", "golden"))

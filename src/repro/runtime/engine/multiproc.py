@@ -104,9 +104,17 @@ class MultiprocessEngine(Engine):
              {b.index: memories[b.index] for b in chunk}, dict(scalars))
             for chunk in chunks
         ]
+        from repro.obs.trace import current_tracer
+
         try:
-            with ProcessPoolExecutor(max_workers=nw) as pool:
-                outcomes = list(pool.map(_run_chunk, payloads))
+            # worker-side spans die with the worker process; the parent
+            # records the fan-out geometry instead
+            with current_tracer().span(
+                    "engine.fanout", category="engine", backend=self.name,
+                    workers=nw, chunks=len(chunks),
+                    blocks=len(plan.blocks)):
+                with ProcessPoolExecutor(max_workers=nw) as pool:
+                    outcomes = list(pool.map(_run_chunk, payloads))
         except (OSError, PermissionError, ValueError, RuntimeError,
                 ImportError):
             # no process pool in this environment: run in-process instead

@@ -335,13 +335,24 @@ class VectorizedEngine(Engine):
 
     def run_blocks(self, plan, memories, result, initial, scalars,
                    strict: bool = True) -> None:
+        from repro.obs.trace import current_tracer
+
         np = npc.np
         if np is None or not strict:
             self.delegate().run_blocks(plan, memories, result, initial,
                                        scalars, strict=strict)
             return
         try:
-            self._run_lockstep(np, plan, memories, result, scalars)
+            # all lanes advance together, so the whole sweep is one span
+            # (per-block spans would all cover the same wall time);
+            # lanes/steps attributes record the geometry instead
+            with current_tracer().span(
+                    "engine.lockstep", category="engine", backend=self.name,
+                    blocks=len(plan.blocks)) as sp:
+                self._run_lockstep(np, plan, memories, result, scalars)
+                sp.set(executed_iterations=result.executed_iterations,
+                       remote_accesses=result.remote_accesses,
+                       statements=len(plan.nest.statements))
         except _Unsupported:
             self.delegate().run_blocks(plan, memories, result, initial,
                                        scalars, strict=strict)

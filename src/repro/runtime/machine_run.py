@@ -20,6 +20,7 @@ from repro.machine.cost import CostModel, TRANSPUTER
 from repro.machine.machine import MachineStats, Multicomputer
 from repro.machine.topology import HOST
 from repro.mapping.grid import shape_grid
+from repro.obs.trace import current_tracer
 from repro.perf.general import block_to_pid_map, mesh_for
 from repro.runtime.arrays import Coords, DataSpace, make_arrays
 from repro.runtime.merge import merge_copies
@@ -95,48 +96,65 @@ def run_on_machine(
     distribution time with the per-processor compute makespan.
     ``backend`` selects the execution engine for the functional run.
     """
-    tnest = transform_nest(plan.nest, plan.psi)
-    grid = shape_grid(p, tnest.k)
-    actual_p = max(1, grid.size)
-    if machine is None:
-        machine = Multicomputer(mesh_for(actual_p), cost=cost)
-    elif machine.num_processors < actual_p:
-        raise ValueError(
-            f"machine has {machine.num_processors} processors but the grid "
-            f"needs {actual_p}")
-    mapping = block_to_pid_map(plan, tnest, grid)
+    tracer = current_tracer()
+    with tracer.span("machine.run", category="machine",
+                     nest=plan.nest.name or "<anon>", p=p) as msp:
+        tnest = transform_nest(plan.nest, plan.psi)
+        grid = shape_grid(p, tnest.k)
+        actual_p = max(1, grid.size)
+        if machine is None:
+            machine = Multicomputer(mesh_for(actual_p), cost=cost)
+        elif machine.num_processors < actual_p:
+            raise ValueError(
+                f"machine has {machine.num_processors} processors but the "
+                f"grid needs {actual_p}")
+        mapping = block_to_pid_map(plan, tnest, grid)
 
-    if initial is None:
-        initial = make_arrays(plan.model)
+        if initial is None:
+            initial = make_arrays(plan.model)
 
-    _distribute(machine, plan, mapping, initial)
+        with tracer.span("machine.distribute", category="machine",
+                         processors=machine.num_processors) as dsp:
+            _distribute(machine, plan, mapping, initial)
+            dsp.set(messages=machine.network.log.count,
+                    words=machine.network.log.total_words,
+                    elapsed=machine.network.elapsed)
 
-    result = run_parallel(plan, initial=initial, scalars=scalars,
-                          block_to_pid=mapping, backend=backend)
-    # charge compute: executed computations per processor, normalized to
-    # the paper's "one iteration = one t_comp" unit
-    nstmts = len(plan.nest.statements)
-    executed: dict[int, int] = {}
-    live = plan.live
-    for b in plan.blocks:
-        pid = mapping[b.index]
-        if live is None:
-            cnt = len(b.iterations) * nstmts
-        else:
-            cnt = sum(1 for it in b.iterations for k in range(nstmts)
-                      if (k, it) in live)
-        executed[pid] = executed.get(pid, 0) + cnt
-    for pid, cnt in executed.items():
-        machine.processor(pid).compute_time += cnt / nstmts * cost.t_comp
-        machine.processor(pid).iterations += cnt // nstmts
+        with tracer.span("machine.execute", category="machine",
+                         blocks=len(plan.blocks)):
+            result = run_parallel(plan, initial=initial, scalars=scalars,
+                                  block_to_pid=mapping, backend=backend)
+        # charge compute: executed computations per processor, normalized
+        # to the paper's "one iteration = one t_comp" unit
+        nstmts = len(plan.nest.statements)
+        executed: dict[int, int] = {}
+        live = plan.live
+        for b in plan.blocks:
+            pid = mapping[b.index]
+            if live is None:
+                cnt = len(b.iterations) * nstmts
+            else:
+                cnt = sum(1 for it in b.iterations for k in range(nstmts)
+                          if (k, it) in live)
+            executed[pid] = executed.get(pid, 0) + cnt
+        for pid, cnt in executed.items():
+            machine.processor(pid).compute_time += cnt / nstmts * cost.t_comp
+            machine.processor(pid).iterations += cnt // nstmts
 
-    merged = merge_copies(result, initial)
-    exact = True
-    if verify:
-        expected = {n: a.copy() for n, a in initial.items()}
-        run_sequential(plan.nest, expected, scalars=scalars,
-                       space=plan.model.space)
-        exact = all(merged[n] == expected[n] for n in expected)
+        with tracer.span("machine.merge", category="machine"):
+            merged = merge_copies(result, initial)
+        exact = True
+        if verify:
+            with tracer.span("machine.verify", category="machine") as vsp:
+                expected = {n: a.copy() for n, a in initial.items()}
+                run_sequential(plan.nest, expected, scalars=scalars,
+                               space=plan.model.space)
+                exact = all(merged[n] == expected[n] for n in expected)
+                vsp.set(exact=exact)
 
-    return MachineRun(plan=plan, machine=machine, result=result,
-                      merged=merged, stats=machine.stats(), exact=exact)
+        stats = machine.stats()
+        msp.set(makespan=stats.makespan,
+                messages=stats.messages,
+                remote_accesses=stats.remote_accesses)
+        return MachineRun(plan=plan, machine=machine, result=result,
+                          merged=merged, stats=stats, exact=exact)

@@ -30,6 +30,8 @@ from typing import Mapping, Optional
 
 from repro.core.plan import PartitionPlan
 from repro.machine.memory import LocalMemory
+from repro.obs.metrics import MetricsRegistry, current_registry
+from repro.obs.trace import current_tracer
 from repro.runtime.arrays import Coords, DataSpace, make_arrays
 
 Element = tuple[str, Coords]
@@ -73,6 +75,27 @@ class ParallelResult:
             out[pid] = out.get(pid, 0) + mem.words()
         return out
 
+    def publish(self, registry: Optional[MetricsRegistry] = None) -> None:
+        """Publish this run's counters to the unified metrics registry.
+
+        Gauges (``runtime.remote_accesses``, ``runtime.blocks``,
+        ``runtime.memory_words``) reflect *this* run exactly -- the
+        exported ``runtime.remote_accesses`` equals
+        :attr:`remote_accesses` -- while the ``runtime.*`` counters
+        accumulate across runs within the registry's lifetime.
+        """
+        reg = registry if registry is not None else current_registry()
+        reg.inc("runtime.runs")
+        reg.inc(f"runtime.engine.runs.{self.backend}")
+        reg.inc("runtime.executed_iterations.total",
+                self.executed_iterations)
+        reg.set("runtime.remote_accesses", self.remote_accesses)
+        reg.set("runtime.executed_iterations", self.executed_iterations)
+        reg.set("runtime.skipped_computations", self.skipped_computations)
+        reg.set("runtime.blocks", len(self.plan.blocks))
+        reg.set("runtime.memory_words",
+                sum(m.words() for m in self.memories.values()))
+
 
 def run_parallel(
     plan: PartitionPlan,
@@ -102,15 +125,20 @@ def run_parallel(
     else:
         mapping = {b.index: block_to_pid[b.index] for b in plan.blocks}
 
+    tracer = current_tracer()
+
     # -- allocation: one private region per block -------------------------
     memories: dict[int, LocalMemory] = {}
-    for b in plan.blocks:
-        mem = LocalMemory(pid=mapping[b.index], strict=strict)
-        for name, dblocks in plan.data_blocks.items():
-            elems = dblocks[b.index].elements
-            src = initial[name]
-            mem.allocate(name, elems, init=lambda c, s=src: s[c])
-        memories[b.index] = mem
+    with tracer.span("runtime.allocate", category="engine",
+                     blocks=len(plan.blocks)) as sp:
+        for b in plan.blocks:
+            mem = LocalMemory(pid=mapping[b.index], strict=strict)
+            for name, dblocks in plan.data_blocks.items():
+                elems = dblocks[b.index].elements
+                src = initial[name]
+                mem.allocate(name, elems, init=lambda c, s=src: s[c])
+            memories[b.index] = mem
+        sp.set(words=sum(m.words() for m in memories.values()))
 
     engine = resolve_engine("interp" if not strict else backend)
     result = ParallelResult(plan=plan, memories=memories, block_to_pid=mapping,
@@ -118,5 +146,16 @@ def run_parallel(
 
     # -- execution (write stamps record the global sequential order of
     # each computation, rank_of(it) * nstmts + k, for the merge) ----------
-    engine.run_blocks(plan, memories, result, initial, scalars, strict=strict)
+    try:
+        with tracer.span("engine.run_blocks", category="engine",
+                         backend=engine.name,
+                         blocks=len(plan.blocks),
+                         statements=len(plan.nest.statements)) as sp:
+            engine.run_blocks(plan, memories, result, initial, scalars,
+                              strict=strict)
+            sp.set(executed_iterations=result.executed_iterations,
+                   skipped_computations=result.skipped_computations,
+                   remote_accesses=result.remote_accesses)
+    finally:
+        result.publish()
     return result

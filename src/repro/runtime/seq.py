@@ -82,9 +82,15 @@ def run_sequential(
     """
     # local import: the engine layer's interp backend calls back into
     # execute_statement here
+    from repro.obs.trace import current_tracer
     from repro.runtime.engine import resolve_engine
 
     scalars = scalars or {}
     space = space or IterationSpace(nest)
-    resolve_engine(backend).run_nest(nest, arrays, scalars, space)
+    engine = resolve_engine(backend)
+    with current_tracer().span("engine.run_nest", category="engine",
+                               backend=engine.name,
+                               nest=nest.name or "<anon>",
+                               statements=len(nest.statements)):
+        engine.run_nest(nest, arrays, scalars, space)
     return arrays

@@ -16,6 +16,8 @@ from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
 from repro.core.plan import PartitionPlan
+from repro.obs.metrics import current_registry
+from repro.obs.trace import current_tracer
 from repro.runtime.arrays import DataSpace, make_arrays
 from repro.runtime.merge import merge_copies
 from repro.runtime.parallel import ParallelResult, run_parallel
@@ -76,35 +78,50 @@ def verify_plan(
     if backend == "all":
         return cross_check_backends(plan, scalars=scalars, initial=initial,
                                     block_to_pid=block_to_pid)
-    if initial is None:
-        initial = make_arrays(plan.model)
-    seq_arrays = {name: ds.copy() for name, ds in initial.items()}
-    run_sequential(plan.nest, seq_arrays, scalars=scalars, space=plan.model.space)
+    tracer = current_tracer()
+    with tracer.span("verify.plan", category="runtime",
+                     nest=plan.nest.name or "<anon>",
+                     backend=backend or "default") as vsp:
+        if initial is None:
+            initial = make_arrays(plan.model)
+        seq_arrays = {name: ds.copy() for name, ds in initial.items()}
+        run_sequential(plan.nest, seq_arrays, scalars=scalars,
+                       space=plan.model.space)
 
-    result: ParallelResult = run_parallel(
-        plan, initial=initial, scalars=scalars, block_to_pid=block_to_pid,
-        backend=backend,
-    )
-    merged = merge_copies(result, initial)
+        result: ParallelResult = run_parallel(
+            plan, initial=initial, scalars=scalars, block_to_pid=block_to_pid,
+            backend=backend,
+        )
+        with tracer.span("runtime.merge", category="runtime"):
+            merged = merge_copies(result, initial)
 
-    mismatches: list[tuple[str, tuple[int, ...], float, float]] = []
-    for name, ds in seq_arrays.items():
-        other = merged[name]
-        for coords in ds.coords_iter():
-            a, b = ds[coords], other[coords]
-            if a != b:
-                mismatches.append((name, tuple(coords), a, b))
+        mismatches: list[tuple[str, tuple[int, ...], float, float]] = []
+        with tracer.span("verify.compare", category="runtime"):
+            for name, ds in seq_arrays.items():
+                other = merged[name]
+                for coords in ds.coords_iter():
+                    a, b = ds[coords], other[coords]
+                    if a != b:
+                        mismatches.append((name, tuple(coords), a, b))
 
-    return VerificationReport(
-        plan=plan,
-        equal=not mismatches,
-        remote_accesses=result.remote_accesses,
-        num_blocks=plan.num_blocks,
-        executed_iterations=result.executed_iterations,
-        skipped_computations=result.skipped_computations,
-        mismatches=mismatches,
-        backend=result.backend,
-    )
+        report = VerificationReport(
+            plan=plan,
+            equal=not mismatches,
+            remote_accesses=result.remote_accesses,
+            num_blocks=plan.num_blocks,
+            executed_iterations=result.executed_iterations,
+            skipped_computations=result.skipped_computations,
+            mismatches=mismatches,
+            backend=result.backend,
+        )
+        vsp.set(ok=report.ok, backend=report.backend,
+                mismatches=len(mismatches),
+                remote_accesses=report.remote_accesses)
+        reg = current_registry()
+        reg.inc("verify.runs")
+        reg.set("verify.mismatches", len(mismatches))
+        reg.set("verify.ok", int(report.ok))
+        return report
 
 
 def cross_check_backends(

@@ -1,0 +1,127 @@
+"""Metrics registry: counter/gauge/histogram semantics and scoping."""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    current_registry,
+    use_registry,
+)
+
+
+class TestCounter:
+    def test_accumulates(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        reg.inc("c", 4)
+        assert reg.value("c") == 5
+
+    def test_rejects_decrease(self):
+        c = Counter(name="c")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_holds_last_observation(self):
+        reg = MetricsRegistry()
+        reg.set("g", 10)
+        reg.set("g", 3)
+        assert reg.value("g") == 3
+
+    def test_inc_moves_both_ways(self):
+        g = Gauge(name="g")
+        g.inc(5)
+        g.inc(-2)
+        assert g.value == 3
+
+
+class TestHistogram:
+    def test_count_sum_min_max_mean(self):
+        reg = MetricsRegistry()
+        for v in (0.001, 0.01, 0.1):
+            reg.observe("h", v)
+        h = reg.get("h")
+        assert h.count == 3
+        assert h.total == pytest.approx(0.111)
+        assert h.min == 0.001 and h.max == 0.1
+        assert h.mean == pytest.approx(0.037)
+
+    def test_bucket_placement(self):
+        h = Histogram(name="h")
+        h.observe(5e-4)     # le=1e-3 bucket
+        h.observe(1e12)     # beyond every bound -> +inf bucket
+        idx = h.buckets.index(1e-3)
+        assert h.counts[idx] == 1
+        assert h.counts[-1] == 1
+
+    def test_empty_histogram(self):
+        h = Histogram(name="h")
+        assert h.count == 0 and h.mean == 0.0
+        assert h.min == math.inf and h.max == -math.inf
+
+
+class TestRegistry:
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.inc("m")
+        with pytest.raises(TypeError):
+            reg.set("m", 1)
+        with pytest.raises(TypeError):
+            reg.observe("m", 1)
+
+    def test_value_default_for_missing(self):
+        reg = MetricsRegistry()
+        assert reg.value("absent") == 0
+        assert reg.value("absent", default=-1) == -1
+
+    def test_names_sorted_and_len_contains(self):
+        reg = MetricsRegistry()
+        reg.inc("b")
+        reg.set("a", 1)
+        assert reg.names() == ["a", "b"]
+        assert "a" in reg and "zzz" not in reg
+        assert len(reg) == 2
+
+    def test_snapshot_shapes(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 2)
+        reg.set("g", 1.5)
+        reg.observe("h", 0.25)
+        snap = reg.snapshot()
+        assert snap["c"] == {"kind": "counter", "value": 2}
+        assert snap["g"] == {"kind": "gauge", "value": 1.5}
+        assert snap["h"]["kind"] == "histogram"
+        assert snap["h"]["count"] == 1
+        assert snap["h"]["sum"] == 0.25
+
+    def test_snapshot_empty_histogram_bounds_are_null(self):
+        reg = MetricsRegistry()
+        reg.histogram("h")
+        snap = reg.snapshot()
+        assert snap["h"]["min"] is None and snap["h"]["max"] is None
+
+    def test_clear(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        reg.clear()
+        assert len(reg) == 0
+
+
+class TestScoping:
+    def test_default_is_the_process_registry(self):
+        assert current_registry() is METRICS
+
+    def test_use_registry_scopes_and_restores(self):
+        reg = MetricsRegistry()
+        with use_registry(reg) as active:
+            assert active is reg
+            current_registry().inc("scoped")
+        assert reg.value("scoped") == 1
+        assert current_registry() is METRICS

@@ -1,0 +1,113 @@
+"""A raising PipelineHooks implementation must never abort the build."""
+
+import pytest
+
+from repro.lang import catalog
+from repro.pipeline import PipelineConfig, run_pipeline
+from repro.pipeline.diagnostics import HOOK_ERROR
+from repro.pipeline.instrument import (
+    HOOK_ERROR_COUNTER,
+    Instrumentation,
+    PipelineHooks,
+    use_metrics,
+)
+
+
+class ExplodingHooks(PipelineHooks):
+    """Raises from every callback."""
+
+    def on_pass_start(self, name, ctx):
+        raise RuntimeError("start boom")
+
+    def on_pass_end(self, name, ctx, seconds):
+        raise ValueError("end boom")
+
+    def on_diagnostic(self, diag):
+        raise KeyError("diag boom")
+
+
+class RecordingHooks(PipelineHooks):
+    def __init__(self):
+        self.passes = []
+
+    def on_pass_end(self, name, ctx, seconds):
+        self.passes.append(name)
+
+
+@pytest.fixture
+def fresh_cache():
+    # cold cache so every pass (and thus every hook) actually fires
+    from repro.pipeline import PLAN_CACHE
+
+    PLAN_CACHE.clear()
+
+
+class TestHookIsolation:
+    def test_build_completes_despite_raising_hooks(self, fresh_cache):
+        instr = Instrumentation()
+        instr.add_hooks(ExplodingHooks())
+        with use_metrics(instr):
+            ctx = run_pipeline(catalog.l1(), PipelineConfig(),
+                               upto="partition")
+        assert ctx.plan is not None
+        assert ctx.plan.num_blocks == 7
+
+    def test_errors_counted_and_recorded(self, fresh_cache):
+        instr = Instrumentation()
+        instr.add_hooks(ExplodingHooks())
+        with use_metrics(instr):
+            run_pipeline(catalog.l1(), PipelineConfig(), upto="partition")
+        # one start + one end failure per executed pass, at minimum
+        assert instr.counter(HOOK_ERROR_COUNTER) >= 2
+        assert any(method == "on_pass_start"
+                   for _, method, _ in instr.hook_errors)
+        assert any("RuntimeError: start boom" in err
+                   for _, _, err in instr.hook_errors)
+
+    def test_hook_error_diagnostic_emitted(self, fresh_cache):
+        instr = Instrumentation()
+        instr.add_hooks(ExplodingHooks())
+        with use_metrics(instr):
+            ctx = run_pipeline(catalog.l1(), PipelineConfig(),
+                               upto="partition")
+        codes = [d.code for d in ctx.diagnostics]
+        assert HOOK_ERROR in codes
+        (diag,) = [d for d in ctx.diagnostics
+                   if d.code == HOOK_ERROR][:1]
+        assert "ExplodingHooks" in diag.message
+        assert "build continues" in diag.message
+
+    def test_healthy_hooks_still_fire_alongside_broken_ones(self, fresh_cache):
+        instr = Instrumentation()
+        rec = RecordingHooks()
+        instr.add_hooks(ExplodingHooks())
+        instr.add_hooks(rec)
+        with use_metrics(instr):
+            run_pipeline(catalog.l1(), PipelineConfig(), upto="partition")
+        assert "extract-refs" in rec.passes
+        assert "partition" in rec.passes
+
+    def test_broken_on_diagnostic_does_not_recurse(self, fresh_cache):
+        # the hook-error diagnostic is appended directly, so a broken
+        # on_diagnostic cannot re-trigger itself through the fan-out
+        from repro.core import Strategy
+
+        instr = Instrumentation()
+        instr.add_hooks(ExplodingHooks())
+        with use_metrics(instr):
+            ctx = run_pipeline(
+                catalog.l2(),
+                PipelineConfig(strategy=Strategy.DUPLICATE,
+                               duplicate_arrays=frozenset("A")),
+                upto="partition")
+        assert ctx.plan is not None
+        assert instr.counter(HOOK_ERROR_COUNTER) < 100
+
+    def test_reset_clears_hook_errors(self):
+        instr = Instrumentation()
+        instr.add_hooks(ExplodingHooks())
+        instr.fire_pass_start("x", None)
+        assert instr.hook_errors
+        instr.reset()
+        assert instr.hook_errors == []
+        assert instr.counter(HOOK_ERROR_COUNTER) == 0

@@ -1,0 +1,129 @@
+"""Engine resolution: fallback chains, availability errors, precedence."""
+
+import pytest
+
+from repro.runtime.engine import (
+    BackendUnavailable,
+    available_backends,
+    get_engine,
+    resolve_engine,
+)
+from repro.runtime.engine.base import BACKEND_ENV_VAR, DEFAULT_BACKEND
+from repro.runtime.engine.compiled import CompiledEngine
+from repro.runtime.engine.interp import InterpreterEngine
+from repro.runtime.engine.multiproc import MultiprocessEngine
+from repro.runtime.engine.vectorized import VectorizedEngine
+
+
+class TestFallbackChains:
+    def test_declared_chain_terminates_at_interp(self):
+        seen = set()
+        engine = get_engine("multiprocess")
+        while engine.fallback is not None:
+            assert engine.name not in seen, "fallback cycle"
+            seen.add(engine.name)
+            engine = get_engine(engine.fallback)
+        assert engine.name == "interp"
+
+    def test_unavailable_tier_degrades_to_fallback(self, monkeypatch):
+        monkeypatch.setattr(VectorizedEngine, "is_available",
+                            classmethod(lambda cls: False))
+        assert resolve_engine("vectorized").name == "compiled"
+
+    def test_two_unavailable_tiers_degrade_twice(self, monkeypatch):
+        monkeypatch.setattr(MultiprocessEngine, "is_available",
+                            classmethod(lambda cls: False))
+        monkeypatch.setattr(CompiledEngine, "is_available",
+                            classmethod(lambda cls: False))
+        assert resolve_engine("multiprocess").name == "interp"
+
+    def test_available_tier_resolves_to_itself(self):
+        assert resolve_engine("compiled").name == "compiled"
+
+    def test_resolution_is_traced(self, monkeypatch):
+        from repro.obs import Tracer, use_tracer
+
+        monkeypatch.setattr(VectorizedEngine, "is_available",
+                            classmethod(lambda cls: False))
+        tracer = Tracer()
+        with use_tracer(tracer):
+            resolve_engine("vectorized")
+        (s,) = tracer.find("engine.resolve")
+        assert s.attributes["requested"] == "vectorized"
+        assert s.attributes["resolved"] == "compiled"
+        assert s.attributes["fallback_hops"] == 1
+
+
+class TestBackendUnavailable:
+    def test_unknown_backend_raises(self):
+        with pytest.raises(BackendUnavailable, match="unknown backend"):
+            resolve_engine("quantum")
+
+    def test_dead_end_chain_raises(self, monkeypatch):
+        monkeypatch.setattr(InterpreterEngine, "is_available",
+                            classmethod(lambda cls: False))
+        with pytest.raises(BackendUnavailable, match="no.*fallback"):
+            resolve_engine("interp")
+
+    def test_error_propagates_through_run_sequential(self, monkeypatch):
+        from repro.lang import catalog
+        from repro.runtime.seq import run_sequential
+
+        monkeypatch.setattr(InterpreterEngine, "is_available",
+                            classmethod(lambda cls: False))
+        with pytest.raises(BackendUnavailable):
+            run_sequential(catalog.l1(), {})
+
+    def test_error_propagates_through_run_parallel(self, monkeypatch):
+        from repro.core import build_plan
+        from repro.lang import catalog
+        from repro.runtime.parallel import run_parallel
+
+        monkeypatch.setattr(InterpreterEngine, "is_available",
+                            classmethod(lambda cls: False))
+        with pytest.raises(BackendUnavailable):
+            run_parallel(build_plan(catalog.l1()), backend="interp")
+
+    def test_unavailable_backends_not_listed(self, monkeypatch):
+        monkeypatch.setattr(MultiprocessEngine, "is_available",
+                            classmethod(lambda cls: False))
+        assert "multiprocess" not in available_backends()
+        assert "interp" in available_backends()
+
+
+class TestPrecedence:
+    def test_explicit_name_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "compiled")
+        assert resolve_engine("interp").name == "interp"
+
+    def test_env_beats_default(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "compiled")
+        assert resolve_engine().name == "compiled"
+        assert resolve_engine(None).name == "compiled"
+
+    def test_default_when_nothing_chooses(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert resolve_engine().name == DEFAULT_BACKEND
+
+    def test_run_parallel_backend_kwarg_beats_env(self, monkeypatch):
+        from repro.core import build_plan
+        from repro.lang import catalog
+        from repro.runtime.parallel import run_parallel
+
+        monkeypatch.setenv(BACKEND_ENV_VAR, "interp")
+        result = run_parallel(build_plan(catalog.l1()), backend="compiled")
+        assert result.backend == "compiled"
+
+    def test_run_parallel_env_applies_without_kwarg(self, monkeypatch):
+        from repro.core import build_plan
+        from repro.lang import catalog
+        from repro.runtime.parallel import run_parallel
+
+        monkeypatch.setenv(BACKEND_ENV_VAR, "compiled")
+        result = run_parallel(build_plan(catalog.l1()))
+        assert result.backend == "compiled"
+
+    def test_aliases_resolve_to_canonical(self):
+        assert resolve_engine("mp").name in ("multiprocess", "compiled",
+                                             "interp")
+        assert get_engine("pool").name == "multiprocess"
