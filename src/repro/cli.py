@@ -5,6 +5,8 @@
     python -m repro transform <file|--loop L4> [...]   parallel form
     python -m repro verify    <file|--loop L1> [...]   end-to-end check
     python -m repro select    <file|--loop L5> -p 16   strategy selection
+    python -m repro audit     <file|--loop L1> [...]   communication audit
+    python -m repro perf      [--check]                perf history + gate
     python -m repro figures                            regenerate Figs. 1-10
     python -m repro tables                             Tables I & II
 
@@ -198,6 +200,82 @@ def cmd_report(args, out) -> int:
     return 0 if ok else 1
 
 
+def cmd_audit(args, out) -> int:
+    from repro.obs.audit import (audit_plan, inject_violation,
+                                 render_audit_dashboard)
+    from repro.obs.trace import Tracer, current_tracer, use_tracer
+    from repro.runtime.engine.base import available_backends
+
+    ctx = _compile(args, upto="partition")
+    plan = ctx.plan
+    if args.inject_violation:
+        plan = inject_violation(plan)
+    if args.backend in (None, "all"):
+        backends: list = available_backends()
+    else:
+        backends = [args.backend]
+    scalars = PipelineConfig.from_cli_args(args).scalars_dict() or None
+
+    # the span rollup needs a recording tracer; when the outer one is
+    # the null recorder, scope a private one around just the audit
+    outer = current_tracer()
+    if outer.enabled:
+        report = audit_plan(plan, scalars=scalars, backends=backends,
+                            run_engines=not args.static)
+        spans = outer.spans
+    else:
+        tracer = Tracer(enabled=True)
+        with use_tracer(tracer):
+            report = audit_plan(plan, scalars=scalars, backends=backends,
+                                run_engines=not args.static)
+        spans = tracer.spans
+    print(render_audit_dashboard(report, spans=spans), file=out)
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return 0 if report.certified else 1
+
+
+def cmd_perf(args, out) -> int:
+    from repro.obs import history as hist
+
+    n = args.n if args.n else hist.DEFAULT_N
+    repeats = args.repeats if args.repeats else hist.DEFAULT_REPEATS
+    history_path = args.history or hist.DEFAULT_HISTORY
+    baseline_path = args.baseline or hist.DEFAULT_BASELINE
+
+    entry = hist.measure_entry(n=n, repeats=repeats)
+    count = hist.append_history(entry, history_path)
+    baseline = hist.load_baseline(baseline_path)
+    if baseline is not None and baseline.get("case") != entry["case"]:
+        # a different workload size: the committed numbers don't apply
+        baseline = None
+    floors = (dict((baseline or {}).get("floors") or {}) if baseline
+              else ({} if n != hist.DEFAULT_N else dict(hist.DEFAULT_FLOORS)))
+    for spec in args.floor or []:
+        backend, _, value = spec.partition("=")
+        if not value:
+            raise SystemExit(f"--floor expects BACKEND=X, got {spec!r}")
+        floors[backend.strip()] = float(value)
+
+    print(f"perf: {entry['case']} (n={entry['n']}, "
+          f"repeats={entry['repeats']}) -> {history_path} "
+          f"(entry {count})", file=out)
+    if baseline is None:
+        print(f"no baseline at {baseline_path}; deltas omitted", file=out)
+    print(hist.render_perf_table(entry, baseline, floors), file=out)
+    if args.check:
+        failures = hist.check_floors(entry, floors)
+        if failures:
+            print("perf regression: " + "; ".join(failures), file=out)
+            return 1
+        print("perf floors: PASS", file=out)
+    return 0
+
+
 def cmd_figures(args, out) -> int:
     for fn in (figmod.fig01_l1_dataspaces, figmod.fig02_l1_data_partition,
                figmod.fig03_l1_iteration_partition,
@@ -323,6 +401,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend",
                    help="execution engine for the verification run")
     p.set_defaults(fn=cmd_report)
+
+    p = add_subparser("audit",
+                      help="communication-freedom audit + ASCII dashboard")
+    add_loop_args(p)
+    add_strategy_args(p)
+    p.add_argument("--scalars", help="bindings, e.g. 'D=2,F=3'")
+    p.add_argument("--backend",
+                   help="engine to reconcile against the static replay "
+                        "(default: 'all' available backends)")
+    p.add_argument("--static", action="store_true",
+                   help="static replay only; skip the engine runs")
+    p.add_argument("--inject-violation", action="store_true",
+                   help="audit a deliberately broken variant of the plan "
+                        "(exercises the violation path; exits non-zero)")
+    p.add_argument("--json", metavar="FILE",
+                   help="also write the audit report as JSON")
+    p.set_defaults(fn=cmd_audit)
+
+    p = add_subparser("perf",
+                      help="measure engine speedups into the perf history")
+    p.add_argument("--n", type=int, default=None,
+                   help="matmul size (default: the baseline's)")
+    p.add_argument("--repeats", type=int, default=None,
+                   help="best-of repetitions per backend (default 3)")
+    p.add_argument("--history", default=None, metavar="FILE",
+                   help="JSON-lines history file "
+                        "(default BENCH_history.jsonl)")
+    p.add_argument("--baseline", default=None, metavar="FILE",
+                   help="committed baseline (default BENCH_engine.json)")
+    p.add_argument("--floor", action="append", metavar="BACKEND=X",
+                   help="override a speedup floor (repeatable)")
+    p.add_argument("--check", action="store_true",
+                   help="exit non-zero when a backend regresses below "
+                        "its floor")
+    p.set_defaults(fn=cmd_perf)
 
     p = add_subparser("figures", help="regenerate Figures 1-10")
     p.set_defaults(fn=cmd_figures)

@@ -28,6 +28,11 @@ class MachineStats:
     words_sent: int
     remote_accesses: int
     memory_words: dict[int, int]
+    # read/write split of remote_accesses (each would be a fetch or a
+    # store message on a real machine); the combined count stays for
+    # compatibility
+    remote_reads: int = 0
+    remote_writes: int = 0
 
     @property
     def makespan(self) -> float:
@@ -43,6 +48,8 @@ class MachineStats:
             "messages": self.messages,
             "words_sent": self.words_sent,
             "remote_accesses": self.remote_accesses,
+            "remote_reads": self.remote_reads,
+            "remote_writes": self.remote_writes,
             "memory_words": dict(self.memory_words),
         }
 
@@ -56,6 +63,8 @@ class MachineStats:
         reg.set("machine.messages", self.messages)
         reg.set("machine.words_sent", self.words_sent)
         reg.set("machine.remote_accesses", self.remote_accesses)
+        reg.set("machine.remote_reads", self.remote_reads)
+        reg.set("machine.remote_writes", self.remote_writes)
         reg.set("machine.memory_words", sum(self.memory_words.values()))
 
 
@@ -98,6 +107,10 @@ class Multicomputer:
             words_sent=self.network.log.total_words,
             remote_accesses=sum(p.memory.remote_attempts for p in self.processors),
             memory_words={p.pid: p.memory.words() for p in self.processors},
+            remote_reads=sum(p.memory.remote_read_attempts
+                             for p in self.processors),
+            remote_writes=sum(p.memory.remote_write_attempts
+                              for p in self.processors),
         )
         snap.publish()
         return snap

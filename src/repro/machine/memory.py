@@ -17,11 +17,13 @@ from typing import Iterable, Optional
 class RemoteAccessError(KeyError):
     """An access fell outside the processor's allocated data blocks."""
 
-    def __init__(self, pid: int, array: str, coords: tuple[int, ...]):
+    def __init__(self, pid: int, array: str, coords: tuple[int, ...],
+                 is_write: Optional[bool] = None):
         super().__init__(f"PE{pid}: remote access to {array}{list(coords)}")
         self.pid = pid
         self.array = array
         self.coords = coords
+        self.is_write = is_write
 
 
 @dataclass
@@ -35,7 +37,12 @@ class LocalMemory:
     allocated: dict[str, set[tuple[int, ...]]] = field(default_factory=dict)
     reads: int = 0
     writes: int = 0
+    # combined remote count (kept for compatibility) plus the read/write
+    # split -- a remote *read* is a fetch message on a real machine, a
+    # remote *write* a store message; the audit layer reports both
     remote_attempts: int = 0
+    remote_read_attempts: int = 0
+    remote_write_attempts: int = 0
     strict: bool = True
 
     # -- allocation -------------------------------------------------------
@@ -64,12 +71,26 @@ class LocalMemory:
         return sum(len(s) for s in self.allocated.values())
 
     # -- access -------------------------------------------------------------
+    def note_remote(self, is_write: Optional[bool] = None) -> None:
+        """Count one remote attempt (split by direction when known).
+
+        Engines that detect violations outside ``load``/``store`` (the
+        vectorized up-front check, the multiprocess marker) charge the
+        attempt here so the split counters stay consistent.
+        """
+        self.remote_attempts += 1
+        if is_write:
+            self.remote_write_attempts += 1
+        elif is_write is not None:
+            self.remote_read_attempts += 1
+
     def load(self, array: str, coords: tuple[int, ...]) -> float:
         coords = tuple(int(x) for x in coords)
         if not self.holds(array, coords):
-            self.remote_attempts += 1
+            self.note_remote(is_write=False)
             if self.strict:
-                raise RemoteAccessError(self.pid, array, coords)
+                raise RemoteAccessError(self.pid, array, coords,
+                                        is_write=False)
             return 0.0
         self.reads += 1
         return self.values[array][coords]
@@ -77,9 +98,10 @@ class LocalMemory:
     def store(self, array: str, coords: tuple[int, ...], value: float) -> None:
         coords = tuple(int(x) for x in coords)
         if not self.holds(array, coords):
-            self.remote_attempts += 1
+            self.note_remote(is_write=True)
             if self.strict:
-                raise RemoteAccessError(self.pid, array, coords)
+                raise RemoteAccessError(self.pid, array, coords,
+                                        is_write=True)
             return
         self.writes += 1
         self.values[array][coords] = float(value)

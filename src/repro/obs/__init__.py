@@ -15,12 +15,30 @@ simulate (machine distribution/compute phases):
 - :mod:`~repro.obs.hooks`: the ``PipelineHooks`` adapter mirroring pass
   boundaries and diagnostics into the tracer;
 - :mod:`~repro.obs.schema`: the in-tree Chrome-trace schema check
-  (``python -m repro.obs.schema trace.json``), used by CI.
+  (``python -m repro.obs.schema trace.json``), used by CI;
+- :mod:`~repro.obs.aggregate`: cross-process re-homing of worker
+  tracers/registries (per-worker Chrome-trace lanes, merged counters);
+- :mod:`~repro.obs.audit`: the communication audit -- static access
+  replay, per-block footprints, violation attribution (Definition 1's
+  ``r`` vectors), engine reconciliation, and the ASCII dashboard behind
+  ``repro audit``;
+- :mod:`~repro.obs.history`: the JSON-lines perf history and
+  floor-gated regression check behind ``repro perf``.
 
 Every CLI subcommand accepts ``--trace FILE``, ``--metrics``,
 ``--metrics-out FILE`` and ``--events FILE``.
 """
 
+from repro.obs.aggregate import WorkerObs, capture_worker_obs, merge_worker_obs
+from repro.obs.audit import (
+    AccessFootprint,
+    AuditReport,
+    AuditViolation,
+    EngineAuditRun,
+    audit_plan,
+    inject_violation,
+    render_audit_dashboard,
+)
 from repro.obs.export import (
     chrome_trace,
     event_log_lines,
@@ -38,6 +56,13 @@ from repro.obs.metrics import (
     MetricsRegistry,
     current_registry,
     use_registry,
+)
+from repro.obs.history import (
+    append_history,
+    check_floors,
+    load_baseline,
+    load_history,
+    measure_entry,
 )
 from repro.obs.schema import CHROME_TRACE_SCHEMA, validate_chrome_trace
 from repro.obs.trace import (
@@ -74,4 +99,19 @@ __all__ = [
     "write_event_log",
     "CHROME_TRACE_SCHEMA",
     "validate_chrome_trace",
+    "WorkerObs",
+    "capture_worker_obs",
+    "merge_worker_obs",
+    "AccessFootprint",
+    "AuditReport",
+    "AuditViolation",
+    "EngineAuditRun",
+    "audit_plan",
+    "inject_violation",
+    "render_audit_dashboard",
+    "measure_entry",
+    "append_history",
+    "load_history",
+    "load_baseline",
+    "check_floors",
 ]

@@ -38,7 +38,7 @@ def chrome_trace(tracer: Tracer) -> dict[str, Any]:
             "ph": "X",
             "ts": s.start_ns / 1e3,       # microseconds
             "dur": s.duration_ns / 1e3,
-            "pid": tracer.pid,
+            "pid": s.pid if s.pid is not None else tracer.pid,
             "tid": s.tid,
             "args": args,
         })
@@ -52,7 +52,7 @@ def chrome_trace(tracer: Tracer) -> dict[str, Any]:
             "ph": "i",
             "ts": e.ts_ns / 1e3,
             "s": "t",                     # thread-scoped instant
-            "pid": tracer.pid,
+            "pid": e.pid if e.pid is not None else tracer.pid,
             "tid": 0,
             "args": args,
         })
@@ -105,6 +105,11 @@ def prometheus_text(registry: MetricsRegistry) -> str:
                     f'{pname}_bucket{{le="{_fmt(le)}"}} {cum}')
             lines.append(f"{pname}_sum {_fmt(m.total)}")
             lines.append(f"{pname}_count {m.count}")
+            if m.count:
+                # summary-style quantile estimates (bucket-interpolated)
+                for q in (0.5, 0.95, 0.99):
+                    lines.append(
+                        f'{pname}{{quantile="{q}"}} {_fmt(m.quantile(q))}')
         else:
             lines.append(f"{pname} {_fmt(m.value)}")
     return "\n".join(lines) + ("\n" if lines else "")
@@ -141,6 +146,7 @@ def event_log_lines(tracer: Tracer) -> Iterator[str]:
             "duration_us": round(s.duration_ns / 1e3, 3),
             "attributes": s.attributes,
             **({"error": s.error} if s.error else {}),
+            **({"pid": s.pid} if s.pid is not None else {}),
         }))
     for e in tracer.events:
         records.append((e.ts_ns, {

@@ -1,0 +1,217 @@
+"""Continuous perf history: measure engines, append, compare, gate.
+
+One :func:`measure_entry` call times the execution engines on the
+standard benchmark workload (the scaled matrix multiply under the
+duplicate-data strategy -- the same case whose floors are committed in
+``BENCH_engine.json``) and produces a JSON-ready history entry.
+Entries append to a JSON-lines history file (one run per line, newest
+last), so a working tree accumulates a local perf timeline that
+``repro perf`` renders with deltas against the committed baseline.
+
+``repro perf --check`` turns the floors into a regression gate: if a
+backend's speedup over the interpreter falls below its floor (from the
+baseline file, overridable per backend with ``--floor``), the command
+exits non-zero -- suitable for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from time import perf_counter
+from typing import Mapping, Optional, Sequence, Union
+
+from repro.obs.metrics import MetricsRegistry, current_registry
+
+#: Default benchmark geometry -- matches ``benchmarks/bench_engine.py``
+#: and the committed ``BENCH_engine.json`` baseline.
+DEFAULT_N = 40
+DEFAULT_REPEATS = 3
+DEFAULT_HISTORY = "BENCH_history.jsonl"
+DEFAULT_BASELINE = "BENCH_engine.json"
+#: Fallback floors when no baseline file is available.
+DEFAULT_FLOORS = {"compiled": 5.0, "vectorized": 20.0}
+
+BACKENDS = ("interp", "compiled", "vectorized", "multiprocess")
+
+PathLike = Union[str, Path]
+
+
+def matmul_nest(n: int = DEFAULT_N):
+    """``C = C + A*B`` as a 3-deep nest (the benchmark workload)."""
+    from repro.lang.parser import parse
+
+    hi = n - 1
+    return parse(
+        f"""
+        for i = 0 to {hi} {{
+          for j = 0 to {hi} {{
+            for k = 0 to {hi} {{
+              C[i,j] = C[i,j] + A[i,k] * B[k,j];
+            }} }} }}
+        """,
+        name=f"MATMUL{n}",
+    )
+
+
+def _run_once(backend: str, plan, initial) -> float:
+    """One fresh-allocation run; returns engine-only seconds."""
+    from repro.machine.memory import LocalMemory
+    from repro.runtime.engine import get_engine
+    from repro.runtime.parallel import ParallelResult
+
+    engine = get_engine(backend)
+    memories = {}
+    for b in plan.blocks:
+        mem = LocalMemory(pid=b.index, strict=True)
+        for name, dblocks in plan.data_blocks.items():
+            src = initial[name]
+            mem.allocate(name, dblocks[b.index].elements,
+                         init=lambda c, s=src: s[c])
+        memories[b.index] = mem
+    result = ParallelResult(
+        plan=plan, memories=memories,
+        block_to_pid={b.index: b.index for b in plan.blocks})
+    t0 = perf_counter()
+    engine.run_blocks(plan, memories, result, initial, {}, strict=True)
+    return perf_counter() - t0
+
+
+def measure_engines(
+    n: int = DEFAULT_N,
+    repeats: int = DEFAULT_REPEATS,
+    backends: Optional[Sequence[str]] = None,
+) -> dict[str, float]:
+    """Best-of engine-only seconds per backend on the matmul workload.
+
+    ``vectorized`` is skipped when numpy is unavailable; the
+    interpreter baseline runs at most twice (it is the slow tier).
+    """
+    from repro.core.plan import build_plan
+    from repro.core.strategy import Strategy
+    from repro.runtime import numpy_compat as npc
+    from repro.runtime.arrays import make_arrays
+
+    plan = build_plan(matmul_nest(n), strategy=Strategy.DUPLICATE)
+    initial = make_arrays(plan.model)
+    times: dict[str, float] = {}
+    for backend in (backends if backends is not None else BACKENDS):
+        if backend == "vectorized" and not npc.have_numpy():
+            continue
+        reps = max(1, min(repeats, 2) if backend == "interp" else repeats)
+        times[backend] = min(_run_once(backend, plan, initial)
+                             for _ in range(reps))
+    return times
+
+
+def make_entry(times: Mapping[str, float], n: int, repeats: int) -> dict:
+    """A JSON-ready history entry from measured times."""
+    interp = times.get("interp")
+    return {
+        "ts": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "case": f"MATMUL{n}-dup",
+        "n": n,
+        "repeats": repeats,
+        "ms": {b: round(t * 1e3, 3) for b, t in sorted(times.items())},
+        "speedup": ({b: round(interp / t, 2)
+                     for b, t in sorted(times.items()) if b != "interp"}
+                    if interp else {}),
+    }
+
+
+def measure_entry(n: int = DEFAULT_N, repeats: int = DEFAULT_REPEATS,
+                  registry: Optional[MetricsRegistry] = None) -> dict:
+    """Measure and publish one history entry (``perf.*`` metrics)."""
+    entry = make_entry(measure_engines(n=n, repeats=repeats), n, repeats)
+    reg = registry if registry is not None else current_registry()
+    reg.inc("perf.runs")
+    for backend, s in entry["speedup"].items():
+        reg.set(f"perf.speedup.{backend}", s)
+    return entry
+
+
+# ---------------------------------------------------------------------------
+# history file + baseline comparison
+# ---------------------------------------------------------------------------
+
+def append_history(entry: dict, path: PathLike = DEFAULT_HISTORY) -> int:
+    """Append one entry to the JSON-lines history; returns the new length."""
+    p = Path(path)
+    with p.open("a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return sum(1 for line in p.read_text().splitlines() if line.strip())
+
+
+def load_history(path: PathLike = DEFAULT_HISTORY) -> list[dict]:
+    p = Path(path)
+    if not p.exists():
+        return []
+    return [json.loads(line) for line in p.read_text().splitlines()
+            if line.strip()]
+
+
+def load_baseline(path: PathLike = DEFAULT_BASELINE) -> Optional[dict]:
+    """The committed baseline: ``{"floors": ..., "speedup": ...}``.
+
+    Reads ``BENCH_engine.json`` and extracts the matmul case matching
+    its recorded ``matmul_n``; returns ``None`` when no baseline file
+    exists (deltas are then omitted and floors fall back to
+    :data:`DEFAULT_FLOORS`).
+    """
+    p = Path(path)
+    if not p.exists():
+        return None
+    data = json.loads(p.read_text())
+    case = f"MATMUL{data.get('matmul_n', DEFAULT_N)}-dup"
+    row = data.get("cases", {}).get(case, {})
+    return {
+        "case": case,
+        "floors": data.get("floors", dict(DEFAULT_FLOORS)),
+        "speedup": row.get("speedup", {}),
+        "ms": row.get("ms", {}),
+    }
+
+
+def check_floors(entry: dict, floors: Mapping[str, float]) -> list[str]:
+    """Regression failures: backends whose speedup fell below the floor.
+
+    A floored backend missing from the entry entirely (e.g. vectorized
+    without numpy) is skipped -- absence is an environment limitation,
+    not a regression.
+    """
+    failures = []
+    for backend, floor in sorted(floors.items()):
+        got = entry.get("speedup", {}).get(backend)
+        if got is None:
+            continue
+        if got < floor:
+            failures.append(f"{backend}: {got}x < floor {floor}x")
+    return failures
+
+
+def render_perf_table(entry: dict, baseline: Optional[dict],
+                      floors: Mapping[str, float]) -> str:
+    """The ``repro perf`` table: ms, speedup, baseline delta, floor."""
+    lines = [f"{'backend':<14} {'best ms':>10} {'speedup':>8} "
+             f"{'baseline':>9} {'delta':>7} {'floor':>6}  status"]
+    base_speedup = (baseline or {}).get("speedup", {})
+    for backend in sorted(entry["ms"]):
+        ms = entry["ms"][backend]
+        if backend == "interp":
+            lines.append(f"{backend:<14} {ms:>10.3f} {'1.0':>8} "
+                         f"{'-':>9} {'-':>7} {'-':>6}  baseline")
+            continue
+        s = entry["speedup"].get(backend)
+        base = base_speedup.get(backend)
+        delta = f"{s - base:+.1f}" if base is not None else "-"
+        floor = floors.get(backend)
+        if floor is not None and s < floor:
+            status = f"REGRESSION (< {floor}x)"
+        else:
+            status = "ok"
+        lines.append(
+            f"{backend:<14} {ms:>10.3f} {s:>8.1f} "
+            f"{base if base is not None else '-':>9} {delta:>7} "
+            f"{floor if floor is not None else '-':>6}  {status}")
+    return "\n".join(lines)

@@ -107,6 +107,54 @@ class Histogram:
         """Snapshot scalar: the running sum (see :meth:`MetricsRegistry.value`)."""
         return self.total
 
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate (Prometheus-style).
+
+        The target rank is located in the cumulative bucket counts and
+        the value interpolated linearly within that bucket; the open
+        ends are clamped to the observed ``min``/``max``, so ``q=0`` and
+        ``q=1`` are exact and every estimate stays inside the observed
+        range.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cum = 0
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            prev = cum
+            cum += n
+            if cum >= target:
+                lo = self.min if i == 0 else self.buckets[i - 1]
+                hi = self.max if i >= len(self.buckets) else self.buckets[i]
+                lo = max(lo, self.min)
+                hi = min(hi, self.max)
+                if hi <= lo:
+                    return lo
+                frac = (target - prev) / n
+                return lo + (hi - lo) * frac
+        return self.max
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram (same buckets) into this one.
+
+        Used when re-absorbing per-worker registries after a
+        multiprocess fan-out (:mod:`repro.obs.aggregate`).
+        """
+        if other.buckets != self.buckets:
+            raise ValueError(
+                f"histogram {self.name}: bucket mismatch on merge")
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.count += other.count
+        self.total += other.total
+        if other.count:
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+
 
 Metric = Union[Counter, Gauge, Histogram]
 
@@ -181,6 +229,9 @@ class MetricsRegistry:
                     "min": None if m.count == 0 else m.min,
                     "max": None if m.count == 0 else m.max,
                     "mean": m.mean,
+                    "p50": None if m.count == 0 else m.quantile(0.50),
+                    "p95": None if m.count == 0 else m.quantile(0.95),
+                    "p99": None if m.count == 0 else m.quantile(0.99),
                 }
             else:
                 out[name] = {"kind": m.kind, "value": m.value}

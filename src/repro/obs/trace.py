@@ -64,6 +64,9 @@ class Span:
     attributes: dict[str, Any] = field(default_factory=dict)
     tid: int = 0
     error: Optional[str] = None
+    # process lane: None = the owning tracer's pid; set explicitly for
+    # spans adopted from worker processes (repro.obs.aggregate)
+    pid: Optional[int] = None
 
     def set(self, **attrs: Any) -> "Span":
         """Attach attributes (shows up as Chrome trace ``args``)."""
@@ -88,6 +91,7 @@ class Event:
     ts_ns: int
     span_id: Optional[int]
     attributes: dict[str, Any] = field(default_factory=dict)
+    pid: Optional[int] = None
 
 
 class _SpanContext:
@@ -172,6 +176,17 @@ class Tracer:
     def _finish(self, span: Span) -> None:
         with self._lock:
             self.spans.append(span)
+
+    def reserve_ids(self, n: int) -> int:
+        """Reserve ``n`` consecutive span ids; returns the first.
+
+        Used when adopting spans recorded by another tracer (a worker
+        process) so their remapped ids never collide with local ones.
+        """
+        with self._lock:
+            first = self._next_id
+            self._next_id += n
+        return first
 
     # -- queries ----------------------------------------------------------
     def find(self, name: Optional[str] = None,

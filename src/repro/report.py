@@ -183,6 +183,21 @@ def compile_report(
         f"communication-free: {mrun.communication_free}",
     ))
 
+    # -- communication audit ------------------------------------------------
+    # static replay only: the engine runs are covered by verification
+    # below, and keeping this section purely analytic keeps it stable
+    from repro.obs.audit import audit_plan
+
+    audit = audit_plan(plan, scalars=scalars, run_engines=False)
+    sections.append((
+        "communication audit",
+        f"theorem: {audit.theorem_label()}\n"
+        f"accesses: {audit.total_reads} reads + {audit.total_writes} "
+        f"writes across {len(plan.blocks)} blocks\n"
+        f"cross-block accesses: {audit.cross_block_accesses}\n"
+        f"{audit.verdict()}",
+    ))
+
     # -- verification -------------------------------------------------------
     verification: Optional[VerificationReport] = None
     if verify:

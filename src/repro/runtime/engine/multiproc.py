@@ -8,20 +8,30 @@ back deterministically (chunks are merged in block order, and write
 stamps are keyed by block index, so the merge is independent of worker
 scheduling).
 
-Each worker runs the ``compiled`` tier on its chunk.  A
+Each worker runs the ``compiled`` tier on its chunk under its *own*
+scoped tracer and metrics registry; the resulting spans, events and
+metric deltas travel back through the picklable :class:`_ChunkResult`
+and are merged into the parent's recorders
+(:mod:`repro.obs.aggregate`), so a Chrome trace of a multiprocess run
+shows one lane per worker process and parent-side metric totals equal
+the sum over workers.  A
 :class:`~repro.machine.memory.RemoteAccessError` cannot cross a process
 boundary (its constructor signature defeats pickling), so workers catch
-it and return a marker tuple; the parent re-raises the first one in
-block order -- the same violation the interpreter would have hit first.
+it and return a marker; the parent re-raises the first one in block
+order -- the same violation the interpreter would have hit first.
 
 If a process pool cannot be created at all (sandboxes, missing fork),
-the engine degrades to the compiled tier in-process.
+the engine degrades to the compiled tier in-process -- counted as
+``engine.multiproc.degraded`` and diagnosed on stderr, so a ~1x
+"speedup" is explainable instead of silent.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import replace
+import sys
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
 
 from repro.machine.memory import RemoteAccessError
 from repro.runtime.engine.base import Engine, register_backend
@@ -32,28 +42,49 @@ WORKERS_ENV_VAR = "REPRO_MP_WORKERS"
 _MAX_WORKERS = 8
 
 
+@dataclass
 class _ChunkResult:
-    """ParallelResult stand-in a worker can fill and pickle back."""
+    """Per-chunk outcome a worker fills and pickles back to the parent.
 
-    def __init__(self):
-        self.write_stamps = {}
-        self.executed_iterations = 0
-        self.skipped_computations = 0
+    The counter/stamp fields double as the ``ParallelResult`` stand-in
+    the compiled tier fills during worker-side execution; ``remote``
+    carries the first violation (RemoteAccessError itself defeats
+    pickling) and ``obs`` the worker's observability delta.
+    """
+
+    write_stamps: dict = field(default_factory=dict)
+    executed_iterations: int = 0
+    skipped_computations: int = 0
+    mems: dict = field(default_factory=dict)
+    # (pid, array, coords, is_write) of the first violation, or None
+    remote: Optional[tuple] = None
+    obs: Any = None  # WorkerObs
 
 
 def _run_chunk(payload):
     """Worker entry point: run one chunk of blocks on the compiled tier."""
-    sub, mems, scalars = payload
+    sub, mems, scalars, trace_enabled = payload
+    from repro.obs.aggregate import capture_worker_obs
+    from repro.obs.metrics import MetricsRegistry, use_registry
+    from repro.obs.trace import Tracer, use_tracer
     from repro.runtime.engine.base import get_engine
 
+    tracer = Tracer(enabled=trace_enabled)
+    registry = MetricsRegistry()
     res = _ChunkResult()
-    try:
-        get_engine("compiled").run_blocks(sub, mems, res, {}, scalars,
-                                          strict=True)
-    except RemoteAccessError as exc:
-        return ("remote", exc.pid, exc.array, exc.coords)
-    return ("ok", mems, res.write_stamps, res.executed_iterations,
-            res.skipped_computations)
+    with use_tracer(tracer), use_registry(registry):
+        registry.inc("engine.worker.chunks")
+        registry.inc("engine.worker.blocks", len(sub.blocks))
+        try:
+            get_engine("compiled").run_blocks(sub, mems, res, {}, scalars,
+                                              strict=True)
+        except RemoteAccessError as exc:
+            res.remote = (exc.pid, exc.array, exc.coords, exc.is_write)
+        registry.inc("engine.worker.executed_iterations",
+                     res.executed_iterations)
+    res.mems = mems
+    res.obs = capture_worker_obs(tracer, registry)
+    return res
 
 
 def worker_count(nblocks: int) -> int:
@@ -84,6 +115,22 @@ class MultiprocessEngine(Engine):
         # a sequential nest is one dependence chain; nothing to fan out
         self.delegate().run_nest(nest, arrays, scalars, space)
 
+    def _degrade(self, exc, plan, memories, result, initial, scalars,
+                 strict: bool) -> None:
+        """No process pool in this environment: run in-process instead,
+        but say so -- a silent fallback reads as a broken speedup."""
+        from repro.obs.metrics import current_registry
+        from repro.obs.trace import current_tracer
+
+        reason = f"{type(exc).__name__}: {exc}"
+        current_registry().inc("engine.multiproc.degraded")
+        current_tracer().event("engine.multiproc.degraded",
+                               category="engine", reason=reason)
+        print(f"repro: multiprocess pool unavailable ({reason}); "
+              "degrading to the compiled tier in-process", file=sys.stderr)
+        self.delegate().run_blocks(plan, memories, result, initial,
+                                   scalars, strict=strict)
+
     def run_blocks(self, plan, memories, result, initial, scalars,
                    strict: bool = True) -> None:
         if not strict or not plan.blocks:
@@ -92,6 +139,11 @@ class MultiprocessEngine(Engine):
             return
         from concurrent.futures import ProcessPoolExecutor
 
+        from repro.obs.aggregate import merge_worker_obs
+        from repro.obs.metrics import current_registry
+        from repro.obs.trace import current_tracer
+
+        tracer = current_tracer()
         nw = worker_count(len(plan.blocks))
         # contiguous chunks preserve block order for deterministic merge
         per = -(-len(plan.blocks) // nw)
@@ -101,45 +153,58 @@ class MultiprocessEngine(Engine):
         # (never runtime caches attached to the full plan) get pickled
         payloads = [
             (replace(plan, blocks=chunk),
-             {b.index: memories[b.index] for b in chunk}, dict(scalars))
+             {b.index: memories[b.index] for b in chunk}, dict(scalars),
+             tracer.enabled)
             for chunk in chunks
         ]
-        from repro.obs.trace import current_tracer
 
         try:
-            # worker-side spans die with the worker process; the parent
-            # records the fan-out geometry instead
-            with current_tracer().span(
+            # worker-side spans are captured in the workers and merged
+            # below; the parent's fan-out span records the geometry and
+            # anchors the worker lanes on the parent timeline
+            with tracer.span(
                     "engine.fanout", category="engine", backend=self.name,
                     workers=nw, chunks=len(chunks),
-                    blocks=len(plan.blocks)):
+                    blocks=len(plan.blocks)) as fsp:
                 with ProcessPoolExecutor(max_workers=nw) as pool:
                     outcomes = list(pool.map(_run_chunk, payloads))
         except (OSError, PermissionError, ValueError, RuntimeError,
-                ImportError):
-            # no process pool in this environment: run in-process instead
-            self.delegate().run_blocks(plan, memories, result, initial,
-                                       scalars, strict=strict)
+                ImportError) as exc:
+            self._degrade(exc, plan, memories, result, initial, scalars,
+                          strict)
             return
+
+        # re-home worker observability before anything can raise, so
+        # even an aborted run keeps its worker lanes and counters
+        registry = current_registry()
+        offset = fsp.start_ns if fsp.recording else 0
+        parent_id = fsp.span_id if fsp.recording else None
+        for out in outcomes:
+            if out.obs is not None:
+                merge_worker_obs(tracer, registry, out.obs,
+                                 ts_offset_ns=offset,
+                                 parent_span_id=parent_id)
 
         # merge in submission (= block) order: deterministic by design
         for out in outcomes:
-            if out[0] == "remote":
-                _, pid, array, coords = out
-                memories[pid].remote_attempts += 1
-                raise RemoteAccessError(pid, array, coords)
+            if out.remote is not None:
+                pid, array, coords, is_write = out.remote
+                memories[pid].note_remote(is_write)
+                raise RemoteAccessError(pid, array, coords,
+                                        is_write=is_write)
         for out in outcomes:
-            _, mems, stamps, executed, skipped = out
-            for pid, worker_mem in mems.items():
+            for pid, worker_mem in out.mems.items():
                 mem = memories[pid]
                 mem.values = worker_mem.values
                 mem.allocated = worker_mem.allocated
                 mem.reads = worker_mem.reads
                 mem.writes = worker_mem.writes
                 mem.remote_attempts = worker_mem.remote_attempts
-            result.write_stamps.update(stamps)
-            result.executed_iterations += executed
-            result.skipped_computations += skipped
+                mem.remote_read_attempts = worker_mem.remote_read_attempts
+                mem.remote_write_attempts = worker_mem.remote_write_attempts
+            result.write_stamps.update(out.write_stamps)
+            result.executed_iterations += out.executed_iterations
+            result.skipped_computations += out.skipped_computations
 
 
 register_backend(MultiprocessEngine, aliases=("mp", "processes", "pool"))

@@ -456,11 +456,13 @@ class VectorizedEngine(Engine):
             compute.append((fn, grids[warray], wflat, divides))
 
         if violation is not None:
-            lane, s, _, _, array, co = violation
+            lane, s, k, refpos, array, co = violation
             mem = memories[lanes[lane].index]
             coords = tuple(int(c[lane, s]) for c in co)
-            mem.remote_attempts += 1
-            raise RemoteAccessError(mem.pid, array, coords)
+            is_write = refpos == geom["nreads"][k]
+            mem.note_remote(is_write=is_write)
+            raise RemoteAccessError(mem.pid, array, coords,
+                                    is_write=is_write)
 
         # the lock-step sweep
         for s in range(steps):

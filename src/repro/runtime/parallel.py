@@ -59,6 +59,14 @@ class ParallelResult:
     def remote_accesses(self) -> int:
         return sum(m.remote_attempts for m in self.memories.values())
 
+    @property
+    def remote_reads(self) -> int:
+        return sum(m.remote_read_attempts for m in self.memories.values())
+
+    @property
+    def remote_writes(self) -> int:
+        return sum(m.remote_write_attempts for m in self.memories.values())
+
     def loads(self) -> dict[int, int]:
         """Executed iterations per *processor* (aggregating its blocks)."""
         counts: dict[int, int] = {}
@@ -90,6 +98,8 @@ class ParallelResult:
         reg.inc("runtime.executed_iterations.total",
                 self.executed_iterations)
         reg.set("runtime.remote_accesses", self.remote_accesses)
+        reg.set("runtime.remote_reads", self.remote_reads)
+        reg.set("runtime.remote_writes", self.remote_writes)
         reg.set("runtime.executed_iterations", self.executed_iterations)
         reg.set("runtime.skipped_computations", self.skipped_computations)
         reg.set("runtime.blocks", len(self.plan.blocks))

@@ -66,6 +66,30 @@ def render_data_partition(dblocks: Sequence[DataBlock], title: str = "") -> str:
     return "\n".join(lines)
 
 
+def render_heatmap(counts: dict[Coords, int], title: str = "") -> str:
+    """Render per-element counts of a 2-D space as a density grid.
+
+    Cells show the count itself for 1..9, ``#`` for 10 or more and
+    ``.`` for zero/untouched -- the same glyph conventions as the
+    partition grids.  Used by the communication-audit dashboard for
+    per-array access heatmaps.
+    """
+    used = {c: n for c, n in counts.items() if n}
+    if not used:
+        return f"{title}\n(empty)"
+    xr, yr = _axis_ranges(list(used))
+    lines = [title] if title else []
+    for y in reversed(yr):
+        cells = []
+        for x in xr:
+            n = used.get((x, y), 0)
+            cells.append("." if n == 0 else str(n) if n < 10 else "#")
+        lines.append(f"{y:>3} | {' '.join(cells)}")
+    lines.append("    +" + "-" * (2 * len(xr)))
+    lines.append("      " + " ".join(f"{x % 10}" for x in xr))
+    return "\n".join(lines)
+
+
 def render_iteration_partition(blocks: Sequence[IterationBlock],
                                title: str = "",
                                mark: Optional[dict[Coords, str]] = None) -> str:

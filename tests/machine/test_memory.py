@@ -68,3 +68,41 @@ class TestAccessDiscipline:
 
         m.store("A", (Fraction(1), Fraction(2)), 7.0)
         assert m.load("A", (1, 2)) == 7.0
+
+
+class TestRemoteSplit:
+    def test_remote_load_counts_as_read_attempt(self):
+        m = LocalMemory(pid=0, strict=False)
+        m.load("A", (1,))
+        assert (m.remote_attempts, m.remote_read_attempts,
+                m.remote_write_attempts) == (1, 1, 0)
+
+    def test_remote_store_counts_as_write_attempt(self):
+        m = LocalMemory(pid=0, strict=False)
+        m.store("A", (1,), 1.0)
+        assert (m.remote_attempts, m.remote_read_attempts,
+                m.remote_write_attempts) == (1, 0, 1)
+
+    def test_error_carries_direction(self):
+        m = LocalMemory(pid=0)
+        with pytest.raises(RemoteAccessError) as e:
+            m.load("A", (1,))
+        assert e.value.is_write is False
+        with pytest.raises(RemoteAccessError) as e:
+            m.store("A", (1,), 1.0)
+        assert e.value.is_write is True
+
+    def test_note_remote_without_direction_keeps_split_untouched(self):
+        m = LocalMemory(pid=0)
+        m.note_remote()
+        assert (m.remote_attempts, m.remote_read_attempts,
+                m.remote_write_attempts) == (1, 0, 0)
+
+    def test_split_sums_to_combined_under_mixed_traffic(self):
+        m = LocalMemory(pid=0, strict=False)
+        for _ in range(3):
+            m.load("A", (9,))
+        for _ in range(2):
+            m.store("A", (9,), 0.0)
+        assert m.remote_attempts == 5
+        assert m.remote_read_attempts + m.remote_write_attempts == 5

@@ -118,9 +118,29 @@ class TestMetricsExport:
         assert 'h_bucket{le="1"} 2' in text
         assert 'h_bucket{le="0.0001"} 1' in text
 
+    def test_prometheus_summary_quantiles(self):
+        text = prometheus_text(self.registry())
+        assert 'pipeline_pass_seconds_partition{quantile="0.5"} 0.004' in text
+        assert 'pipeline_pass_seconds_partition{quantile="0.95"} 0.004' in text
+        assert 'pipeline_pass_seconds_partition{quantile="0.99"} 0.004' in text
+
+    def test_prometheus_empty_histogram_has_no_quantiles(self):
+        reg = MetricsRegistry()
+        reg.histogram("h")
+        text = prometheus_text(reg)
+        assert "h_count 0" in text
+        assert "quantile=" not in text
+
     def test_metrics_json_keeps_dotted_names(self):
         doc = json.loads(metrics_json(self.registry()))
         assert doc["cache.hit"]["value"] == 3
+
+    def test_metrics_json_includes_quantiles(self):
+        doc = json.loads(metrics_json(self.registry()))
+        h = doc["pipeline.pass.seconds.partition"]
+        assert h["p50"] == pytest.approx(0.004)
+        assert h["p95"] == pytest.approx(0.004)
+        assert h["p99"] == pytest.approx(0.004)
 
     def test_write_metrics_picks_format_by_extension(self, tmp_path):
         reg = self.registry()

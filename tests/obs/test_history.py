@@ -1,0 +1,143 @@
+"""Perf history: measurement entries, the JSON-lines file, floor gates."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import history as hist
+from repro.obs.metrics import MetricsRegistry, use_registry
+
+
+def _fake_times():
+    return {"interp": 0.100, "compiled": 0.010, "multiprocess": 0.200}
+
+
+class TestEntries:
+    def test_make_entry_computes_speedups(self):
+        entry = hist.make_entry(_fake_times(), n=8, repeats=2)
+        assert entry["case"] == "MATMUL8-dup"
+        assert entry["ms"]["interp"] == 100.0
+        assert entry["speedup"]["compiled"] == 10.0
+        assert entry["speedup"]["multiprocess"] == 0.5
+        assert "interp" not in entry["speedup"]
+        assert entry["ts"].endswith("Z")
+
+    def test_measure_engines_produces_real_times(self):
+        times = hist.measure_engines(n=4, repeats=1,
+                                     backends=["interp", "compiled"])
+        assert set(times) == {"interp", "compiled"}
+        assert all(t > 0 for t in times.values())
+
+    def test_measure_entry_publishes_perf_metrics(self):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            entry = hist.measure_entry(n=4, repeats=1)
+        assert reg.get("perf.runs").value == 1
+        for backend, s in entry["speedup"].items():
+            assert reg.get(f"perf.speedup.{backend}").value == s
+
+
+class TestHistoryFile:
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        e1 = hist.make_entry(_fake_times(), n=8, repeats=2)
+        assert hist.append_history(e1, path) == 1
+        assert hist.append_history(e1, path) == 2
+        loaded = hist.load_history(path)
+        assert len(loaded) == 2
+        assert loaded[0]["case"] == "MATMUL8-dup"
+
+    def test_load_missing_history_is_empty(self, tmp_path):
+        assert hist.load_history(tmp_path / "absent.jsonl") == []
+
+
+class TestBaseline:
+    def test_load_baseline_extracts_matmul_case(self, tmp_path):
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text(json.dumps({
+            "matmul_n": 8,
+            "floors": {"compiled": 5.0},
+            "cases": {"MATMUL8-dup": {
+                "ms": {"interp": 100.0, "compiled": 10.0},
+                "speedup": {"compiled": 10.0},
+            }},
+        }))
+        base = hist.load_baseline(path)
+        assert base["case"] == "MATMUL8-dup"
+        assert base["floors"] == {"compiled": 5.0}
+        assert base["speedup"]["compiled"] == 10.0
+
+    def test_load_missing_baseline_is_none(self, tmp_path):
+        assert hist.load_baseline(tmp_path / "absent.json") is None
+
+    def test_committed_baseline_parses(self):
+        base = hist.load_baseline()  # the repo's own BENCH_engine.json
+        assert base is not None
+        assert base["case"] == f"MATMUL{hist.DEFAULT_N}-dup"
+        assert "compiled" in base["floors"]
+
+
+class TestFloorGate:
+    def test_check_floors_passes_above(self):
+        entry = hist.make_entry(_fake_times(), n=8, repeats=1)
+        assert hist.check_floors(entry, {"compiled": 5.0}) == []
+
+    def test_check_floors_fails_below(self):
+        entry = hist.make_entry(_fake_times(), n=8, repeats=1)
+        failures = hist.check_floors(entry, {"compiled": 100.0})
+        assert failures == ["compiled: 10.0x < floor 100.0x"]
+
+    def test_missing_backend_is_not_a_regression(self):
+        entry = hist.make_entry({"interp": 0.1, "compiled": 0.01}, 8, 1)
+        assert hist.check_floors(entry, {"vectorized": 20.0}) == []
+
+    def test_render_table_marks_regressions(self):
+        entry = hist.make_entry(_fake_times(), n=8, repeats=1)
+        table = hist.render_perf_table(
+            entry, {"speedup": {"compiled": 12.0}}, {"compiled": 100.0})
+        assert "REGRESSION" in table
+        assert "-2.0" in table   # delta vs baseline speedup
+
+
+class TestPerfCli:
+    def _run(self, argv):
+        from repro.cli import main
+
+        out = io.StringIO()
+        code = main(argv, out=out)
+        return code, out.getvalue()
+
+    def test_perf_appends_a_nonempty_entry(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        code, text = self._run(["perf", "--n", "4", "--repeats", "1",
+                                "--history", str(path)])
+        assert code == 0
+        (entry,) = hist.load_history(path)
+        assert entry["ms"] and entry["speedup"]
+        assert "entry 1" in text
+
+    def test_perf_check_fails_on_injected_regression(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        code, text = self._run(["perf", "--n", "4", "--repeats", "1",
+                                "--history", str(path), "--check",
+                                "--floor", "compiled=1000000"])
+        assert code == 1
+        assert "perf regression" in text
+        assert "compiled" in text
+        # the failing run is still recorded in the history
+        assert len(hist.load_history(path)) == 1
+
+    def test_perf_check_passes_without_floors(self, tmp_path):
+        # n != baseline n, so committed floors don't apply
+        code, text = self._run(["perf", "--n", "4", "--repeats", "1",
+                                "--history", str(tmp_path / "h.jsonl"),
+                                "--check"])
+        assert code == 0
+        assert "perf floors: PASS" in text
+
+    def test_bad_floor_spec_is_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            self._run(["perf", "--n", "4", "--repeats", "1",
+                       "--history", str(tmp_path / "h.jsonl"),
+                       "--floor", "compiled"])

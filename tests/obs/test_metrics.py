@@ -67,6 +67,79 @@ class TestHistogram:
         assert h.min == math.inf and h.max == -math.inf
 
 
+class TestQuantiles:
+    def test_extremes_are_exact(self):
+        h = Histogram(name="h")
+        for v in (0.002, 0.040, 0.800):
+            h.observe(v)
+        assert h.quantile(0.0) == pytest.approx(0.002)
+        assert h.quantile(1.0) == pytest.approx(0.800)
+
+    def test_single_observation_every_quantile(self):
+        h = Histogram(name="h")
+        h.observe(0.5)
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert h.quantile(q) == pytest.approx(0.5)
+
+    def test_estimates_stay_inside_observed_range(self):
+        h = Histogram(name="h")
+        for v in (0.003, 0.007, 0.013, 0.9, 4.2):
+            h.observe(v)
+        for q in (0.25, 0.5, 0.75, 0.9, 0.95, 0.99):
+            assert h.min <= h.quantile(q) <= h.max
+
+    def test_median_lands_in_the_right_bucket(self):
+        h = Histogram(name="h")
+        # 9 small values, 1 large: p50 must stay small, p99 large
+        for _ in range(9):
+            h.observe(0.002)
+        h.observe(5.0)
+        assert h.quantile(0.5) <= 0.01
+        assert h.quantile(0.99) > 1.0
+
+    def test_monotone_in_q(self):
+        h = Histogram(name="h")
+        for i in range(100):
+            h.observe(0.001 * (i + 1))
+        qs = [h.quantile(q) for q in (0.1, 0.5, 0.9, 0.95, 0.99)]
+        assert qs == sorted(qs)
+
+    def test_empty_histogram_is_zero(self):
+        assert Histogram(name="h").quantile(0.5) == 0.0
+
+    def test_out_of_range_q_rejected(self):
+        h = Histogram(name="h")
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_merge_preserves_quantile_mass(self):
+        a, b = Histogram(name="h"), Histogram(name="h")
+        for _ in range(9):
+            a.observe(0.002)
+        b.observe(5.0)
+        a.merge(b)
+        assert a.count == 10
+        assert a.quantile(0.5) <= 0.01
+        assert a.quantile(1.0) == pytest.approx(5.0)
+
+    def test_merge_rejects_bucket_mismatch(self):
+        a = Histogram(name="h")
+        b = Histogram(name="h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_snapshot_includes_quantiles(self):
+        reg = MetricsRegistry()
+        for v in (0.1, 0.2, 0.3):
+            reg.observe("h", v)
+        snap = reg.snapshot()["h"]
+        assert {"p50", "p95", "p99"} <= set(snap)
+        assert 0.1 <= snap["p50"] <= 0.3
+        reg2 = MetricsRegistry()
+        reg2.histogram("empty")
+        assert reg2.snapshot()["empty"]["p50"] is None
+
+
 class TestRegistry:
     def test_kind_mismatch_raises(self):
         reg = MetricsRegistry()
