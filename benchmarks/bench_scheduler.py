@@ -1,0 +1,153 @@
+"""Dynamic scheduler vs static chunking on skewed block sizes.
+
+The static split hands each worker one contiguous chunk of blocks, so
+a cluster of slow blocks lands on a single worker and the whole run
+waits for that straggler.  The dynamic scheduler leases small batches
+from a shared queue: the slow blocks spread across workers and the
+fast ones backfill.  This bench builds exactly that adversarial case
+-- the first quarter of the blocks is made slow via the chaos layer's
+``slow_blocks`` knob (a deterministic per-block delay, no randomness)
+-- and asserts the dynamic mode beats static with margin.
+
+Run directly (``python benchmarks/bench_scheduler.py``) to record
+``BENCH_scheduler.json``; the pytest entry points assert the win.
+"""
+
+import json
+import os
+from contextlib import contextmanager
+from functools import lru_cache
+from pathlib import Path
+from time import perf_counter
+
+from repro.core import Strategy, build_plan
+from repro.lang.parser import parse
+from repro.machine.memory import LocalMemory
+from repro.runtime import make_arrays
+from repro.runtime.engine import get_engine
+from repro.runtime.parallel import ParallelResult
+from repro.runtime.scheduler import FaultPlan, use_fault_plan
+
+MATMUL_N = 8            # 64 blocks under the duplicate-data strategy
+WORKERS = 4
+SLOW_MS = 60.0          # per slow block; the skew, not real compute
+REPEATS = 2
+MARGIN = 1.25           # dynamic must be at least this much faster
+
+
+def matmul_nest(n: int = MATMUL_N):
+    hi = n - 1
+    return parse(
+        f"""
+        for i = 0 to {hi} {{
+          for j = 0 to {hi} {{
+            for k = 0 to {hi} {{
+              C[i,j] = C[i,j] + A[i,k] * B[k,j];
+            }} }} }}
+        """,
+        name=f"MATMUL{n}",
+    )
+
+
+def _alloc(plan, initial):
+    memories = {}
+    for b in plan.blocks:
+        mem = LocalMemory(pid=b.index, strict=True)
+        for name, dblocks in plan.data_blocks.items():
+            src = initial[name]
+            mem.allocate(name, dblocks[b.index].elements,
+                         init=lambda c, s=src: s[c])
+        memories[b.index] = mem
+    return memories
+
+
+@contextmanager
+def _sched_env(mode):
+    saved = {k: os.environ.get(k)
+             for k in ("REPRO_SCHED", "REPRO_MP_WORKERS")}
+    os.environ["REPRO_SCHED"] = mode
+    os.environ["REPRO_MP_WORKERS"] = str(WORKERS)
+    try:
+        yield
+    finally:
+        for k, v in saved.items():
+            if v is None:
+                os.environ.pop(k, None)
+            else:
+                os.environ[k] = v
+
+
+def _skew(plan):
+    """The adversarial case: the first quarter of the blocks is slow --
+    exactly the prefix the static split assigns to worker 0."""
+    slow = tuple(range(len(plan.blocks) // 4))
+    return FaultPlan(slow_blocks=slow, slow_ms=SLOW_MS)
+
+
+def run_once(mode, plan, initial, faults):
+    engine = get_engine("multiprocess")
+    memories = _alloc(plan, initial)
+    result = ParallelResult(
+        plan=plan, memories=memories,
+        block_to_pid={b.index: b.index for b in plan.blocks})
+    with _sched_env(mode), use_fault_plan(faults):
+        t0 = perf_counter()
+        engine.run_blocks(plan, memories, result, initial, {}, strict=True)
+        elapsed = perf_counter() - t0
+    sres = result.scheduler
+    assert sres is not None and sres.ok, f"{mode} run did not complete"
+    assert sres.mode == mode
+    return elapsed
+
+
+@lru_cache(maxsize=None)
+def _measure():
+    plan = build_plan(matmul_nest(), strategy=Strategy.DUPLICATE)
+    initial = make_arrays(plan.model)
+    faults = _skew(plan)
+    times = {
+        mode: min(run_once(mode, plan, initial, faults)
+                  for _ in range(REPEATS))
+        for mode in ("static", "dynamic")
+    }
+    return {
+        "blocks": len(plan.blocks),
+        "workers": WORKERS,
+        "slow_blocks": len(faults.slow_blocks),
+        "slow_ms": SLOW_MS,
+        "ms": {m: round(t * 1e3, 1) for m, t in times.items()},
+        "speedup": round(times["static"] / times["dynamic"], 2),
+    }
+
+
+def test_dynamic_beats_static_on_skewed_blocks(benchmark):
+    row = _measure()
+    benchmark(lambda: row)  # numbers ride along on the report
+    benchmark.extra_info.update(**{k: v for k, v in row.items()
+                                   if k != "ms"}, **row["ms"])
+    assert row["speedup"] >= MARGIN, (
+        f"dynamic only {row['speedup']}x vs static on skewed blocks "
+        f"(need >= {MARGIN}x): {row['ms']}")
+
+
+def main():
+    row = _measure()
+    out = {
+        "case": f"MATMUL{MATMUL_N}-dup skewed",
+        "margin": MARGIN,
+        "note": ("multiprocess engine, first quarter of blocks delayed "
+                 f"{SLOW_MS}ms each via FaultPlan.slow_blocks; static = "
+                 "one contiguous chunk per worker"),
+        **row,
+    }
+    path = Path(__file__).resolve().parent.parent / "BENCH_scheduler.json"
+    path.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(out, indent=2, sort_keys=True))
+    ok = row["speedup"] >= MARGIN
+    print(f"dynamic vs static: {'PASS' if ok else 'FAIL'} "
+          f"({row['speedup']}x, need {MARGIN}x)")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,6 +28,7 @@ See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 paper-vs-reproduction record.
 """
 
+from repro.api import RunOptions, Session
 from repro.analysis import (
     analyze_redundancy,
     build_reference_graph,
@@ -60,6 +61,8 @@ from repro.transform import compile_nest, to_pseudocode, transform_nest
 __version__ = "1.0.0"
 
 __all__ = [
+    "Session",
+    "RunOptions",
     "parse",
     "to_source",
     "catalog",

@@ -1,0 +1,232 @@
+"""The unified public API: one session, one options object, one result shape.
+
+The repository grew five loosely related entry points (``build_plan``,
+``run_sequential``, ``run_parallel``, ``verify_plan``, ``run_on_machine``)
+with divergent signatures and kwargs duplicated across them.  This
+module fronts them all:
+
+- :class:`RunOptions` -- one dataclass holding the execution kwargs
+  (backend, chaos, tracing, metrics) that used to be threaded through
+  each entry point separately;
+- :class:`Session` -- a facade that owns a nest, a plan, scoped
+  observability recorders, and the options, and drives the whole
+  pipeline::
+
+      from repro.api import Session
+
+      s = Session("L1", strategy="duplicate", chaos="crash-prob=0.2")
+      s.plan()
+      result = s.run(backend="multiprocess")
+      assert s.verify().ok and s.audit().ok
+
+- the **Summary protocol** -- every result the facade returns
+  (:class:`~repro.runtime.parallel.ParallelResult`,
+  :class:`~repro.runtime.verify.VerificationReport`,
+  :class:`~repro.obs.audit.AuditReport`,
+  :class:`~repro.runtime.machine_run.MachineRun`) exposes ``.ok``,
+  ``.summary()`` and ``.to_json()``, so callers (and the CLI, and the
+  report) render any of them uniformly.
+
+The legacy entry points remain and keep their exact behavior; the
+facade composes them rather than replacing them (see ``docs/API.md``
+for the migration map).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Protocol, Union, runtime_checkable
+
+from repro.core.plan import PartitionPlan, build_plan
+from repro.core.strategy import Strategy
+from repro.lang.ast import LoopNest
+from repro.runtime.scheduler.faults import FaultPlan
+
+
+@runtime_checkable
+class Summary(Protocol):
+    """What every result object speaks: a verdict, a line, a dict."""
+
+    @property
+    def ok(self) -> bool: ...
+
+    def summary(self) -> str: ...
+
+    def to_json(self) -> dict: ...
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Execution options shared by every entry point.
+
+    Consolidates the kwargs that were duplicated across
+    ``run_sequential`` / ``run_parallel`` / ``verify_plan`` /
+    ``run_on_machine``: the engine ``backend``, the ``chaos`` fault
+    plan, and whether tracing / metrics recording are enabled.
+    """
+
+    #: engine backend name (None = the default / ``$REPRO_BACKEND``)
+    backend: Optional[str] = None
+    #: fault plan (or spec string) scoped over parallel executions
+    chaos: Union[FaultPlan, str, None] = None
+    #: record spans/events (Session scopes a Tracer accordingly)
+    trace: bool = False
+    #: keep a session-scoped metrics registry (always cheap; kept for
+    #: symmetry and for callers that want a fresh registry per session)
+    metrics: bool = True
+
+    def __post_init__(self) -> None:
+        # normalize a spec string eagerly so errors surface at build time
+        object.__setattr__(self, "chaos", FaultPlan.parse(self.chaos))
+
+    def with_(self, **updates) -> "RunOptions":
+        """A copy with the given fields replaced."""
+        return replace(self, **updates)
+
+
+def _coerce_nest(nest_or_source: Union[LoopNest, str]) -> LoopNest:
+    """A LoopNest from a nest, a source string, or a catalog name."""
+    if isinstance(nest_or_source, LoopNest):
+        return nest_or_source
+    if not isinstance(nest_or_source, str):
+        raise TypeError(
+            f"expected a LoopNest, source text, or catalog name; got "
+            f"{type(nest_or_source).__name__}")
+    from repro.lang.catalog import ALL_LOOPS
+
+    key = nest_or_source.strip()
+    by_name = {name.lower(): factory for name, factory in ALL_LOOPS.items()}
+    if key.lower() in by_name:
+        return by_name[key.lower()]()
+    from repro.lang.parser import parse
+
+    return parse(nest_or_source)
+
+
+class Session:
+    """One nest, one plan, one set of options, one place to run it all.
+
+    The session lazily builds (and caches) the partition plan, scopes
+    its own observability recorders over every operation, and forwards
+    :class:`RunOptions` everywhere, so the five legacy entry points
+    collapse into five methods with no repeated kwargs.
+    """
+
+    def __init__(
+        self,
+        nest_or_source: Union[LoopNest, str],
+        strategy: Union[Strategy, str] = Strategy.NONDUPLICATE,
+        *,
+        backend: Optional[str] = None,
+        chaos: Union[FaultPlan, str, None] = None,
+        trace: bool = False,
+        options: Optional[RunOptions] = None,
+        eliminate_redundant: bool = False,
+        scalars: Optional[dict] = None,
+    ) -> None:
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.trace import Tracer
+
+        self.nest = _coerce_nest(nest_or_source)
+        self.strategy = Strategy(strategy)
+        if options is None:
+            options = RunOptions(backend=backend, chaos=chaos, trace=trace)
+        else:
+            if backend is not None:
+                options = options.with_(backend=backend)
+            if chaos is not None:
+                options = options.with_(chaos=chaos)
+            if trace:
+                options = options.with_(trace=True)
+        self.options = options
+        self.eliminate_redundant = eliminate_redundant
+        self.scalars = dict(scalars) if scalars else {}
+        self.tracer = Tracer(enabled=options.trace)
+        self.registry = MetricsRegistry()
+        self._plan: Optional[PartitionPlan] = None
+
+    # -- scoping ----------------------------------------------------------
+    def _scope(self):
+        from contextlib import ExitStack
+
+        from repro.obs.metrics import use_registry
+        from repro.obs.trace import use_tracer
+
+        stack = ExitStack()
+        stack.enter_context(use_tracer(self.tracer))
+        stack.enter_context(use_registry(self.registry))
+        return stack
+
+    # -- the pipeline -----------------------------------------------------
+    def plan(self) -> PartitionPlan:
+        """Build (once) and return the partition plan."""
+        if self._plan is None:
+            with self._scope():
+                self._plan = build_plan(
+                    self.nest, strategy=self.strategy,
+                    eliminate_redundant=self.eliminate_redundant)
+        return self._plan
+
+    def run(self, backend: Optional[str] = None, **kwargs):
+        """Execute the plan in parallel; returns a
+        :class:`~repro.runtime.parallel.ParallelResult`."""
+        from repro.runtime.parallel import run_parallel
+
+        with self._scope():
+            return run_parallel(self.plan(), scalars=self.scalars,
+                                backend=backend, options=self.options,
+                                **kwargs)
+
+    def run_sequential(self, backend: Optional[str] = None):
+        """Run the nest sequentially (the golden model); returns the
+        final arrays."""
+        from repro.runtime.arrays import make_arrays
+        from repro.runtime.seq import run_sequential
+
+        plan = self.plan()
+        with self._scope():
+            arrays = make_arrays(plan.model)
+            return run_sequential(plan.nest, arrays, scalars=self.scalars,
+                                  space=plan.model.space, backend=backend,
+                                  options=self.options)
+
+    def verify(self, backend: Optional[str] = None, **kwargs):
+        """Parallel == sequential, zero communication; returns a
+        :class:`~repro.runtime.verify.VerificationReport`."""
+        from repro.runtime.verify import verify_plan
+
+        with self._scope():
+            return verify_plan(self.plan(), scalars=self.scalars,
+                               backend=backend, options=self.options,
+                               **kwargs)
+
+    def audit(self, **kwargs):
+        """Certify communication-freedom; returns an
+        :class:`~repro.obs.audit.AuditReport`."""
+        from repro.obs.audit import audit_plan
+
+        with self._scope():
+            return audit_plan(self.plan(), scalars=self.scalars,
+                              registry=self.registry, **kwargs)
+
+    def machine(self, p: int = 16, **kwargs):
+        """Run on the simulated multicomputer; returns a
+        :class:`~repro.runtime.machine_run.MachineRun`."""
+        from repro.runtime.machine_run import run_on_machine
+
+        with self._scope():
+            return run_on_machine(self.plan(), p, scalars=self.scalars,
+                                  options=self.options, **kwargs)
+
+    def report(self, p: int = 16, **kwargs):
+        """The full compile report for this nest."""
+        from repro.report import compile_report
+
+        with self._scope():
+            return compile_report(self.nest, p=p,
+                                  scalars=self.scalars or None, **kwargs)
+
+    # -- observability ----------------------------------------------------
+    def metrics(self) -> dict:
+        """A snapshot of the session's metrics registry."""
+        return self.registry.snapshot()

@@ -6,6 +6,7 @@
     python -m repro verify    <file|--loop L1> [...]   end-to-end check
     python -m repro select    <file|--loop L5> -p 16   strategy selection
     python -m repro audit     <file|--loop L1> [...]   communication audit
+    python -m repro chaos     [--crash-prob 0.2 ...]   fault-injected run
     python -m repro perf      [--check]                perf history + gate
     python -m repro figures                            regenerate Figs. 1-10
     python -m repro tables                             Tables I & II
@@ -48,6 +49,17 @@ from repro.pipeline.instrument import Instrumentation, use_metrics
 from repro.transform import to_pseudocode, to_spmd_pseudocode
 from repro.viz import figures as figmod
 from repro.viz import render_data_partition, render_iteration_partition
+
+
+def _finish(ok: bool, reason: str, code: int = 1) -> int:
+    """The uniform exit protocol: every subcommand that can fail goes
+    through here, so failure always means a non-zero exit *and* a
+    one-line ``repro: <reason>`` on stderr (stdout stays machine-stable).
+    """
+    if ok:
+        return 0
+    print(f"repro: {reason}", file=sys.stderr)
+    return code
 
 
 def _load_nest(args) -> LoopNest:
@@ -139,7 +151,13 @@ def cmd_transform(args, out) -> int:
 
 
 def cmd_verify(args, out) -> int:
-    ctx = _compile(args, upto="verify")
+    from repro.runtime.scheduler import use_fault_plan
+
+    if getattr(args, "chaos", None):
+        with use_fault_plan(args.chaos):
+            ctx = _compile(args, upto="verify")
+    else:
+        ctx = _compile(args, upto="verify")
     report = ctx.verification
     print(f"blocks: {report.num_blocks}", file=out)
     print(f"executed iterations: {report.executed_iterations}", file=out)
@@ -155,7 +173,7 @@ def cmd_verify(args, out) -> int:
     elif args.backend:
         print(f"backend: {report.backend}", file=out)
     print("OK" if report.ok else "FAILED", file=out)
-    return 0 if report.ok else 1
+    return _finish(report.ok, f"verification failed: {report.summary()}")
 
 
 def cmd_select(args, out) -> int:
@@ -183,7 +201,8 @@ def cmd_program(args, out) -> int:
     print(pplan.summary(), file=out)
     verification = verify_program(pplan, scalars=config.scalars_dict() or None)
     print(f"phase-parallel == sequential: {verification.ok}", file=out)
-    return 0 if verification.ok else 1
+    return _finish(verification.ok, "program verification failed: "
+                   "phase-parallel != sequential")
 
 
 def cmd_report(args, out) -> int:
@@ -197,7 +216,10 @@ def cmd_report(args, out) -> int:
                          config=config)
     print(rep.render(), file=out)
     ok = rep.verification is None or rep.verification.ok
-    return 0 if ok else 1
+    return _finish(ok, "report verification failed"
+                   if rep.verification is None
+                   else f"report verification failed: "
+                        f"{rep.verification.summary()}")
 
 
 def cmd_audit(args, out) -> int:
@@ -236,7 +258,8 @@ def cmd_audit(args, out) -> int:
         with open(args.json, "w") as fh:
             json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
             fh.write("\n")
-    return 0 if report.certified else 1
+    return _finish(report.certified,
+                   f"audit violation: {report.summary()}")
 
 
 def cmd_perf(args, out) -> int:
@@ -271,9 +294,121 @@ def cmd_perf(args, out) -> int:
         failures = hist.check_floors(entry, floors)
         if failures:
             print("perf regression: " + "; ".join(failures), file=out)
-            return 1
+            return _finish(False,
+                           "perf below floor: " + "; ".join(failures))
         print("perf floors: PASS", file=out)
     return 0
+
+
+def cmd_chaos(args, out) -> int:
+    """Fault-injected multiprocess run + recovery certification.
+
+    Runs the plan on the multiprocess engine under a
+    :class:`~repro.runtime.scheduler.FaultPlan`, prints the ASCII lease
+    timeline, and certifies recovery three ways: the scheduler
+    recovered every unit, the merged arrays and write stamps are
+    bit-identical to an undisturbed interpreter run, and the static
+    audit still certifies zero cross-block accesses.
+    """
+    from dataclasses import replace as _replace
+
+    from repro.core import Strategy, build_plan
+    from repro.machine.memory import RemoteAccessError
+    from repro.obs.audit import audit_plan, inject_violation
+    from repro.obs.history import matmul_nest
+    from repro.runtime.arrays import make_arrays
+    from repro.runtime.merge import merge_copies
+    from repro.runtime.parallel import run_parallel
+    from repro.runtime.scheduler import (FaultPlan, SchedulerError,
+                                         render_timeline)
+
+    # -- the fault plan: --chaos spec, overridden by convenience flags ----
+    fp = FaultPlan.parse(args.chaos) or FaultPlan()
+    overrides = {}
+    for key in ("crash_prob", "slow_prob", "slow_ms", "drop_prob", "seed"):
+        value = getattr(args, key)
+        if value is not None:
+            overrides[key] = value
+    if overrides:
+        fp = _replace(fp, **overrides)
+    if not fp.active:
+        fp = _replace(fp, crash_prob=0.2)  # bare `repro chaos` still bites
+
+    # -- the plan ---------------------------------------------------------
+    if args.file or args.loop:
+        ctx = _compile(args, upto="partition")
+        plan = ctx.plan
+    else:
+        nest = matmul_nest(args.matmul)
+        plan = build_plan(nest, strategy=Strategy.DUPLICATE)
+    if args.inject_violation:
+        plan = inject_violation(plan)
+
+    print(f"chaos: {fp.describe()} on {plan.nest.name or '<anon>'} "
+          f"({len(plan.blocks)} blocks, multiprocess engine)", file=out)
+
+    # -- the runs: undisturbed interp golden, then chaos ------------------
+    initial = make_arrays(plan.model)
+    try:
+        golden = run_parallel(plan, initial=initial, backend="interp")
+        res = run_parallel(plan, initial=initial, backend="multiprocess",
+                           chaos=fp)
+    except SchedulerError as exc:
+        return _finish(False, f"chaos non-recovery: {exc}")
+    except RemoteAccessError as exc:
+        return _finish(False, f"remote access under chaos: {exc}")
+
+    sres = res.scheduler
+    print(file=out)
+    if sres is not None:
+        print(render_timeline(sres), file=out)
+    else:
+        # the engine degraded to an in-process tier; nothing was leased
+        print("no scheduler ran (pool unavailable; degraded in-process)",
+              file=out)
+
+    # -- certification ----------------------------------------------------
+    stamps_ok = res.write_stamps == golden.write_stamps
+    counters_ok = (res.executed_iterations == golden.executed_iterations
+                   and res.skipped_computations
+                   == golden.skipped_computations)
+    merged = merge_copies(res, initial)
+    merged_golden = merge_copies(golden, initial)
+    arrays_ok = all(merged[n] == merged_golden[n] for n in merged_golden)
+    audit = audit_plan(plan, run_engines=False)
+
+    print(file=out)
+    print(f"recovered:            "
+          f"{'yes' if sres is None or sres.recovered else 'NO'}", file=out)
+    print(f"arrays vs interp:     "
+          f"{'bit-identical' if arrays_ok else 'MISMATCH'}", file=out)
+    print(f"write stamps:         "
+          f"{'bit-identical' if stamps_ok else 'MISMATCH'}", file=out)
+    print(f"counters:             "
+          f"{'bit-identical' if counters_ok else 'MISMATCH'}", file=out)
+    print(f"audit:                {audit.summary()}", file=out)
+
+    if args.json:
+        import json
+
+        doc = {
+            "chaos": fp.describe(),
+            "scheduler": sres.to_json() if sres is not None else None,
+            "arrays_ok": arrays_ok, "stamps_ok": stamps_ok,
+            "counters_ok": counters_ok, "audit_ok": audit.ok,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    if sres is not None and not sres.recovered:
+        return _finish(False, "chaos non-recovery: "
+                              f"{sres.units - sres.completed_units} "
+                              "unit(s) never completed")
+    if not (arrays_ok and stamps_ok and counters_ok):
+        return _finish(False, "chaos run is not bit-identical to the "
+                              "interp golden run")
+    return _finish(audit.ok, f"audit violation: {audit.summary()}")
 
 
 def cmd_figures(args, out) -> int:
@@ -294,7 +429,7 @@ def cmd_selftest(args, out) -> int:
     from repro.selftest import run_selftest
 
     failures = run_selftest(out=out)
-    return 1 if failures else 0
+    return _finish(not failures, f"selftest: {failures} claim(s) failed")
 
 
 def cmd_tables(args, out) -> int:
@@ -373,6 +508,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="execution engine: interp, compiled, vectorized, "
                         "multiprocess, auto, or 'all' to cross-check "
                         "every available backend")
+    p.add_argument("--chaos", metavar="SPEC",
+                   help="fault-injection spec scoped over the run, e.g. "
+                        "'crash-prob=0.2,seed=7' (multiprocess backend)")
     p.set_defaults(fn=cmd_verify)
 
     p = add_subparser("select", help="cost-based strategy selection")
@@ -436,6 +574,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit non-zero when a backend regresses below "
                         "its floor")
     p.set_defaults(fn=cmd_perf)
+
+    p = add_subparser("chaos",
+                      help="fault-injected run + ASCII lease timeline "
+                           "+ recovery certification")
+    add_loop_args(p)
+    add_strategy_args(p)
+    p.add_argument("--matmul", type=int, default=12, metavar="N",
+                   help="run the NxNxN matmul workload when no "
+                        "file/--loop is given (default 12)")
+    p.add_argument("--chaos", metavar="SPEC",
+                   help="full fault-plan spec, e.g. "
+                        "'crash-prob=0.2,drop-prob=0.1,seed=7'")
+    p.add_argument("--crash-prob", type=float, default=None,
+                   help="per-lease worker-crash probability")
+    p.add_argument("--slow-prob", type=float, default=None,
+                   help="per-lease slow-worker probability")
+    p.add_argument("--slow-ms", type=float, default=None,
+                   help="delay for slow leases, milliseconds")
+    p.add_argument("--drop-prob", type=float, default=None,
+                   help="per-lease lost-result probability")
+    p.add_argument("--seed", type=int, default=None,
+                   help="fault-plan seed (runs are deterministic per seed)")
+    p.add_argument("--inject-violation", action="store_true",
+                   help="chaos on a deliberately broken plan (must abort "
+                        "with a remote access; exits non-zero)")
+    p.add_argument("--json", metavar="FILE",
+                   help="also write the scheduler timeline + verdicts "
+                        "as JSON")
+    p.set_defaults(fn=cmd_chaos)
 
     p = add_subparser("figures", help="regenerate Figures 1-10")
     p.set_defaults(fn=cmd_figures)

@@ -176,6 +176,19 @@ class AuditReport:
         return self.communication_free and all(
             r.ok for r in self.engine_runs.values())
 
+    @property
+    def ok(self) -> bool:
+        """Summary-protocol alias for :attr:`certified`."""
+        return self.certified
+
+    def summary(self) -> str:
+        """One-line verdict (the Summary protocol)."""
+        return self.verdict()
+
+    def to_json(self) -> dict:
+        """Summary-protocol alias for :meth:`to_dict`."""
+        return self.to_dict()
+
     def theorem_label(self) -> str:
         extra = (", redundancy-eliminated"
                  if self.plan.breakdown.eliminate_redundant else "")
@@ -354,6 +367,45 @@ def _static_replay(plan: PartitionPlan, max_detail: int) -> AuditReport:
         executed_iterations=executed_iters,
         reference_counts=reference_counts, element_counts=element_counts,
     )
+
+
+def block_cross_accesses(
+    plan: PartitionPlan, block_index: int, max_detail: int = 1,
+) -> tuple[int, list[AuditViolation]]:
+    """Static cross-block access count for *one* block.
+
+    The per-block slice of :func:`_static_replay`, cheap enough to run
+    on demand: the fault-tolerant scheduler calls it before re-leasing
+    a lost block to assert the block is disjoint (zero cross-block
+    accesses), i.e. that re-execution is provably safe under the plan's
+    theorem.  Returns the cross count and up to ``max_detail``
+    attributed violations.
+    """
+    model = plan.model
+    live = plan.live
+    indices = model.nest.indices
+    b = plan.blocks[block_index]
+    alloc = {name: plan.data_blocks[name][b.index].elements
+             for name in model.arrays}
+    refs_by_stmt: dict[int, list] = {}
+    for info in model.arrays.values():
+        for ref in info.references:
+            refs_by_stmt.setdefault(ref.stmt_index, []).append((info, ref))
+
+    cross = 0
+    violations: list[AuditViolation] = []
+    for it in b.iterations:
+        for k in range(len(model.nest.statements)):
+            if live is not None and (k, it) not in live:
+                continue
+            for info, ref in refs_by_stmt.get(k, ()):
+                e = info.element_at(it, ref.offset)
+                if e not in alloc[info.name]:
+                    cross += 1
+                    if len(violations) < max_detail:
+                        violations.append(
+                            _attribute(plan, info, b, it, ref, e, indices))
+    return cross, violations
 
 
 def _run_engine_audit(plan: PartitionPlan, backend: Optional[str],

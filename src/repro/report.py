@@ -180,7 +180,8 @@ def compile_report(
         f"makespan: {st.makespan:.6f}\n"
         f"messages: {st.messages} ({st.words_sent} words)\n"
         f"remote accesses: {st.remote_accesses}\n"
-        f"communication-free: {mrun.communication_free}",
+        f"communication-free: {mrun.communication_free}\n"
+        f"{mrun.summary()}",
     ))
 
     # -- communication audit ------------------------------------------------
@@ -212,6 +213,7 @@ def compile_report(
                      + ", ".join(sorted(verification.cross_checked)) + "\n")
         elif backend:
             body += f"backend: {verification.backend}\n"
+        body += verification.summary() + "\n"
         body += "OK" if verification.ok else "FAILED"
         sections.append(("verification", body))
 

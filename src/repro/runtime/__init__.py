@@ -14,7 +14,10 @@
 - :mod:`~repro.runtime.verify`: one-call end-to-end verification;
 - :mod:`~repro.runtime.engine`: the pluggable execution-engine layer
   (interpreter / compiled kernels / vectorized / multiprocess), all
-  bit-identical, selected with ``backend=`` on the entry points.
+  bit-identical, selected with ``backend=`` on the entry points;
+- :mod:`~repro.runtime.scheduler`: the dynamic, fault-tolerant block
+  scheduler behind the multiprocess engine (leases, retries, chaos
+  injection via :class:`FaultPlan` / ``$REPRO_CHAOS``).
 """
 
 from repro.runtime.arrays import DataSpace, array_footprints, default_init, make_arrays
@@ -28,6 +31,13 @@ from repro.runtime.engine import (
     backend_names,
     get_engine,
     resolve_engine,
+)
+from repro.runtime.scheduler import (
+    BlockScheduler,
+    FaultPlan,
+    SchedulerResult,
+    current_fault_plan,
+    use_fault_plan,
 )
 
 __all__ = [
@@ -49,4 +59,9 @@ __all__ = [
     "backend_names",
     "get_engine",
     "resolve_engine",
+    "BlockScheduler",
+    "FaultPlan",
+    "SchedulerResult",
+    "current_fault_plan",
+    "use_fault_plan",
 ]

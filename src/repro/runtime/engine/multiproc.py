@@ -4,87 +4,57 @@ Communication-freedom is exactly the property that makes this trivial:
 iteration blocks touch disjoint written data, so each worker can
 execute its share of blocks against its own copies of their local
 memories with *zero* coordination, and the parent merges the results
-back deterministically (chunks are merged in block order, and write
+back deterministically (units are merged in block order, and write
 stamps are keyed by block index, so the merge is independent of worker
 scheduling).
 
-Each worker runs the ``compiled`` tier on its chunk under its *own*
+Dispatch is delegated to the fault-tolerant
+:class:`~repro.runtime.scheduler.BlockScheduler`: blocks are leased to
+workers in small batches with deadlines, lost or expired leases are
+retried on surviving workers (safely -- block-disjointness is
+re-asserted against the plan's partition metadata first), crashed pools
+are respawned, and an active :class:`~repro.runtime.scheduler.FaultPlan`
+(``REPRO_CHAOS`` / ``use_fault_plan``) injects worker crashes, delays
+and lost results to exercise all of that on demand.  The old static
+one-chunk-per-worker split survives as the degenerate scheduler
+configuration (``REPRO_SCHED=static``).
+
+Each worker runs the ``compiled`` tier on its unit under its *own*
 scoped tracer and metrics registry; the resulting spans, events and
-metric deltas travel back through the picklable :class:`_ChunkResult`
-and are merged into the parent's recorders
-(:mod:`repro.obs.aggregate`), so a Chrome trace of a multiprocess run
-shows one lane per worker process and parent-side metric totals equal
-the sum over workers.  A
+metric deltas travel back with the lease result and are merged into the
+parent's recorders (:mod:`repro.obs.aggregate`), so a Chrome trace of a
+multiprocess run shows one lane per worker process anchored under the
+``scheduler.run`` span.  A
 :class:`~repro.machine.memory.RemoteAccessError` cannot cross a process
 boundary (its constructor signature defeats pickling), so workers catch
 it and return a marker; the parent re-raises the first one in block
 order -- the same violation the interpreter would have hit first.
 
 If a process pool cannot be created at all (sandboxes, missing fork),
-the engine degrades to the compiled tier in-process -- counted as
-``engine.multiproc.degraded`` and diagnosed on stderr, so a ~1x
-"speedup" is explainable instead of silent.
+or the scheduler's respawn budget collapses, the engine degrades to the
+compiled tier in-process -- counted as ``engine.multiproc.degraded``
+and diagnosed on stderr, so a ~1x "speedup" is explainable instead of
+silent.  A :class:`~repro.runtime.scheduler.SchedulerError` (chaos the
+recovery policy could not absorb) is *not* degraded: it propagates, so
+non-recovery is an error, never a silent slow path.
 """
 
 from __future__ import annotations
 
 import os
 import sys
-from dataclasses import dataclass, field, replace
-from typing import Any, Optional
 
-from repro.machine.memory import RemoteAccessError
 from repro.runtime.engine.base import Engine, register_backend
+from repro.runtime.scheduler import (
+    BlockScheduler,
+    PoolCollapse,
+    current_fault_plan,
+)
 
 #: Environment variable overriding the worker count.
 WORKERS_ENV_VAR = "REPRO_MP_WORKERS"
 
 _MAX_WORKERS = 8
-
-
-@dataclass
-class _ChunkResult:
-    """Per-chunk outcome a worker fills and pickles back to the parent.
-
-    The counter/stamp fields double as the ``ParallelResult`` stand-in
-    the compiled tier fills during worker-side execution; ``remote``
-    carries the first violation (RemoteAccessError itself defeats
-    pickling) and ``obs`` the worker's observability delta.
-    """
-
-    write_stamps: dict = field(default_factory=dict)
-    executed_iterations: int = 0
-    skipped_computations: int = 0
-    mems: dict = field(default_factory=dict)
-    # (pid, array, coords, is_write) of the first violation, or None
-    remote: Optional[tuple] = None
-    obs: Any = None  # WorkerObs
-
-
-def _run_chunk(payload):
-    """Worker entry point: run one chunk of blocks on the compiled tier."""
-    sub, mems, scalars, trace_enabled = payload
-    from repro.obs.aggregate import capture_worker_obs
-    from repro.obs.metrics import MetricsRegistry, use_registry
-    from repro.obs.trace import Tracer, use_tracer
-    from repro.runtime.engine.base import get_engine
-
-    tracer = Tracer(enabled=trace_enabled)
-    registry = MetricsRegistry()
-    res = _ChunkResult()
-    with use_tracer(tracer), use_registry(registry):
-        registry.inc("engine.worker.chunks")
-        registry.inc("engine.worker.blocks", len(sub.blocks))
-        try:
-            get_engine("compiled").run_blocks(sub, mems, res, {}, scalars,
-                                              strict=True)
-        except RemoteAccessError as exc:
-            res.remote = (exc.pid, exc.array, exc.coords, exc.is_write)
-        registry.inc("engine.worker.executed_iterations",
-                     res.executed_iterations)
-    res.mems = mems
-    res.obs = capture_worker_obs(tracer, registry)
-    return res
 
 
 def worker_count(nblocks: int) -> int:
@@ -95,7 +65,7 @@ def worker_count(nblocks: int) -> int:
 
 
 class MultiprocessEngine(Engine):
-    """ProcessPoolExecutor fan-out of independent blocks."""
+    """Scheduled fan-out of independent blocks over a process pool."""
 
     name = "multiprocess"
     fallback = "compiled"
@@ -137,74 +107,18 @@ class MultiprocessEngine(Engine):
             self.delegate().run_blocks(plan, memories, result, initial,
                                        scalars, strict=strict)
             return
-        from concurrent.futures import ProcessPoolExecutor
-
-        from repro.obs.aggregate import merge_worker_obs
-        from repro.obs.metrics import current_registry
-        from repro.obs.trace import current_tracer
-
-        tracer = current_tracer()
         nw = worker_count(len(plan.blocks))
-        # contiguous chunks preserve block order for deterministic merge
-        per = -(-len(plan.blocks) // nw)
-        chunks = [plan.blocks[i:i + per]
-                  for i in range(0, len(plan.blocks), per)]
-        # sub-plans are built in the parent so only dataclass fields
-        # (never runtime caches attached to the full plan) get pickled
-        payloads = [
-            (replace(plan, blocks=chunk),
-             {b.index: memories[b.index] for b in chunk}, dict(scalars),
-             tracer.enabled)
-            for chunk in chunks
-        ]
-
+        scheduler = BlockScheduler(
+            plan, memories, scalars, workers=nw,
+            faults=current_fault_plan())
         try:
-            # worker-side spans are captured in the workers and merged
-            # below; the parent's fan-out span records the geometry and
-            # anchors the worker lanes on the parent timeline
-            with tracer.span(
-                    "engine.fanout", category="engine", backend=self.name,
-                    workers=nw, chunks=len(chunks),
-                    blocks=len(plan.blocks)) as fsp:
-                with ProcessPoolExecutor(max_workers=nw) as pool:
-                    outcomes = list(pool.map(_run_chunk, payloads))
-        except (OSError, PermissionError, ValueError, RuntimeError,
-                ImportError) as exc:
+            scheduler.run(result)
+        except (PoolCollapse, OSError, PermissionError, ValueError,
+                RuntimeError, ImportError) as exc:
+            # SchedulerError deliberately excluded: exhausting the retry
+            # policy under chaos is a hard failure, not a fallback
             self._degrade(exc, plan, memories, result, initial, scalars,
                           strict)
-            return
-
-        # re-home worker observability before anything can raise, so
-        # even an aborted run keeps its worker lanes and counters
-        registry = current_registry()
-        offset = fsp.start_ns if fsp.recording else 0
-        parent_id = fsp.span_id if fsp.recording else None
-        for out in outcomes:
-            if out.obs is not None:
-                merge_worker_obs(tracer, registry, out.obs,
-                                 ts_offset_ns=offset,
-                                 parent_span_id=parent_id)
-
-        # merge in submission (= block) order: deterministic by design
-        for out in outcomes:
-            if out.remote is not None:
-                pid, array, coords, is_write = out.remote
-                memories[pid].note_remote(is_write)
-                raise RemoteAccessError(pid, array, coords,
-                                        is_write=is_write)
-        for out in outcomes:
-            for pid, worker_mem in out.mems.items():
-                mem = memories[pid]
-                mem.values = worker_mem.values
-                mem.allocated = worker_mem.allocated
-                mem.reads = worker_mem.reads
-                mem.writes = worker_mem.writes
-                mem.remote_attempts = worker_mem.remote_attempts
-                mem.remote_read_attempts = worker_mem.remote_read_attempts
-                mem.remote_write_attempts = worker_mem.remote_write_attempts
-            result.write_stamps.update(out.write_stamps)
-            result.executed_iterations += out.executed_iterations
-            result.skipped_computations += out.skipped_computations
 
 
 register_backend(MultiprocessEngine, aliases=("mp", "processes", "pool"))

@@ -49,6 +49,31 @@ class MachineRun:
         return self.stats.remote_accesses == 0 and \
             self.result.remote_accesses == 0
 
+    # -- the Summary protocol ---------------------------------------------
+    @property
+    def ok(self) -> bool:
+        return self.exact and self.communication_free
+
+    def summary(self) -> str:
+        verdict = "ok" if self.ok else "FAILED"
+        return (f"machine run [{self.machine.num_processors} PEs]: {verdict} "
+                f"-- makespan {self.makespan:.3f}, "
+                f"{self.stats.messages} messages, "
+                f"{self.stats.remote_accesses} remote accesses, "
+                f"exact={self.exact}")
+
+    def to_json(self) -> dict:
+        return {
+            "ok": self.ok,
+            "processors": self.machine.num_processors,
+            "makespan": self.makespan,
+            "messages": self.stats.messages,
+            "remote_accesses": self.stats.remote_accesses,
+            "exact": self.exact,
+            "communication_free": self.communication_free,
+            "run": self.result.to_json(),
+        }
+
 
 def _distribute(machine: Multicomputer, plan: PartitionPlan,
                 mapping: dict[int, int],
@@ -88,14 +113,20 @@ def run_on_machine(
     scalars: Optional[Mapping[str, float]] = None,
     verify: bool = True,
     backend: Optional[str] = None,
+    chaos: Optional[object] = None,
+    options: Optional[object] = None,
 ) -> MachineRun:
     """Distribute, execute, merge and (optionally) verify on one machine.
 
     ``p`` shapes the processor grid through the paper's rule; blocks are
     assigned cyclically.  The returned stats combine the charged
     distribution time with the per-processor compute makespan.
-    ``backend`` selects the execution engine for the functional run.
+    ``backend`` selects the execution engine for the functional run;
+    ``chaos``/``options`` are forwarded to the parallel execution.
     """
+    if options is not None:
+        backend = backend or options.backend
+        chaos = chaos if chaos is not None else options.chaos
     tracer = current_tracer()
     with tracer.span("machine.run", category="machine",
                      nest=plan.nest.name or "<anon>", p=p) as msp:
@@ -123,7 +154,8 @@ def run_on_machine(
         with tracer.span("machine.execute", category="machine",
                          blocks=len(plan.blocks)):
             result = run_parallel(plan, initial=initial, scalars=scalars,
-                                  block_to_pid=mapping, backend=backend)
+                                  block_to_pid=mapping, backend=backend,
+                                  chaos=chaos)
         # charge compute: executed computations per processor, normalized
         # to the paper's "one iteration = one t_comp" unit
         nstmts = len(plan.nest.statements)

@@ -25,8 +25,9 @@ Steps (mirroring the paper's execution model):
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Mapping, Optional
+from typing import Any, Mapping, Optional, Union
 
 from repro.core.plan import PartitionPlan
 from repro.machine.memory import LocalMemory
@@ -54,6 +55,9 @@ class ParallelResult:
     skipped_computations: int = 0
     # canonical name of the engine that executed the blocks
     backend: str = "interp"
+    # filled by the multiprocess engine's BlockScheduler (lease history,
+    # retry/respawn counters); None on in-process backends
+    scheduler: Optional[Any] = None
 
     @property
     def remote_accesses(self) -> int:
@@ -74,6 +78,41 @@ class ParallelResult:
             pid = self.block_to_pid[b.index]
             counts[pid] = counts.get(pid, 0) + len(b.iterations)
         return counts
+
+    # -- the Summary protocol ---------------------------------------------
+    @property
+    def ok(self) -> bool:
+        """Zero remote accesses (and, if scheduled, full recovery)."""
+        if self.scheduler is not None and not self.scheduler.ok:
+            return False
+        return self.remote_accesses == 0
+
+    def summary(self) -> str:
+        verdict = "ok" if self.ok else "FAILED"
+        sched = (f"; {self.scheduler.retries} scheduler retries"
+                 if self.scheduler is not None
+                 and self.scheduler.retries else "")
+        return (f"parallel run [{self.backend}]: {verdict} -- "
+                f"{len(self.plan.blocks)} blocks, "
+                f"{self.executed_iterations} iterations executed, "
+                f"{self.skipped_computations} skipped, "
+                f"{self.remote_accesses} remote accesses{sched}")
+
+    def to_json(self) -> dict:
+        data = {
+            "ok": self.ok,
+            "backend": self.backend,
+            "blocks": len(self.plan.blocks),
+            "executed_iterations": self.executed_iterations,
+            "skipped_computations": self.skipped_computations,
+            "remote_accesses": self.remote_accesses,
+            "remote_reads": self.remote_reads,
+            "remote_writes": self.remote_writes,
+            "memory_words": sum(m.words() for m in self.memories.values()),
+        }
+        if self.scheduler is not None:
+            data["scheduler"] = self.scheduler.to_json()
+        return data
 
     def memory_words_by_pid(self) -> dict[int, int]:
         """Total allocated words per processor (its blocks' regions)."""
@@ -114,6 +153,8 @@ def run_parallel(
     block_to_pid: Optional[Mapping[int, int]] = None,
     strict: bool = True,
     backend: Optional[str] = None,
+    chaos: Union[str, Any, None] = None,
+    options: Optional[Any] = None,
 ) -> ParallelResult:
     """Execute the plan; see module docstring.
 
@@ -122,9 +163,17 @@ def run_parallel(
     ``backend`` picks the execution engine (default: the interpreter,
     or ``$REPRO_BACKEND``); non-strict runs always use the
     interpreter, the only tier modeling tolerated remote accesses.
+    ``chaos`` scopes a :class:`~repro.runtime.scheduler.FaultPlan` (or
+    spec string) over the run; ``options`` is a
+    :class:`repro.api.RunOptions` supplying defaults for both.
     """
     # local import: backends call back into this module's types
     from repro.runtime.engine import resolve_engine
+    from repro.runtime.scheduler import use_fault_plan
+
+    if options is not None:
+        backend = backend or options.backend
+        chaos = chaos if chaos is not None else options.chaos
 
     scalars = scalars or {}
     model = plan.model
@@ -156,11 +205,16 @@ def run_parallel(
 
     # -- execution (write stamps record the global sequential order of
     # each computation, rank_of(it) * nstmts + k, for the merge) ----------
+    # an explicit chaos plan is scoped over the engine run; chaos=None
+    # leaves any ambient plan (outer use_fault_plan scope, $REPRO_CHAOS)
+    # in force
+    chaos_scope = nullcontext() if chaos is None else use_fault_plan(chaos)
     try:
-        with tracer.span("engine.run_blocks", category="engine",
-                         backend=engine.name,
-                         blocks=len(plan.blocks),
-                         statements=len(plan.nest.statements)) as sp:
+        with chaos_scope, tracer.span(
+                "engine.run_blocks", category="engine",
+                backend=engine.name,
+                blocks=len(plan.blocks),
+                statements=len(plan.nest.statements)) as sp:
             engine.run_blocks(plan, memories, result, initial, scalars,
                               strict=strict)
             sp.set(executed_iterations=result.executed_iterations,

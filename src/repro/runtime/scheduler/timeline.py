@@ -1,0 +1,55 @@
+"""ASCII rendering of a scheduler run: the lease timeline.
+
+``repro chaos`` prints this so a fault-injected run can be *read*: one
+row per lease, a gantt lane showing when it ran, and a glyph for how it
+ended.  Outcome glyphs::
+
+    ##...#  ok        the lease came home with its result
+    XX      crash     injected worker crash (process died, pool broke)
+    kk      killed    collateral: shared the pool a crash took down
+    dd      dropped   ran fine, result lost in flight (injected)
+    ee      expired   deadline passed; blocks stolen by a fresh lease
+    ll      late      result arrived after another lease already won
+"""
+
+from __future__ import annotations
+
+from repro.runtime.scheduler.core import SchedulerResult
+
+_GLYPH = {"ok": "#", "crash": "X", "killed": "k", "dropped": "d",
+          "expired": "e", "late": "l", "pending": "?"}
+
+
+def _fmt_blocks(blocks: tuple[int, ...]) -> str:
+    if not blocks:
+        return "-"
+    lo, hi = blocks[0], blocks[-1]
+    if list(blocks) == list(range(lo, hi + 1)):
+        return str(lo) if lo == hi else f"{lo}-{hi}"
+    return ",".join(str(b) for b in blocks)
+
+
+def render_timeline(sres: SchedulerResult, width: int = 48) -> str:
+    """The lease table + gantt for one scheduler run."""
+    lines = [sres.summary()]
+    if not sres.leases:
+        return "\n".join(lines)
+    span = max(max(r.end_s, r.start_s) for r in sres.leases) or 1e-9
+    head = (f"  {'lease':>5} {'unit':>4} {'try':>3} {'blocks':>9} "
+            f"{'fault':>5} {'outcome':>7} {'ms':>8}  timeline")
+    lines += ["", head, "  " + "-" * (len(head) + width - 10)]
+    for i, rec in enumerate(sres.leases):
+        lo = int(rec.start_s / span * (width - 1))
+        hi = max(lo, int(max(rec.end_s, rec.start_s) / span * (width - 1)))
+        lane = [" "] * width
+        glyph = _GLYPH.get(rec.outcome, "?")
+        for x in range(lo, hi + 1):
+            lane[x] = glyph
+        dur_ms = max(0.0, rec.end_s - rec.start_s) * 1e3
+        lines.append(
+            f"  {i:>5} {rec.unit:>4} {rec.attempt:>3} "
+            f"{_fmt_blocks(rec.blocks):>9} {rec.fault or '-':>5} "
+            f"{rec.outcome:>7} {dur_ms:>8.1f}  |{''.join(lane)}|")
+    lines += ["", "  glyphs: # ok   X crash   k killed   d dropped   "
+                  "e expired   l late"]
+    return "\n".join(lines)

@@ -73,18 +73,22 @@ def run_sequential(
     scalars: Optional[Mapping[str, float]] = None,
     space: Optional[IterationSpace] = None,
     backend: Optional[str] = None,
+    options: Optional[object] = None,
 ) -> dict[str, DataSpace]:
     """Run the nest in place over ``arrays``; returns ``arrays``.
 
     ``backend`` picks the execution engine (default: the interpreter,
     or ``$REPRO_BACKEND``); every engine is bit-identical to the
-    interpreter on the final arrays.
+    interpreter on the final arrays.  ``options`` is a
+    :class:`repro.api.RunOptions` supplying a default backend.
     """
     # local import: the engine layer's interp backend calls back into
     # execute_statement here
     from repro.obs.trace import current_tracer
     from repro.runtime.engine import resolve_engine
 
+    if options is not None:
+        backend = backend or options.backend
     scalars = scalars or {}
     space = space or IterationSpace(nest)
     engine = resolve_engine(backend)

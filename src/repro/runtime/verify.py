@@ -48,6 +48,43 @@ class VerificationReport:
     def ok(self) -> bool:
         return self.equal and self.communication_free
 
+    def summary(self) -> str:
+        """One-line verdict (the Summary protocol)."""
+        if self.cross_checked:
+            agreed = ", ".join(sorted(self.cross_checked))
+            verdict = "ok" if self.ok else "FAILED"
+            return (f"verify [all backends]: {verdict} -- cross-checked "
+                    f"{agreed}")
+        verdict = "ok" if self.ok else "FAILED"
+        return (f"verify [{self.backend}]: {verdict} -- "
+                f"{self.num_blocks} blocks, "
+                f"{self.executed_iterations} iterations, "
+                f"{self.remote_accesses} remote accesses, "
+                f"{len(self.mismatches)} mismatches")
+
+    def to_json(self) -> dict:
+        data = {
+            "ok": self.ok,
+            "equal": self.equal,
+            "communication_free": self.communication_free,
+            "backend": self.backend,
+            "blocks": self.num_blocks,
+            "executed_iterations": self.executed_iterations,
+            "skipped_computations": self.skipped_computations,
+            "remote_accesses": self.remote_accesses,
+            "mismatches": [
+                [name, list(coords), a, b]
+                for name, coords, a, b in self.mismatches[:10]
+            ],
+        }
+        if self.cross_checked:
+            data["cross_checked"] = {
+                name: rep.to_json()
+                for name, rep in self.cross_checked.items()
+                if rep is not self
+            }
+        return data
+
     def raise_on_failure(self) -> "VerificationReport":
         if not self.communication_free:
             raise AssertionError(
@@ -68,16 +105,24 @@ def verify_plan(
     initial: Optional[dict[str, DataSpace]] = None,
     block_to_pid: Optional[Mapping[int, int]] = None,
     backend: Optional[str] = None,
+    chaos: Optional[object] = None,
+    options: Optional[object] = None,
 ) -> VerificationReport:
     """Run sequential and parallel executions and compare final arrays.
 
     ``backend`` selects the parallel execution engine; ``"all"``
     cross-checks every available backend (see
-    :func:`cross_check_backends`).
+    :func:`cross_check_backends`).  ``chaos``/``options`` are forwarded
+    to :func:`~repro.runtime.parallel.run_parallel` -- verifying under
+    an active fault plan is exactly the crashed-and-retried ==
+    undisturbed certification.
     """
+    if options is not None:
+        backend = backend or options.backend
+        chaos = chaos if chaos is not None else options.chaos
     if backend == "all":
         return cross_check_backends(plan, scalars=scalars, initial=initial,
-                                    block_to_pid=block_to_pid)
+                                    block_to_pid=block_to_pid, chaos=chaos)
     tracer = current_tracer()
     with tracer.span("verify.plan", category="runtime",
                      nest=plan.nest.name or "<anon>",
@@ -90,7 +135,7 @@ def verify_plan(
 
         result: ParallelResult = run_parallel(
             plan, initial=initial, scalars=scalars, block_to_pid=block_to_pid,
-            backend=backend,
+            backend=backend, chaos=chaos,
         )
         with tracer.span("runtime.merge", category="runtime"):
             merged = merge_copies(result, initial)
@@ -129,6 +174,7 @@ def cross_check_backends(
     scalars: Optional[Mapping[str, float]] = None,
     initial: Optional[dict[str, DataSpace]] = None,
     block_to_pid: Optional[Mapping[int, int]] = None,
+    chaos: Optional[object] = None,
 ) -> VerificationReport:
     """Verify the plan on *every* available backend.
 
@@ -147,10 +193,12 @@ def cross_check_backends(
     stamps: dict[str, dict] = {}
     for name in available_backends():
         result = run_parallel(plan, initial=initial, scalars=scalars,
-                              block_to_pid=block_to_pid, backend=name)
+                              block_to_pid=block_to_pid, backend=name,
+                              chaos=chaos)
         stamps[name] = result.write_stamps
         reports[name] = verify_plan(plan, scalars=scalars, initial=initial,
-                                    block_to_pid=block_to_pid, backend=name)
+                                    block_to_pid=block_to_pid, backend=name,
+                                    chaos=chaos)
     main = reports["interp"]
     main.cross_checked = reports
     golden_stamps = stamps["interp"]

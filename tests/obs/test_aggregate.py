@@ -93,6 +93,9 @@ class TestMultiprocessLanes:
     @pytest.fixture()
     def traced_run(self, monkeypatch):
         monkeypatch.setenv("REPRO_MP_WORKERS", "2")
+        # static mode: exactly one lease per worker, so the lane/counter
+        # arithmetic below is deterministic
+        monkeypatch.setenv("REPRO_SCHED", "static")
         plan = build_plan(catalog.l2(), strategy=Strategy.DUPLICATE)
         tracer = Tracer(enabled=True)
         registry = MetricsRegistry()
@@ -117,11 +120,11 @@ class TestMultiprocessLanes:
         assert registry.get("engine.worker.executed_iterations").value \
             == sum(len(b.iterations) for b in plan.blocks)
 
-    def test_worker_spans_nest_under_the_fanout_span(self, traced_run):
+    def test_worker_spans_nest_under_the_scheduler_span(self, traced_run):
         _, tracer, _, _ = traced_run
-        (fanout,) = [s for s in tracer.spans if s.name == "engine.fanout"]
+        (sched,) = [s for s in tracer.spans if s.name == "scheduler.run"]
         roots = [s for s in tracer.spans
-                 if s.pid is not None and s.parent_id == fanout.span_id]
+                 if s.pid is not None and s.parent_id == sched.span_id]
         assert len(roots) >= 2   # at least one root span per worker
 
     def test_chrome_trace_is_schema_valid_with_lanes(self, traced_run):

@@ -1,0 +1,147 @@
+"""The repro.api facade: Session, RunOptions, and the Summary protocol."""
+
+import pytest
+
+from repro import RunOptions, Session
+from repro.api import Summary, _coerce_nest
+from repro.core import Strategy, build_plan
+from repro.lang import catalog
+from repro.lang.ast import LoopNest
+from repro.runtime.scheduler import FaultPlan
+
+L1_SOURCE = """
+for i = 1 to 6 {
+  for j = 1 to 6 {
+    A[i, j] = B[i, j] + 1;
+  }
+}
+"""
+
+
+class TestRunOptions:
+    def test_defaults(self):
+        opts = RunOptions()
+        assert opts.backend is None
+        assert opts.chaos is None
+        assert opts.trace is False
+
+    def test_chaos_spec_is_normalized_at_build_time(self):
+        opts = RunOptions(chaos="crash-prob=0.2,seed=7")
+        assert isinstance(opts.chaos, FaultPlan)
+        assert opts.chaos.crash_prob == 0.2
+        with pytest.raises(ValueError):
+            RunOptions(chaos="bogus-key=1")
+
+    def test_with_makes_an_updated_copy(self):
+        opts = RunOptions(backend="interp")
+        other = opts.with_(backend="compiled", trace=True)
+        assert opts.backend == "interp" and opts.trace is False
+        assert other.backend == "compiled" and other.trace is True
+
+
+class TestCoerceNest:
+    def test_catalog_name_is_case_insensitive(self):
+        assert isinstance(_coerce_nest("L1"), LoopNest)
+        assert isinstance(_coerce_nest("l3sub"), LoopNest)
+        assert isinstance(_coerce_nest("conv"), LoopNest)
+
+    def test_source_text_is_parsed(self):
+        nest = _coerce_nest(L1_SOURCE)
+        assert isinstance(nest, LoopNest)
+
+    def test_nest_passes_through(self):
+        nest = catalog.l2()
+        assert _coerce_nest(nest) is nest
+
+    def test_garbage_raises(self):
+        with pytest.raises(TypeError):
+            _coerce_nest(42)
+
+
+class TestSession:
+    def test_five_line_pipeline(self):
+        # the acceptance snippet: plan -> run -> verify -> audit
+        s = Session("L2", strategy="duplicate")
+        s.plan()
+        result = s.run(backend="multiprocess")
+        assert s.verify().ok and s.audit().ok
+        assert result.ok
+
+    def test_plan_is_cached(self):
+        s = Session("L1")
+        assert s.plan() is s.plan()
+
+    def test_options_merge_with_explicit_kwargs(self):
+        base = RunOptions(backend="interp")
+        s = Session("L1", options=base, backend="compiled", trace=True)
+        assert s.options.backend == "compiled"
+        assert s.options.trace is True
+        assert s.tracer.enabled
+
+    def test_run_sequential_returns_final_arrays(self):
+        s = Session("L1", strategy="duplicate")
+        arrays = s.run_sequential()
+        assert set(arrays) == set(s.plan().model.arrays)
+
+    def test_chaos_session_records_retries(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_WORKERS", "2")
+        s = Session("L2", strategy="duplicate", chaos="crash-prob=0.4,seed=11")
+        res = s.run(backend="multiprocess")
+        assert res.ok
+        assert res.scheduler.retries > 0
+        snap = s.metrics()
+        assert snap["scheduler.retries"]["value"] == res.scheduler.retries
+
+    def test_trace_scopes_spans_into_the_session_tracer(self):
+        s = Session("L1", trace=True)
+        s.run(backend="interp")
+        assert any(sp.name for sp in s.tracer.spans)
+
+    def test_machine_run(self):
+        s = Session("L1", strategy="duplicate")
+        mrun = s.machine(p=4)
+        assert mrun.ok
+        assert mrun.communication_free
+
+
+class TestSummaryProtocol:
+    def test_all_result_types_speak_summary(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_WORKERS", "2")
+        s = Session("L2", strategy="duplicate")
+        results = [
+            s.run(backend="multiprocess"),
+            s.verify(),
+            s.audit(),
+            s.machine(p=4),
+        ]
+        for r in results:
+            assert isinstance(r, Summary), type(r).__name__
+            assert r.ok is True
+            assert isinstance(r.summary(), str) and r.summary()
+            json = r.to_json()
+            assert isinstance(json, dict) and json
+
+    def test_scheduler_result_serializes_through_parallel_result(
+            self, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_WORKERS", "2")
+        s = Session("L2", strategy="duplicate", chaos="crash-prob=0.3,seed=1")
+        doc = s.run(backend="multiprocess").to_json()
+        assert doc["scheduler"]["mode"] == "dynamic"
+        assert doc["scheduler"]["recovered"] is True
+
+
+class TestLegacyEntryPoints:
+    def test_legacy_calls_still_work_unchanged(self):
+        from repro.runtime import run_parallel, verify_plan
+
+        plan = build_plan(catalog.l1(), strategy=Strategy.DUPLICATE)
+        res = run_parallel(plan)
+        assert res.remote_accesses == 0
+        report = verify_plan(plan)
+        assert report.equal and report.ok
+
+    def test_top_level_reexports(self):
+        import repro
+
+        assert repro.Session is Session
+        assert repro.RunOptions is RunOptions

@@ -1,0 +1,122 @@
+"""The CLI exit-code contract.
+
+Every failing subcommand must exit non-zero AND print a one-line
+``repro: <reason>`` to stderr, so shell pipelines (and CI) can gate on
+``$?`` without parsing stdout.  Success keeps stderr quiet.
+"""
+
+import io
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+
+def run(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def _stderr_reason(capsys):
+    err = capsys.readouterr().err
+    lines = [l for l in err.splitlines() if l.startswith("repro: ")]
+    return lines
+
+
+class TestExitCodes:
+    def test_verify_success_is_zero_and_quiet(self, capsys):
+        code, text = run("verify", "--loop", "L1")
+        assert code == 0
+        assert "OK" in text
+        assert _stderr_reason(capsys) == []
+
+    def test_audit_violation_is_nonzero_with_reason(self, capsys):
+        code, _ = run("audit", "--loop", "L2", "--duplicate",
+                      "--inject-violation", "--static")
+        assert code == 1
+        (line,) = _stderr_reason(capsys)
+        assert line.startswith("repro: audit violation:")
+
+    def test_audit_clean_is_zero(self, capsys):
+        code, _ = run("audit", "--loop", "L2", "--duplicate", "--static")
+        assert code == 0
+        assert _stderr_reason(capsys) == []
+
+    def test_perf_check_below_absurd_floor_is_nonzero(self, tmp_path,
+                                                      capsys):
+        code, text = run("perf", "--n", "6", "--repeats", "1",
+                         "--history", str(tmp_path / "h.jsonl"),
+                         "--baseline", str(tmp_path / "nope.json"),
+                         "--floor", "compiled=999999", "--check")
+        assert code == 1
+        assert "perf regression" in text
+        (line,) = _stderr_reason(capsys)
+        assert line.startswith("repro: perf below floor:")
+
+    def test_chaos_recovery_is_zero(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_MP_WORKERS", "2")
+        code, text = run("chaos", "--matmul", "6",
+                         "--crash-prob", "0.3", "--seed", "1")
+        assert code == 0
+        assert "bit-identical" in text
+        assert _stderr_reason(capsys) == []
+
+    def test_chaos_on_violating_plan_is_nonzero(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_MP_WORKERS", "2")
+        code, _ = run("chaos", "--matmul", "6", "--crash-prob", "0.3",
+                      "--seed", "1", "--inject-violation")
+        assert code == 1
+        (line,) = _stderr_reason(capsys)
+        assert line.startswith("repro: ")
+
+    def test_chaos_non_recovery_is_nonzero(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_MP_WORKERS", "1")
+        monkeypatch.setenv("REPRO_SCHED_ATTEMPTS", "2")
+        code, _ = run("chaos", "--matmul", "4",
+                      "--chaos", "crash-prob=1,shield-final=0,seed=1")
+        assert code == 1
+        (line,) = _stderr_reason(capsys)
+        assert line.startswith("repro: chaos non-recovery:")
+
+    def test_verify_chaos_flag_still_verifies(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_MP_WORKERS", "2")
+        code, text = run("verify", "--loop", "L2", "--duplicate",
+                         "--backend", "multiprocess",
+                         "--chaos", "crash-prob=0.3,seed=1")
+        assert code == 0
+        assert "OK" in text
+
+
+class TestShellContract:
+    """$? visible to a real shell, end to end."""
+
+    @pytest.fixture()
+    def env(self):
+        env = dict(os.environ)
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env["PYTHONPATH"] = os.path.join(root, "src")
+        env["REPRO_MP_WORKERS"] = "2"
+        return env
+
+    def _shell(self, cmd, env):
+        proc = subprocess.run(
+            ["sh", "-c", cmd + "; echo rc=$?"],
+            capture_output=True, text=True, env=env, timeout=300)
+        return proc
+
+    def test_verify_ok_in_shell(self, env):
+        proc = self._shell(
+            f"{sys.executable} -m repro verify --loop L1 >/dev/null 2>&1",
+            env)
+        assert proc.stdout.strip().endswith("rc=0")
+
+    def test_audit_violation_in_shell(self, env):
+        proc = self._shell(
+            f"{sys.executable} -m repro audit --loop L2 --duplicate "
+            "--inject-violation --static >/dev/null", env)
+        assert proc.stdout.strip().endswith("rc=1")
+        assert "repro: audit violation:" in proc.stderr
