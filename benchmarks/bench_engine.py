@@ -11,8 +11,16 @@ fresh for every repetition so each run sees cold memories.
 Hard floors on the matmul case (asserted here, recorded in
 ``BENCH_engine.json`` by ``python benchmarks/bench_engine.py``):
 
-- ``compiled``   >= 5x the interpreter
-- ``vectorized`` >= 20x the interpreter
+- ``compiled``     >= 5x the interpreter
+- ``vectorized``   >= 20x the interpreter
+- ``multiprocess`` >= 2x the interpreter (shared-memory store path,
+  warm worker pool; skipped when ``REPRO_NO_SHM`` / no numpy forces
+  the by-value fallback, which is dominated by pickling)
+
+Multiprocess is measured the way a :class:`repro.api.Session` runs it:
+leases are descriptors into a shared-memory block store (the plan is
+pickled once per run, not once per lease) against a persistent warm
+pool, and best-of discards the cold first repetition.
 
 The tiny catalog nests are reported too, as the honest flip side:
 at ~16 iterations the fixed per-run setup dominates and the fancy
@@ -32,13 +40,18 @@ from repro.lang.parser import parse
 from repro.machine.memory import LocalMemory
 from repro.runtime import make_arrays
 from repro.runtime import numpy_compat as npc
+from repro.obs.history import perf_env
+from repro.runtime.blockstore import shm_available
 from repro.runtime.engine import get_engine
+from repro.runtime.engine.multiproc import worker_count
 from repro.runtime.parallel import ParallelResult
+from repro.runtime.pool import WorkerPool, use_pool
 
 MATMUL_N = 40
 
 COMPILED_FLOOR = 5.0
 VECTORIZED_FLOOR = 20.0
+MULTIPROCESS_FLOOR = 2.0
 
 BACKENDS = ("interp", "compiled", "vectorized", "multiprocess")
 
@@ -106,14 +119,22 @@ def _measure_case(label):
     plan = build_plan(factory(), **kwargs)
     initial = make_arrays(plan.model)
     times = {}
-    for backend in BACKENDS:
-        if backend == "vectorized" and not npc.have_numpy():
-            continue
-        reps = max(2, repeats if backend != "interp" else min(repeats, 2))
-        times[backend] = _best_time(backend, plan, initial, reps, scalars)
+    pool = WorkerPool()
+    try:
+        with use_pool(pool):
+            for backend in BACKENDS:
+                if backend == "vectorized" and not npc.have_numpy():
+                    continue
+                reps = max(2, repeats if backend != "interp"
+                           else min(repeats, 2))
+                times[backend] = _best_time(backend, plan, initial, reps,
+                                            scalars)
+    finally:
+        pool.shutdown()
     return {
         "blocks": len(plan.blocks),
         "iterations": sum(len(b.iterations) for b in plan.blocks),
+        "env": perf_env(workers=worker_count(len(plan.blocks))),
         "ms": {b: round(t * 1e3, 3) for b, t in times.items()},
         "speedup": {b: round(times["interp"] / t, 1)
                     for b, t in times.items() if b != "interp"},
@@ -146,15 +167,23 @@ def test_vectorized_floor_on_matmul(benchmark):
         f"vectorized only {speedup}x vs interp (floor {VECTORIZED_FLOOR}x)"
 
 
-def test_multiprocess_completes_on_matmul(benchmark):
-    """No speedup floor: on a single-core box the fan-out is pure
-    overhead; the bench just records the honest number."""
+def test_multiprocess_floor_on_matmul(benchmark):
+    """The zero-copy commitment: descriptor leases against the
+    shared-memory store beat the interpreter by 2x even on one core
+    (the by-value path used to *lose* to it -- each lease shipped a
+    multi-MB plan pickle).  Without the store the test only asserts
+    completion, honestly recording the fallback number."""
     label = f"MATMUL{MATMUL_N}-dup"
     row = _measure_case(label)
     benchmark(lambda: row)  # times the (cached) lookup; numbers ride along
     benchmark.extra_info.update(case=label, **row["ms"],
                                 speedup=row["speedup"]["multiprocess"])
-    assert row["speedup"]["multiprocess"] > 0
+    speedup = row["speedup"]["multiprocess"]
+    assert speedup > 0
+    if shm_available():
+        assert speedup >= MULTIPROCESS_FLOOR, \
+            f"multiprocess only {speedup}x vs interp " \
+            f"(floor {MULTIPROCESS_FLOOR}x)"
 
 
 def measure_all():
@@ -165,7 +194,8 @@ def main():
     out = {
         "matmul_n": MATMUL_N,
         "floors": {"compiled": COMPILED_FLOOR,
-                   "vectorized": VECTORIZED_FLOOR},
+                   "vectorized": VECTORIZED_FLOOR,
+                   "multiprocess": MULTIPROCESS_FLOOR},
         "note": ("engine-only best-of times, fresh memories per run; "
                  "interp is the golden model baseline"),
         "cases": measure_all(),
@@ -175,7 +205,9 @@ def main():
     print(json.dumps(out, indent=2, sort_keys=True))
     mm = out["cases"][f"MATMUL{MATMUL_N}-dup"]["speedup"]
     ok = (mm.get("compiled", 0) >= COMPILED_FLOOR
-          and mm.get("vectorized", VECTORIZED_FLOOR) >= VECTORIZED_FLOOR)
+          and mm.get("vectorized", VECTORIZED_FLOOR) >= VECTORIZED_FLOOR
+          and (not shm_available()
+               or mm.get("multiprocess", 0) >= MULTIPROCESS_FLOOR))
     print(f"floors: {'PASS' if ok else 'FAIL'} ({mm})")
     return 0 if ok else 1
 

@@ -110,9 +110,12 @@ def _measure():
                   for _ in range(REPEATS))
         for mode in ("static", "dynamic")
     }
+    from repro.obs.history import perf_env
+
     return {
         "blocks": len(plan.blocks),
         "workers": WORKERS,
+        "env": perf_env(workers=WORKERS),
         "slow_blocks": len(faults.slow_blocks),
         "slow_ms": SLOW_MS,
         "ms": {m: round(t * 1e3, 1) for m, t in times.items()},

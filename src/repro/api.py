@@ -144,6 +144,13 @@ class Session:
         self.tracer = Tracer(enabled=options.trace)
         self.registry = MetricsRegistry()
         self._plan: Optional[PartitionPlan] = None
+        # one persistent worker pool for the session: multiprocess runs
+        # reuse warm workers across run() calls instead of paying a pool
+        # spawn per run; closed (with any cached plan segment) by close()
+        from repro.runtime.pool import WorkerPool
+
+        self._pool = WorkerPool()
+        self._closed = False
 
     # -- scoping ----------------------------------------------------------
     def _scope(self):
@@ -151,11 +158,40 @@ class Session:
 
         from repro.obs.metrics import use_registry
         from repro.obs.trace import use_tracer
+        from repro.runtime.pool import use_pool
 
         stack = ExitStack()
         stack.enter_context(use_tracer(self.tracer))
         stack.enter_context(use_registry(self.registry))
+        if not self._closed:
+            stack.enter_context(use_pool(self._pool))
         return stack
+
+    # -- lifecycle --------------------------------------------------------
+    @property
+    def pool(self):
+        """The session's persistent :class:`~repro.runtime.pool.WorkerPool`."""
+        return self._pool
+
+    def close(self) -> None:
+        """Release session resources: shut the worker pool down and
+        unlink the plan's cached shared-memory segment (if any).
+
+        Idempotent; a closed session still runs, it just stops scoping
+        the persistent pool (runs fall back to ephemeral pools).
+        """
+        self._closed = True
+        self._pool.shutdown()
+        if self._plan is not None:
+            from repro.runtime.blockstore import release_plan_segment
+
+            release_plan_segment(self._plan)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- the pipeline -----------------------------------------------------
     def plan(self) -> PartitionPlan:

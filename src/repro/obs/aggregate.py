@@ -19,6 +19,12 @@ that re-homes everything into the live recorders:
   histograms merge bucket-wise
   (:meth:`~repro.obs.metrics.Histogram.merge`), so parent-side totals
   equal the sum over worker lanes.
+
+Both lease flavors ship the same carrier: by-value workers record
+``engine.block`` spans with ``backend="compiled"``, shared-memory store
+workers with ``backend="shm"`` (plus ``engine.shm.attaches`` on their
+first attach), so a Chrome trace distinguishes the zero-copy path at a
+glance while the aggregation machinery stays identical.
 """
 
 from __future__ import annotations

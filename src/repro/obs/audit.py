@@ -24,6 +24,11 @@ for real; the auditor checks the run completed without a
 elements, and that its memory counters equal the static totals (reads,
 writes, executed iterations).  A plan is *certified* when the static
 replay finds zero cross-block accesses and every engine run reconciles.
+The multiprocess engine reconciles on both lease paths: shared-memory
+store workers count reads/writes per block with the compiled tier's
+exact formulas and the scheduler merges them into the same per-block
+memory counters the by-value path fills, so the static totals match
+regardless of how the leases traveled.
 
 :func:`inject_violation` builds a deliberately broken variant of a plan
 (a finer partition than ``Psi`` allows, with single-owner data blocks)

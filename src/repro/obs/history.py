@@ -30,12 +30,38 @@ DEFAULT_N = 40
 DEFAULT_REPEATS = 3
 DEFAULT_HISTORY = "BENCH_history.jsonl"
 DEFAULT_BASELINE = "BENCH_engine.json"
-#: Fallback floors when no baseline file is available.
-DEFAULT_FLOORS = {"compiled": 5.0, "vectorized": 20.0}
+#: Fallback floors when no baseline file is available.  The
+#: multiprocess floor assumes the shared-memory store (descriptor
+#: leases, warm pool); it is checked only when the entry ran with one.
+DEFAULT_FLOORS = {"compiled": 5.0, "vectorized": 20.0,
+                  "multiprocess": 2.0}
 
 BACKENDS = ("interp", "compiled", "vectorized", "multiprocess")
 
 PathLike = Union[str, Path]
+
+
+def perf_env(workers: Optional[int] = None) -> dict:
+    """The environment stamp attached to every perf entry.
+
+    Perf numbers are meaningless without the machine context: the
+    worker count and CPU count explain multiprocess scaling, the
+    python/numpy/shm fields explain which tiers and lease paths were
+    even available.
+    """
+    import os
+    import platform
+
+    from repro.runtime import numpy_compat as npc
+    from repro.runtime.blockstore import shm_available
+
+    return {
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "numpy": npc.have_numpy(),
+        "shm": shm_available(),
+    }
 
 
 def matmul_nest(n: int = DEFAULT_N):
@@ -87,32 +113,46 @@ def measure_engines(
 
     ``vectorized`` is skipped when numpy is unavailable; the
     interpreter baseline runs at most twice (it is the slow tier).
+    Multiprocess runs are measured against a warm persistent
+    :class:`~repro.runtime.pool.WorkerPool` (best-of discards the
+    cold first repetition), matching how a :class:`~repro.api.Session`
+    amortizes pool spawn across runs.
     """
     from repro.core.plan import build_plan
     from repro.core.strategy import Strategy
     from repro.runtime import numpy_compat as npc
     from repro.runtime.arrays import make_arrays
+    from repro.runtime.pool import WorkerPool, use_pool
 
     plan = build_plan(matmul_nest(n), strategy=Strategy.DUPLICATE)
     initial = make_arrays(plan.model)
     times: dict[str, float] = {}
-    for backend in (backends if backends is not None else BACKENDS):
-        if backend == "vectorized" and not npc.have_numpy():
-            continue
-        reps = max(1, min(repeats, 2) if backend == "interp" else repeats)
-        times[backend] = min(_run_once(backend, plan, initial)
-                             for _ in range(reps))
+    pool = WorkerPool()
+    try:
+        with use_pool(pool):
+            for backend in (backends if backends is not None else BACKENDS):
+                if backend == "vectorized" and not npc.have_numpy():
+                    continue
+                reps = max(1, min(repeats, 2) if backend == "interp"
+                           else repeats)
+                times[backend] = min(_run_once(backend, plan, initial)
+                                     for _ in range(reps))
+    finally:
+        pool.shutdown()
     return times
 
 
 def make_entry(times: Mapping[str, float], n: int, repeats: int) -> dict:
     """A JSON-ready history entry from measured times."""
+    from repro.runtime.engine.multiproc import worker_count
+
     interp = times.get("interp")
     return {
         "ts": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "case": f"MATMUL{n}-dup",
         "n": n,
         "repeats": repeats,
+        "env": perf_env(workers=worker_count(n)),
         "ms": {b: round(t * 1e3, 3) for b, t in sorted(times.items())},
         "speedup": ({b: round(interp / t, 2)
                      for b, t in sorted(times.items()) if b != "interp"}
@@ -178,12 +218,18 @@ def check_floors(entry: dict, floors: Mapping[str, float]) -> list[str]:
 
     A floored backend missing from the entry entirely (e.g. vectorized
     without numpy) is skipped -- absence is an environment limitation,
-    not a regression.
+    not a regression.  The multiprocess floor is likewise skipped when
+    the entry's environment stamp says the shared-memory store was off
+    (``REPRO_NO_SHM`` / no numpy): the floor is a commitment about the
+    zero-copy path, and the by-value fallback is dominated by pickling.
     """
     failures = []
+    env = entry.get("env", {})
     for backend, floor in sorted(floors.items()):
         got = entry.get("speedup", {}).get(backend)
         if got is None:
+            continue
+        if backend == "multiprocess" and not env.get("shm", True):
             continue
         if got < floor:
             failures.append(f"{backend}: {got}x < floor {floor}x")

@@ -18,6 +18,14 @@ exporter sanitizes them.  Conventions:
   ``ParallelResult.remote_accesses``);
 - histograms record count/sum/min/max plus fixed log-spaced buckets
   (pass wall times land in ``pipeline.pass.seconds.<name>``).
+
+Notable families: ``engine.shm.*`` (the shared-memory block store:
+``stores`` / ``attaches`` / ``unlinks`` counters, ``bytes`` gauge) and
+``engine.pool.*`` (worker-pool lifecycle: ``spawns`` / ``reuses``
+counters, ``workers`` gauge) instrument the zero-copy multiprocess
+path; ``engine.multiproc.single_block`` counts the expected in-process
+fast path for one-block plans, distinct from
+``engine.multiproc.degraded``.
 """
 
 from __future__ import annotations

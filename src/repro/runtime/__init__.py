@@ -17,7 +17,14 @@
   bit-identical, selected with ``backend=`` on the entry points;
 - :mod:`~repro.runtime.scheduler`: the dynamic, fault-tolerant block
   scheduler behind the multiprocess engine (leases, retries, chaos
-  injection via :class:`FaultPlan` / ``$REPRO_CHAOS``).
+  injection via :class:`FaultPlan` / ``$REPRO_CHAOS``);
+- :mod:`~repro.runtime.blockstore`: the zero-copy shared-memory block
+  store multiprocess leases execute against (by-descriptor payloads,
+  seed/publish idempotence; ``REPRO_NO_SHM=1`` forces the legacy
+  by-value copy-through path);
+- :mod:`~repro.runtime.pool`: :class:`WorkerPool`, the reusable worker
+  pool -- ephemeral per run by default, persistent across runs when a
+  :class:`~repro.api.Session` (or :func:`use_pool`) scopes one.
 """
 
 from repro.runtime.arrays import DataSpace, array_footprints, default_init, make_arrays
@@ -39,6 +46,13 @@ from repro.runtime.scheduler import (
     current_fault_plan,
     use_fault_plan,
 )
+from repro.runtime.blockstore import (
+    SharedBlockStore,
+    StoreDescriptor,
+    release_plan_segment,
+    shm_available,
+)
+from repro.runtime.pool import WorkerPool, current_pool, use_pool
 
 __all__ = [
     "DataSpace",
@@ -64,4 +78,11 @@ __all__ = [
     "SchedulerResult",
     "current_fault_plan",
     "use_fault_plan",
+    "SharedBlockStore",
+    "StoreDescriptor",
+    "release_plan_segment",
+    "shm_available",
+    "WorkerPool",
+    "current_pool",
+    "use_pool",
 ]

@@ -1,0 +1,46 @@
+"""Zero-copy block storage for the multiprocess engine.
+
+The paper's theorems make iteration blocks touch *disjoint* written
+data, so workers need no coordination at all -- and therefore no data
+motion either: instead of pickling every block's local memory to a
+worker and back (the old by-value lease), the parent lays all block
+regions out in ``multiprocessing.shared_memory`` segments once and
+leases blocks **by descriptor** (segment names + per-block offsets).
+Workers attach by name, execute straight into numpy views, and the
+parent reconstructs results from the shared write-stamp grid.
+
+- :mod:`.layout` -- the canonical array-major segment layout, one
+  ``(offset, count)`` region per (array, block) in sorted element
+  order;
+- :mod:`.store`  -- the parent-side :class:`SharedBlockStore`: segment
+  creation, seeding, result collection, leak-proof unlink, and the
+  per-plan pickled plan segment workers attach once per process;
+- :mod:`.kernel` -- the statement-specialized store kernel (the
+  compiled tier's codegen retargeted at flat shared views);
+- :mod:`.worker` -- the worker-side lease runner with its attach /
+  plan / index caches (a respawned worker re-attaches by name).
+
+When shared memory is unavailable (``REPRO_NO_SHM=1``, no numpy, or a
+platform without ``shared_memory``) the scheduler falls back to the
+by-value lease path, which is the copy-through store that keeps
+``REPRO_NO_NUMPY`` and the PyGrid backend fully working.
+"""
+
+from repro.runtime.blockstore.layout import StoreLayout, layout_for
+from repro.runtime.blockstore.store import (
+    NO_SHM_ENV_VAR,
+    SharedBlockStore,
+    StoreDescriptor,
+    release_plan_segment,
+    shm_available,
+)
+
+__all__ = [
+    "NO_SHM_ENV_VAR",
+    "SharedBlockStore",
+    "StoreDescriptor",
+    "StoreLayout",
+    "layout_for",
+    "release_plan_segment",
+    "shm_available",
+]

@@ -1,0 +1,128 @@
+"""The store block kernel: compiled-tier codegen over flat shared views.
+
+Reuses the compiled backend's expression lowering (constant folding
+with interpreter float arithmetic, affine stride/offset subscripts,
+float-leaf index values) but retargets reads and writes at the shared
+buffers: a coords -> absolute-slot dict per array resolves each access
+into one indexed load/store on the flat ``float64`` values view, and
+every write also stamps the parallel ``int64`` grid with the global
+sequential rank of its computation (``rank * nstmts + k`` -- the same
+stamp the interpreter records), which is how the parent reconstructs
+write stamps without shipping any dict home.
+
+Two parity details are load-bearing:
+
+- every array read is wrapped in ``float(...)`` so the arithmetic runs
+  on Python floats: numpy float64 operands would turn a division by
+  zero into ``inf`` where the interpreter raises ``ZeroDivisionError``;
+- a ``KeyError`` from a slot lookup means the access fell outside the
+  block's regions; the slow path re-executes that one statement through
+  the interpreter's ``eval_expr`` in exactly its evaluation order, so a
+  sabotaged plan raises the very same
+  :class:`~repro.machine.memory.RemoteAccessError` the interpreter
+  raises first.
+
+Anything :class:`~repro.runtime.engine.compiled.KernelCompileError`
+rejects cannot use the store; the engine then runs the by-value path
+(whose workers fall back to the interpreter per nest), so the store
+never changes observable behavior -- only speed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Optional
+
+from repro.lang.ast import ArrayRef, LoopNest
+from repro.runtime.engine.compiled import (
+    KernelCompileError,
+    _compile,
+    _coord_srcs,
+    _iteration_prelude,
+    _tuple_src,
+    _value_indices,
+    _value_src,
+)
+
+__all__ = ["KernelCompileError", "compile_store_kernel"]
+
+#: (nest, scalars, has_live, rank_rect) -> compiled store kernel
+_STORE_KERNEL_CACHE: dict[tuple, Callable] = {}
+
+
+def compile_store_kernel(nest: LoopNest, scalars: Mapping[str, float],
+                         has_live: bool,
+                         rank_rect: Optional[tuple[tuple[int, ...],
+                                                   tuple[int, ...]]]
+                         ) -> Callable:
+    """``fn(bindex, iterations, idx, values, stamps, live, rank_of,
+    remote)`` over the flat shared views.
+
+    ``idx`` maps array name -> (coords -> absolute slot) for the block
+    being run; ``values``/``stamps`` are the full flat views.  Returns
+    ``(executed_iterations, per-statement execution counts)`` exactly
+    like the compiled block kernel.
+    """
+    key = (nest, tuple(sorted(scalars.items())), has_live, rank_rect)
+    fn = _STORE_KERNEL_CACHE.get(key)
+    if fn is not None:
+        return fn
+    indices = nest.indices
+    nstmts = len(nest.statements)
+    names = nest.array_names()
+    ivar = {n: f"_i{j}" for j, n in enumerate(names)}
+
+    def read_src(ref: ArrayRef) -> str:
+        coords = _coord_srcs(ref, indices)
+        return f"float(_vals[{ivar[ref.array]}[{_tuple_src(coords)}]])"
+
+    if rank_rect is not None:
+        los, strides = rank_rect
+        terms = [f"(i{k} - {lo}) * {s}" if s != 1 else f"(i{k} - {lo})"
+                 for k, (lo, s) in enumerate(zip(los, strides)) if s != 0]
+        rank_src = " + ".join(terms) or "0"
+    else:
+        rank_src = "_rank_of(_it)"
+
+    lines = ["def _store_kernel(_bindex, _iters, _idx, _vals, _stamps, "
+             "_live, _rank_of, _remote):"]
+    for n in names:
+        lines.append(f"    {ivar[n]} = _idx[{n!r}]")
+    for k in range(nstmts):
+        lines.append(f"    _n{k} = 0")
+    lines.append("    _ex = 0")
+    lines.append("    for _it in _iters:")
+    ind = "        "
+    for pl in _iteration_prelude(nest.depth, _value_indices(nest)):
+        lines.append(ind + pl)
+    lines.append(ind + f"_r = ({rank_src}) * {nstmts}")
+    if has_live:
+        lines.append(ind + "_any = False")
+    for k, stmt in enumerate(nest.statements):
+        sind = ind
+        if has_live:
+            lines.append(ind + f"if ({k}, _it) in _live:")
+            sind = ind + "    "
+        val = _value_src(stmt.rhs, indices, scalars, read_src)
+        lhs = _coord_srcs(stmt.lhs, indices)
+        wvar = ivar[stmt.lhs.array]
+        lines += [
+            sind + "try:",
+            sind + f"    _val = float({val})",
+            sind + f"    _p = {wvar}[{_tuple_src(lhs)}]",
+            sind + "    _vals[_p] = _val",
+            sind + f"    _stamps[_p] = _r + {k}",
+            sind + "except KeyError:",
+            sind + f"    _remote({k}, _it)",
+            sind + f"_n{k} += 1",
+        ]
+        if has_live:
+            lines.append(sind + "_any = True")
+    if has_live:
+        lines += [ind + "if _any:", ind + "    _ex += 1"]
+    else:
+        lines.append(ind + "_ex += 1")
+    counts = ", ".join(f"_n{k}" for k in range(nstmts))
+    lines.append(f"    return _ex, ({counts},)")
+    fn = _compile("\n".join(lines), "_store_kernel", {})
+    _STORE_KERNEL_CACHE[key] = fn
+    return fn

@@ -101,16 +101,61 @@ class MultiprocessEngine(Engine):
         self.delegate().run_blocks(plan, memories, result, initial,
                                    scalars, strict=strict)
 
+    def _make_store(self, plan, memories, scalars):
+        """A SharedBlockStore for by-descriptor leases, or None.
+
+        None (the by-value copy-through path) when shared memory is off
+        (``REPRO_NO_SHM``, no numpy, no ``shared_memory`` module), when
+        the nest cannot be lowered to a store kernel, or when segment
+        creation itself fails -- the store is an optimization, never a
+        requirement.
+        """
+        from repro.obs.trace import current_tracer
+        from repro.runtime.blockstore import SharedBlockStore, shm_available
+        from repro.runtime.blockstore.kernel import (
+            KernelCompileError,
+            compile_store_kernel,
+        )
+
+        if not shm_available():
+            return None
+        try:
+            compile_store_kernel(plan.nest, scalars, plan.live is not None,
+                                 plan.model.space.rank_strides())
+            return SharedBlockStore(plan, memories)
+        except KernelCompileError:
+            return None
+        except Exception as exc:  # pragma: no cover - shm-less platforms
+            current_tracer().event("engine.shm.unavailable",
+                                   category="engine",
+                                   reason=f"{type(exc).__name__}: {exc}")
+            return None
+
     def run_blocks(self, plan, memories, result, initial, scalars,
                    strict: bool = True) -> None:
+        from repro.obs.metrics import current_registry
+        from repro.obs.trace import current_tracer
+        from repro.runtime.pool import current_pool
+
         if not strict or not plan.blocks:
             self.delegate().run_blocks(plan, memories, result, initial,
                                        scalars, strict=strict)
             return
+        if len(plan.blocks) == 1:
+            # a single block has nothing to fan out: the pool would be
+            # pure overhead, so run the compiled tier in-process -- an
+            # expected fast path, not a degradation
+            current_registry().inc("engine.multiproc.single_block")
+            current_tracer().event("engine.multiproc.single_block",
+                                   category="engine", blocks=1)
+            self.delegate().run_blocks(plan, memories, result, initial,
+                                       scalars, strict=strict)
+            return
         nw = worker_count(len(plan.blocks))
+        store = self._make_store(plan, memories, dict(scalars))
         scheduler = BlockScheduler(
             plan, memories, scalars, workers=nw,
-            faults=current_fault_plan())
+            faults=current_fault_plan(), store=store, pool=current_pool())
         try:
             scheduler.run(result)
         except (PoolCollapse, OSError, PermissionError, ValueError,
@@ -119,6 +164,9 @@ class MultiprocessEngine(Engine):
             # policy under chaos is a hard failure, not a fallback
             self._degrade(exc, plan, memories, result, initial, scalars,
                           strict)
+        finally:
+            if store is not None:
+                store.close(unlink=True)
 
 
 register_backend(MultiprocessEngine, aliases=("mp", "processes", "pool"))

@@ -9,6 +9,12 @@ Set ``REPRO_NO_NUMPY=1`` to force the fallback even when numpy is
 installed -- CI uses this (plus a real uninstall) to keep the numpy-absent
 code paths exercised.  All helpers re-check :data:`np` at call time so
 tests can monkeypatch ``numpy_compat.np = None`` and back.
+
+The shared-memory block store is numpy-only (it is built on flat
+ndarray views over ``multiprocessing.shared_memory`` segments), so on
+the PyGrid fallback the multiprocess engine transparently keeps the
+legacy by-value copy-through lease path -- same results, just with
+pickled payloads instead of descriptors.
 """
 
 from __future__ import annotations

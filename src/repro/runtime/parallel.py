@@ -58,6 +58,11 @@ class ParallelResult:
     # filled by the multiprocess engine's BlockScheduler (lease history,
     # retry/respawn counters); None on in-process backends
     scheduler: Optional[Any] = None
+    # filled by the shared-memory block store: array -> (coords, stamps,
+    # values) ndarray views of every written slot, so merge_copies can
+    # merge vectorized without reconstructing per-element dicts; None
+    # when the run used the by-value path
+    merge_data: Optional[dict] = None
 
     @property
     def remote_accesses(self) -> int:

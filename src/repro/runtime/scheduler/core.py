@@ -12,6 +12,14 @@ Mechanics:
 
 - blocks are grouped into small contiguous **units** (``batch`` blocks
   each); each attempt to run a unit is a **lease** with a deadline;
+- a lease payload is normally just a **descriptor** -- segment names
+  into the run's :class:`~repro.runtime.blockstore.SharedBlockStore`
+  plus block indices -- so nothing heavy crosses the process boundary;
+  without a store (no numpy, ``REPRO_NO_SHM``) the legacy by-value
+  payload (plan + pickled memories) is shipped instead;
+- the process pool comes from a :class:`~repro.runtime.pool.WorkerPool`
+  -- the ambient one (a :class:`~repro.api.Session` keeps a persistent,
+  warm pool across runs) or an ephemeral one owned by this run;
 - leases are dispatched to a process pool as slots free up (the pool's
   own queue is the work queue); a lease past its deadline is *expired*
   -- its blocks are stolen by a fresh lease and the late result, if it
@@ -46,7 +54,6 @@ from __future__ import annotations
 import math
 import os
 import time
-import concurrent.futures
 from concurrent.futures import FIRST_COMPLETED, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
@@ -253,6 +260,9 @@ class _UnitOutcome:
     executed_iterations: int = 0
     skipped_computations: int = 0
     mems: dict = field(default_factory=dict)
+    # store mode: block index -> (reads, writes) -- values and stamps
+    # stay in the shared store, only the counters come home
+    counts: dict = field(default_factory=dict)
     # (pid, array, coords, is_write) of the first violation, or None
     remote: Optional[tuple] = None
     obs: Any = None  # WorkerObs
@@ -329,11 +339,19 @@ class BlockScheduler:
         faults: Optional[FaultPlan] = None,
         policy: Optional[RetryPolicy] = None,
         mode: Optional[str] = None,
+        store=None,
+        pool=None,
     ) -> None:
         self.plan = plan
         self.memories = memories
         self.scalars = dict(scalars)
         self.workers = max(1, workers)
+        #: a SharedBlockStore for by-descriptor leases, or None for the
+        #: by-value path (no numpy / REPRO_NO_SHM / unlowerable nest)
+        self.store = store
+        #: an external (session-scoped) WorkerPool, or None to build an
+        #: ephemeral pool per run
+        self.pool = pool
         self.mode = mode if mode is not None else scheduler_mode()
         self.faults = faults
         if policy is None:
@@ -351,10 +369,13 @@ class BlockScheduler:
         return [_Unit(uid=i // self.batch, blocks=blocks[i:i + self.batch])
                 for i in range(0, len(blocks), self.batch)]
 
-    def _make_pool(self):
-        # resolved dynamically so tests can monkeypatch the executor
-        return concurrent.futures.ProcessPoolExecutor(
-            max_workers=self.workers)
+    def _worker_pool(self):
+        """The external pool, or a fresh ephemeral one (owned flag)."""
+        from repro.runtime.pool import WorkerPool
+
+        if self.pool is not None:
+            return self.pool, False
+        return WorkerPool(), True
 
     # -- recovery safety --------------------------------------------------
     def _assert_retry_safe(self, unit: _Unit) -> None:
@@ -440,6 +461,18 @@ class BlockScheduler:
                 self.memories[pid].note_remote(is_write)
                 raise RemoteAccessError(pid, array, coords,
                                         is_write=is_write)
+        if self.store is not None:
+            # by-descriptor leases: values and stamps live in the shared
+            # store; only the access counters came home per block
+            for out in ordered:
+                for bindex, (reads, writes) in out.counts.items():
+                    mem = self.memories[bindex]
+                    mem.reads += reads
+                    mem.writes += writes
+                result.executed_iterations += out.executed_iterations
+                result.skipped_computations += out.skipped_computations
+            self.store.collect(result, self.memories)
+            return sres
         for out in ordered:
             for pid, worker_mem in out.mems.items():
                 mem = self.memories[pid]
@@ -458,7 +491,8 @@ class BlockScheduler:
     def _loop(self, units, outcomes, sres, epoch, tracer, registry) -> None:
         policy = self.policy
         budget = policy.respawn_budget(len(units))
-        pool = self._make_pool()
+        wpool, owned = self._worker_pool()
+        pool = wpool.acquire(self.workers)
         pending: list[_Unit] = list(units)
         # future -> (unit, lease record, absolute deadline)
         inflight: dict = {}
@@ -479,12 +513,25 @@ class BlockScheduler:
             if self.faults is not None and self.faults.slow_blocks:
                 slow_blocks = tuple(b.index for b in unit.blocks
                                     if self.faults.delays_block(b.index))
-            payload = (
-                unit.uid, attempt, replace(self.plan, blocks=unit.blocks),
-                {b.index: self.memories[b.index] for b in unit.blocks},
-                self.scalars, tracer.enabled, fault,
-                slow_ms / 1e3 if fault == SLOW else 0.0,
-                slow_ms / 1e3 if slow_blocks else 0.0, slow_blocks)
+            if self.store is not None:
+                # by-descriptor lease: segment names + block indices
+                from repro.runtime.blockstore.worker import run_store_lease
+
+                fn = run_store_lease
+                payload = (
+                    unit.uid, attempt, self.store.descriptor(),
+                    tuple(b.index for b in unit.blocks),
+                    self.scalars, tracer.enabled, fault,
+                    slow_ms / 1e3 if fault == SLOW else 0.0,
+                    slow_ms / 1e3 if slow_blocks else 0.0, slow_blocks)
+            else:
+                fn = _run_lease
+                payload = (
+                    unit.uid, attempt, replace(self.plan, blocks=unit.blocks),
+                    {b.index: self.memories[b.index] for b in unit.blocks},
+                    self.scalars, tracer.enabled, fault,
+                    slow_ms / 1e3 if fault == SLOW else 0.0,
+                    slow_ms / 1e3 if slow_blocks else 0.0, slow_blocks)
             rec = LeaseRecord(unit=unit.uid, attempt=attempt,
                               blocks=tuple(b.index for b in unit.blocks),
                               start_s=now(), fault=fault or "")
@@ -497,7 +544,7 @@ class BlockScheduler:
             deadline = (math.inf if policy.lease_timeout_s is None
                         else rec.start_s
                         + policy.lease_timeout_s * (2.0 ** unit.steals))
-            inflight[pool.submit(_run_lease, payload)] = (unit, rec, deadline)
+            inflight[pool.submit(fn, payload)] = (unit, rec, deadline)
 
         def retry(unit: _Unit, rec: LeaseRecord, reason: str,
                   consume: bool = True) -> None:
@@ -610,17 +657,19 @@ class BlockScheduler:
                             rec.outcome = "killed"
                             retry(unit, rec, "pool broke", consume=False)
                     inflight.clear()
-                    pool.shutdown(wait=False)
                     sres.respawns += 1
                     registry.inc("scheduler.respawns")
                     tracer.event("scheduler.respawn", category="scheduler",
                                  respawns=sres.respawns)
                     if sres.respawns > budget:
+                        wpool.shutdown()
                         raise PoolCollapse(
                             f"worker pool broke {sres.respawns} times "
                             f"(budget {budget}); giving up on the pool")
                     try:
-                        pool = self._make_pool()
+                        # a lost worker re-attaches to the store by name
+                        # on its first lease, so respawn needs no re-seed
+                        pool = wpool.respawn(self.workers)
                     except Exception as exc:
                         raise PoolCollapse(
                             f"cannot respawn worker pool: {exc}") from exc
@@ -641,4 +690,10 @@ class BlockScheduler:
                                  unit=unit.uid, attempt=rec.attempt)
                     retry(unit, rec, "lease expired", consume=False)
         finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+            if owned:
+                # ephemeral pool: release it with the run.  An external
+                # (session-scoped) pool stays warm; any late futures on
+                # it finish harmlessly -- their writes land in a store
+                # the parent has already collected and unlinked, which
+                # only this worker still maps
+                wpool.shutdown()

@@ -1,5 +1,7 @@
 """Last-writer merge of replicated copies."""
 
+import pytest
+
 from repro.core import Strategy, build_plan
 from repro.lang import catalog, parse
 from repro.runtime import make_arrays, merge_copies, run_parallel, run_sequential
@@ -52,3 +54,83 @@ class TestMerge:
         merge_copies(res, initial)
         for name in initial:
             assert initial[name] == snapshot[name]
+
+
+class TestTieBreaking:
+    """Write stamps are globally unique in real runs, but both merge
+    paths pin first-writer-wins on (synthetic) equal stamps so they can
+    never diverge."""
+
+    def _numpy(self):
+        from repro.runtime import numpy_compat as npc
+
+        if npc.np is None:
+            pytest.skip("numpy backing unavailable")
+        return npc.np
+
+    def _fixture(self):
+        from types import SimpleNamespace
+
+        from repro.runtime import DataSpace
+        from repro.runtime.parallel import ParallelResult
+
+        initial = {"A": DataSpace("A", (0,), (3,), fill=0.0)}
+        memories = {
+            0: SimpleNamespace(values={"A": {(1,): 5.0}}),
+            1: SimpleNamespace(values={"A": {(1,): 9.0}}),
+        }
+        result = ParallelResult(plan=None, memories=memories,
+                                block_to_pid={0: 0, 1: 1})
+        return initial, result
+
+    def test_dict_path_keeps_first_seen_on_equal_stamps(self):
+        initial, result = self._fixture()
+        result.write_stamps = {(0, "A", (1,)): 7, (1, "A", (1,)): 7}
+        merged = merge_copies(result, initial)
+        assert merged["A"][(1,)] == 5.0
+
+    def test_dict_path_higher_stamp_still_wins(self):
+        initial, result = self._fixture()
+        result.write_stamps = {(0, "A", (1,)): 7, (1, "A", (1,)): 8}
+        merged = merge_copies(result, initial)
+        assert merged["A"][(1,)] == 9.0
+
+    def test_view_path_matches_dict_path_on_ties(self):
+        np = self._numpy()
+        initial, result = self._fixture()
+        # same element twice with equal stamps: the first entry wins,
+        # exactly like the dict path's first-seen-wins
+        result.merge_data = {"A": (
+            np.array([[1], [1]], dtype=np.int64),
+            np.array([7, 7], dtype=np.int64),
+            np.array([5.0, 9.0]))}
+        merged = merge_copies(result, initial)
+        assert merged["A"][(1,)] == 5.0
+
+    def test_view_path_higher_stamp_wins_regardless_of_entry_order(self):
+        np = self._numpy()
+        initial, result = self._fixture()
+        result.merge_data = {"A": (
+            np.array([[1], [1]], dtype=np.int64),
+            np.array([8, 7], dtype=np.int64),
+            np.array([9.0, 5.0]))}
+        merged = merge_copies(result, initial)
+        assert merged["A"][(1,)] == 9.0
+
+    def test_view_path_matches_dict_path_on_real_run(self, monkeypatch):
+        from repro.runtime.blockstore import shm_available
+
+        self._numpy()
+        if not shm_available():
+            pytest.skip("shared memory store unavailable")
+        monkeypatch.setenv("REPRO_MP_WORKERS", "2")
+        nest = catalog.l2()
+        plan = build_plan(nest, strategy=Strategy.DUPLICATE)
+        initial = make_arrays(plan.model)
+        res = run_parallel(plan, initial=initial, backend="multiprocess")
+        assert res.merge_data is not None
+        via_views = merge_copies(res, initial)
+        res.merge_data = None  # force the dict path on identical data
+        via_dicts = merge_copies(res, initial)
+        for name in via_dicts:
+            assert via_views[name] == via_dicts[name], name

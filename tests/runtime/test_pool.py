@@ -1,0 +1,91 @@
+"""WorkerPool lifecycle and the Session-scoped persistent pool."""
+
+import pytest
+
+from repro.api import Session
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.runtime.pool import WorkerPool, current_pool, use_pool
+
+
+class TestWorkerPool:
+    def test_acquire_reuses_live_executor(self):
+        pool = WorkerPool()
+        reg = MetricsRegistry()
+        try:
+            with use_registry(reg):
+                ex1 = pool.acquire(2)
+                ex2 = pool.acquire(2)
+                ex3 = pool.acquire(1)  # smaller fits the live executor
+            assert ex1 is ex2 is ex3
+            assert pool.generation == 1
+            assert reg.value("engine.pool.spawns") == 1
+            assert reg.value("engine.pool.reuses") == 2
+        finally:
+            pool.shutdown()
+
+    def test_acquire_grows_by_respawning(self):
+        pool = WorkerPool()
+        try:
+            ex1 = pool.acquire(1)
+            ex2 = pool.acquire(2)
+            assert ex1 is not ex2
+            assert pool.generation == 2
+            assert pool.workers == 2
+        finally:
+            pool.shutdown()
+
+    def test_shutdown_leaves_pool_usable(self):
+        pool = WorkerPool()
+        try:
+            pool.acquire(1)
+            pool.shutdown()
+            assert pool.workers == 0
+            ex = pool.acquire(1)
+            assert ex is not None
+            assert pool.generation == 2
+        finally:
+            pool.shutdown()
+
+    def test_use_pool_scopes_innermost_wins(self):
+        assert current_pool() is None
+        outer, inner = WorkerPool("outer"), WorkerPool("inner")
+        with use_pool(outer):
+            assert current_pool() is outer
+            with use_pool(inner):
+                assert current_pool() is inner
+            assert current_pool() is outer
+        assert current_pool() is None
+
+
+class TestSessionPool:
+    def test_pool_persists_across_runs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_WORKERS", "2")
+        s = Session("L2", strategy="duplicate", backend="multiprocess")
+        try:
+            r1 = s.run()
+            r2 = s.run()
+            assert r1.ok and r2.ok
+            # one spawn, then reuse: the second run found warm workers
+            assert s.pool.generation == 1
+            assert s.registry.value("engine.pool.spawns") == 1
+            assert s.registry.value("engine.pool.reuses") >= 1
+        finally:
+            s.close()
+
+    def test_close_is_idempotent_and_runs_still_work(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_WORKERS", "2")
+        s = Session("L2", strategy="duplicate", backend="multiprocess")
+        assert s.run().ok
+        s.close()
+        s.close()
+        assert s.pool.workers == 0
+        # a closed session still runs (ephemeral pool per run)
+        assert s.run().ok
+        assert s.pool.workers == 0
+
+    def test_context_manager_closes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_WORKERS", "2")
+        with Session("L2", strategy="duplicate",
+                     backend="multiprocess") as s:
+            assert s.run().ok
+        assert s.pool.workers == 0
