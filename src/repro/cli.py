@@ -505,9 +505,9 @@ def build_parser() -> argparse.ArgumentParser:
     add_strategy_args(p)
     p.add_argument("--scalars", help="bindings, e.g. 'D=2,F=3'")
     p.add_argument("--backend",
-                   help="execution engine: interp, compiled, vectorized, "
-                        "multiprocess, auto, or 'all' to cross-check "
-                        "every available backend")
+                   help="execution engine: interp, compiled, codegen, "
+                        "vectorized, multiprocess, auto, or 'all' to "
+                        "cross-check every available backend")
     p.add_argument("--chaos", metavar="SPEC",
                    help="fault-injection spec scoped over the run, e.g. "
                         "'crash-prob=0.2,seed=7' (multiprocess backend)")

@@ -33,10 +33,14 @@ DEFAULT_BASELINE = "BENCH_engine.json"
 #: Fallback floors when no baseline file is available.  The
 #: multiprocess floor assumes the shared-memory store (descriptor
 #: leases, warm pool); it is checked only when the entry ran with one.
+#: ``X_over_Y`` keys gate the *relative* speedup of backend X over
+#: backend Y (the codegen tier must actually beat the compiled tier it
+#: specializes past, not merely beat the interpreter).
 DEFAULT_FLOORS = {"compiled": 5.0, "vectorized": 20.0,
-                  "multiprocess": 2.0}
+                  "multiprocess": 2.0, "codegen": 25.0,
+                  "codegen_over_compiled": 1.5}
 
-BACKENDS = ("interp", "compiled", "vectorized", "multiprocess")
+BACKENDS = ("interp", "compiled", "codegen", "vectorized", "multiprocess")
 
 PathLike = Union[str, Path]
 
@@ -104,19 +108,23 @@ def _run_once(backend: str, plan, initial) -> float:
     return perf_counter() - t0
 
 
-def measure_engines(
+def measure_engine_runs(
     n: int = DEFAULT_N,
     repeats: int = DEFAULT_REPEATS,
     backends: Optional[Sequence[str]] = None,
-) -> dict[str, float]:
-    """Best-of engine-only seconds per backend on the matmul workload.
+) -> dict[str, list[float]]:
+    """Per-backend run times (seconds, in order) on the matmul workload.
 
+    The *first* run of each backend is its cold run: it pays one-time
+    setup -- kernel emission/compilation (amortized further by the
+    codegen tier's on-disk cache), plan geometry, pool warm-up -- that
+    steady-state runs skip, so the list shape is what lets
+    :func:`make_entry` report setup cost separately from per-run cost.
     ``vectorized`` is skipped when numpy is unavailable; the
     interpreter baseline runs at most twice (it is the slow tier).
     Multiprocess runs are measured against a warm persistent
-    :class:`~repro.runtime.pool.WorkerPool` (best-of discards the
-    cold first repetition), matching how a :class:`~repro.api.Session`
-    amortizes pool spawn across runs.
+    :class:`~repro.runtime.pool.WorkerPool`, matching how a
+    :class:`~repro.api.Session` amortizes pool spawn across runs.
     """
     from repro.core.plan import build_plan
     from repro.core.strategy import Strategy
@@ -126,7 +134,7 @@ def measure_engines(
 
     plan = build_plan(matmul_nest(n), strategy=Strategy.DUPLICATE)
     initial = make_arrays(plan.model)
-    times: dict[str, float] = {}
+    runs: dict[str, list[float]] = {}
     pool = WorkerPool()
     try:
         with use_pool(pool):
@@ -135,19 +143,38 @@ def measure_engines(
                     continue
                 reps = max(1, min(repeats, 2) if backend == "interp"
                            else repeats)
-                times[backend] = min(_run_once(backend, plan, initial)
-                                     for _ in range(reps))
+                runs[backend] = [_run_once(backend, plan, initial)
+                                 for _ in range(reps)]
     finally:
         pool.shutdown()
-    return times
+    return runs
 
 
-def make_entry(times: Mapping[str, float], n: int, repeats: int) -> dict:
-    """A JSON-ready history entry from measured times."""
+def measure_engines(
+    n: int = DEFAULT_N,
+    repeats: int = DEFAULT_REPEATS,
+    backends: Optional[Sequence[str]] = None,
+) -> dict[str, float]:
+    """Best-of engine-only seconds per backend on the matmul workload."""
+    return {b: min(r)
+            for b, r in measure_engine_runs(n=n, repeats=repeats,
+                                            backends=backends).items()}
+
+
+def make_entry(times: Mapping[str, float], n: int, repeats: int,
+               runs: Optional[Mapping[str, Sequence[float]]] = None) -> dict:
+    """A JSON-ready history entry from measured times.
+
+    ``runs`` (per-backend run lists, first run cold) adds the
+    ``cold_ms`` / ``setup_ms`` breakdown: the one-time setup cost --
+    codegen emit + compile on a cold cache, plan geometry, pool warm-up
+    -- reported separately from the steady-state per-run ``ms``, so a
+    warm on-disk kernel cache is *visible* as a shrunken setup column.
+    """
     from repro.runtime.engine.multiproc import worker_count
 
     interp = times.get("interp")
-    return {
+    entry = {
         "ts": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "case": f"MATMUL{n}-dup",
         "n": n,
@@ -158,12 +185,21 @@ def make_entry(times: Mapping[str, float], n: int, repeats: int) -> dict:
                      for b, t in sorted(times.items()) if b != "interp"}
                     if interp else {}),
     }
+    if runs:
+        entry["cold_ms"] = {b: round(r[0] * 1e3, 3)
+                            for b, r in sorted(runs.items()) if r}
+        entry["setup_ms"] = {
+            b: round(max(0.0, r[0] - min(r)) * 1e3, 3)
+            for b, r in sorted(runs.items()) if r}
+    return entry
 
 
 def measure_entry(n: int = DEFAULT_N, repeats: int = DEFAULT_REPEATS,
                   registry: Optional[MetricsRegistry] = None) -> dict:
     """Measure and publish one history entry (``perf.*`` metrics)."""
-    entry = make_entry(measure_engines(n=n, repeats=repeats), n, repeats)
+    runs = measure_engine_runs(n=n, repeats=repeats)
+    entry = make_entry({b: min(r) for b, r in runs.items()}, n, repeats,
+                       runs=runs)
     reg = registry if registry is not None else current_registry()
     reg.inc("perf.runs")
     for backend, s in entry["speedup"].items():
@@ -222,10 +258,24 @@ def check_floors(entry: dict, floors: Mapping[str, float]) -> list[str]:
     the entry's environment stamp says the shared-memory store was off
     (``REPRO_NO_SHM`` / no numpy): the floor is a commitment about the
     zero-copy path, and the by-value fallback is dominated by pickling.
+
+    ``X_over_Y`` floor keys gate the ratio of backend X's speedup over
+    backend Y's (equivalently Y's ms over X's) and are skipped when
+    either backend is missing from the entry.
     """
     failures = []
     env = entry.get("env", {})
+    ms = entry.get("ms", {})
     for backend, floor in sorted(floors.items()):
+        if "_over_" in backend:
+            num, _, den = backend.partition("_over_")
+            if num not in ms or den not in ms or not ms[num]:
+                continue
+            ratio = round(ms[den] / ms[num], 2)
+            if ratio < floor:
+                failures.append(
+                    f"{num}: only {ratio}x over {den} (floor {floor}x)")
+            continue
         got = entry.get("speedup", {}).get(backend)
         if got is None:
             continue
@@ -238,15 +288,32 @@ def check_floors(entry: dict, floors: Mapping[str, float]) -> list[str]:
 
 def render_perf_table(entry: dict, baseline: Optional[dict],
                       floors: Mapping[str, float]) -> str:
-    """The ``repro perf`` table: ms, speedup, baseline delta, floor."""
-    lines = [f"{'backend':<14} {'best ms':>10} {'speedup':>8} "
-             f"{'baseline':>9} {'delta':>7} {'floor':>6}  status"]
+    """The ``repro perf`` table: ms, setup, speedup, delta, floor.
+
+    The ``setup ms`` column (cold first run minus steady-state best)
+    appears when the entry carries per-run data; a warm on-disk kernel
+    cache shows up directly as a near-zero codegen setup cost.
+    """
+    setup = entry.get("setup_ms") or {}
+    header = f"{'backend':<14} {'best ms':>10} "
+    if setup:
+        header += f"{'setup ms':>9} "
+    header += f"{'speedup':>8} {'baseline':>9} {'delta':>7} " \
+              f"{'floor':>6}  status"
+    lines = [header]
     base_speedup = (baseline or {}).get("speedup", {})
+
+    def setup_col(backend):
+        if not setup:
+            return ""
+        su = setup.get(backend)
+        return f"{su:>9.3f} " if su is not None else f"{'-':>9} "
+
     for backend in sorted(entry["ms"]):
         ms = entry["ms"][backend]
         if backend == "interp":
-            lines.append(f"{backend:<14} {ms:>10.3f} {'1.0':>8} "
-                         f"{'-':>9} {'-':>7} {'-':>6}  baseline")
+            lines.append(f"{backend:<14} {ms:>10.3f} {setup_col(backend)}"
+                         f"{'1.0':>8} {'-':>9} {'-':>7} {'-':>6}  baseline")
             continue
         s = entry["speedup"].get(backend)
         base = base_speedup.get(backend)
@@ -257,7 +324,7 @@ def render_perf_table(entry: dict, baseline: Optional[dict],
         else:
             status = "ok"
         lines.append(
-            f"{backend:<14} {ms:>10.3f} {s:>8.1f} "
+            f"{backend:<14} {ms:>10.3f} {setup_col(backend)}{s:>8.1f} "
             f"{base if base is not None else '-':>9} {delta:>7} "
             f"{floor if floor is not None else '-':>6}  {status}")
     return "\n".join(lines)

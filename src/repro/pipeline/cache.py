@@ -33,6 +33,21 @@ MISS_COUNTER = "cache.miss"
 EVICT_COUNTER = "cache.evict"
 
 
+def cache_root():
+    """The per-user root for repro's on-disk caches.
+
+    ``$XDG_CACHE_HOME/repro`` when set, else ``~/.cache/repro``.  Each
+    cache claims a subdirectory (the codegen kernel cache uses
+    ``codegen/``); the plan cache keeps its explicitly configured
+    ``REPRO_PLAN_CACHE_DIR`` for compatibility.
+    """
+    from pathlib import Path
+
+    env = os.environ.get("XDG_CACHE_HOME")
+    base = Path(env) if env else Path.home() / ".cache"
+    return base / "repro"
+
+
 class MissReason:
     """Why a lookup missed (the clcache-style breakdown).
 

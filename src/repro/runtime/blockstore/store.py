@@ -202,6 +202,11 @@ class StoreDescriptor:
     stamps_segment: str
     control_segment: str
     words: int
+    #: codegen store-kernel cache key, set only when the parent emitted
+    #: a specialized kernel (rect regions + audit certificate); workers
+    #: attach it from the shared on-disk cache and fall back to the
+    #: generic dict kernel when absent
+    codegen_key: Optional[str] = None
 
 
 class SharedBlockStore:
@@ -216,6 +221,7 @@ class SharedBlockStore:
             raise RuntimeError("SharedBlockStore requires numpy")
         self.plan = plan
         self.layout = layout_for(plan)
+        self.codegen_key: Optional[str] = None
         total = self.layout.total_words
         tracer = current_tracer()
         with tracer.span("blockstore.create", category="engine",
@@ -260,7 +266,8 @@ class SharedBlockStore:
             values_segment=self._vseg.name,
             stamps_segment=self._sseg.name,
             control_segment=self._cseg.name,
-            words=self.layout.total_words)
+            words=self.layout.total_words,
+            codegen_key=self.codegen_key)
 
     def collect(self, result, memories: dict) -> None:
         """Reconstruct results from the stamp grid.

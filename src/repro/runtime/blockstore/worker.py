@@ -62,6 +62,8 @@ _RUNS: "OrderedDict[str, dict]" = OrderedDict()
 #: (plan segment name, block) -> (coords -> local slot per array,
 #: (global off, local off, count) region spans, local words)
 _TABLES: dict[tuple[str, int], tuple] = {}
+#: (plan segment name, block) -> codegen store-kernel rect args
+_RECTS: dict[tuple[str, int], tuple] = {}
 
 
 def _plan_for(name: str):
@@ -78,6 +80,8 @@ def _plan_for(name: str):
             stale, _ = _PLANS.popitem(last=False)
             for key in [k for k in _TABLES if k[0] == stale]:
                 del _TABLES[key]
+            for key in [k for k in _RECTS if k[0] == stale]:
+                del _RECTS[key]
         _PLANS[name] = plan
     return plan
 
@@ -225,6 +229,45 @@ def _run_block(ctx: dict, b, scalars, kernel, live, out) -> None:
         sp.set(statements=sum(counts))
 
 
+def _codegen_kernel(ctx: dict, key: str, scalars):
+    """The codegen store kernel for ``key``, adapted to the dict-kernel
+    signature, or None (any failure falls back to the generic kernel).
+
+    A warm worker serves it from its in-process cache; a fresh worker
+    unmarshals the parent's persisted code object from the shared
+    on-disk cache -- zero emit/compile work either way.  The parent only
+    set the key after the communication audit certified zero cross-block
+    accesses, so the specialized kernel's elided ownership checks are
+    sound and the ``idx``/``remote`` machinery goes unused.
+    """
+    from repro.obs.metrics import current_registry
+
+    try:
+        from repro.runtime.engine.codegen.storegen import (
+            attach_store_kernel,
+            block_rect_args,
+        )
+
+        raw = attach_store_kernel(key, ctx["plan"], scalars)
+    except Exception:  # pragma: no cover - any failure -> dict kernel
+        current_registry().inc("engine.codegen.store.attach-failed")
+        return None
+    current_registry().inc("engine.codegen.store_kernels")
+    layout = layout_for(ctx["plan"])
+    nest = ctx["plan"].nest
+    seg = ctx["plan_segment"]
+
+    def kernel(bindex, iters, idx, values, stamps, live, rank_of, remote):
+        rkey = (seg, bindex)
+        rect = _RECTS.get(rkey)
+        if rect is None:
+            rect = block_rect_args(layout, nest, bindex)
+            _RECTS[rkey] = rect
+        return raw(bindex, iters, rect, values, stamps, live, rank_of)
+
+    return kernel
+
+
 def run_store_lease(payload):
     """Pool entry point: one lease = one unit of block indices against
     the store descriptor.  Mirrors the by-value ``_run_lease`` fault
@@ -247,8 +290,13 @@ def run_store_lease(payload):
         registry.inc("engine.worker.blocks", len(block_indices))
         ctx = _run_ctx(desc)
         live = ctx["plan"].live
-        kernel = compile_store_kernel(ctx["plan"].nest, scalars,
-                                      live is not None, ctx["rank_rect"])
+        kernel = None
+        if desc.codegen_key:
+            kernel = _codegen_kernel(ctx, desc.codegen_key, scalars)
+        if kernel is None:
+            kernel = compile_store_kernel(ctx["plan"].nest, scalars,
+                                          live is not None,
+                                          ctx["rank_rect"])
         try:
             for bindex in block_indices:
                 if bindex in slow_blocks and block_slow_s > 0:

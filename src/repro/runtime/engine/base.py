@@ -107,17 +107,10 @@ def get_engine(name: str) -> Engine:
     """A fresh engine instance for ``name`` (alias-resolved, no fallback)."""
     _load_backends()
     canon = _canonical(name)
-    if canon == "auto":
-        for candidate in ("vectorized", "compiled", "interp"):
-            cls = _REGISTRY[candidate]
-            if cls.is_available():
-                return cls()
-        raise BackendUnavailable("no backend available")  # pragma: no cover
     cls = _REGISTRY.get(canon)
     if cls is None:
         raise BackendUnavailable(
-            f"unknown backend {name!r}; known: {', '.join(backend_names())} "
-            "(or 'auto')")
+            f"unknown backend {name!r}; known: {', '.join(backend_names())}")
     return cls()
 
 
@@ -165,4 +158,11 @@ def _load_backends() -> None:
     if _loaded:
         return
     _loaded = True
-    from repro.runtime.engine import compiled, interp, multiproc, vectorized  # noqa: F401
+    from repro.runtime.engine import (  # noqa: F401
+        auto,
+        codegen,
+        compiled,
+        interp,
+        multiproc,
+        vectorized,
+    )

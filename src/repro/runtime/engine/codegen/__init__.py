@@ -1,0 +1,27 @@
+"""Per-plan codegen engine tier with a persistent on-disk kernel cache.
+
+Importing this package registers the ``codegen`` backend (aliases
+``cg``, ``specialized``).  Submodules:
+
+- :mod:`.geometry` -- what can be specialized (flat grids, rect
+  blocks, the communication-audit certificate);
+- :mod:`.emit` -- the source emitters and rename-invariant kernel keys;
+- :mod:`.diskcache` -- the lock-safe, size-capped on-disk cache;
+- :mod:`.engine` -- the engine itself and the memory->disk->emit
+  kernel-loading chain;
+- :mod:`.storegen` -- specialized store kernels for blockstore
+  workers, attached by cache key through descriptor leases.
+"""
+
+from repro.runtime.engine.codegen.diskcache import (  # noqa: F401
+    DiskKernelCache,
+    get_disk_cache,
+)
+from repro.runtime.engine.codegen.engine import (  # noqa: F401
+    CodegenEngine,
+    load_kernel,
+    program_for,
+)
+from repro.runtime.engine.codegen.geometry import (  # noqa: F401
+    CodegenUnsupported,
+)

@@ -1,0 +1,208 @@
+"""The persistent on-disk kernel cache (clcache-shaped).
+
+One directory holds, per kernel key (the rename-invariant fingerprint
++ geometry digest computed by :mod:`repro.runtime.engine.codegen.emit`):
+
+- ``<key>.py``  -- the generated source, for debuggability and for
+  interpreters whose marshal format differs from the writer's;
+- ``<key>.bin`` -- the ``marshal``-serialized code object, valid only
+  for the recorded ``sys.implementation.cache_tag`` (a warm process on
+  the same interpreter unmarshals it and skips *both* the emit and the
+  compile step -- zero ``engine.codegen.emit``/``compile`` spans);
+- ``manifest.json`` -- entry sizes, interpreter tags and a logical
+  access clock for LRU eviction under the byte cap.
+
+Every operation takes an exclusive ``flock`` on a sidecar lock file,
+so concurrent processes (blockstore workers racing their parent, two
+test processes hammering one directory) serialize on the manifest and
+never observe torn files; payload files are written to a temp name and
+``os.replace``d into place.  A corrupt manifest or payload is treated
+as a miss (``cache.disk.miss.corrupt``) and rewritten, never an error
+-- the cache is an optimization, so every failure path degrades to
+re-emitting.
+
+Stats surface through the ambient metrics registry:
+
+- ``cache.disk.hit`` / ``cache.disk.miss.<reason>`` (reasons:
+  ``new-key``, ``corrupt``) plus ``cache.disk.stale-tag`` when the
+  source hits but the code object was written by another interpreter
+- ``cache.disk.store``, ``cache.disk.evict``
+- ``cache.disk.bytes`` (gauge, post-op total)
+
+Knobs: ``REPRO_CODEGEN_CACHE_DIR`` (directory; default
+``<cache-root>/codegen`` under :func:`repro.pipeline.cache.cache_root`),
+``REPRO_CODEGEN_CACHE_MB`` (byte cap, default 32),
+``REPRO_CODEGEN_DISK=0`` (disable persistence entirely).
+"""
+
+from __future__ import annotations
+
+import json
+import marshal
+import os
+import sys
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Optional
+
+DIR_ENV_VAR = "REPRO_CODEGEN_CACHE_DIR"
+MB_ENV_VAR = "REPRO_CODEGEN_CACHE_MB"
+DISABLE_ENV_VAR = "REPRO_CODEGEN_DISK"
+
+DEFAULT_CAP_MB = 32
+
+_MANIFEST = "manifest.json"
+_LOCK = "lock"
+
+
+def _registry():
+    from repro.obs.metrics import current_registry
+
+    return current_registry()
+
+
+def cache_tag() -> str:
+    """The interpreter tag gating marshal reuse (e.g. ``cpython-311``)."""
+    return sys.implementation.cache_tag or sys.version[:7]
+
+
+class DiskKernelCache:
+    """A lock-safe, size-capped source + code-object store."""
+
+    def __init__(self, root: Path, cap_bytes: int) -> None:
+        self.root = Path(root)
+        self.cap_bytes = cap_bytes
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock_path = self.root / _LOCK
+
+    # -- locking ----------------------------------------------------------
+    @contextmanager
+    def _locked(self):
+        fd = os.open(self._lock_path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            try:
+                import fcntl
+
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            except ImportError:  # pragma: no cover - non-POSIX fallback
+                pass
+            yield
+        finally:
+            os.close(fd)  # closing drops the flock
+
+    # -- manifest ---------------------------------------------------------
+    def _read_manifest(self) -> dict:
+        try:
+            m = json.loads((self.root / _MANIFEST).read_text())
+            if m.get("version") == 1 and isinstance(m.get("entries"), dict):
+                return m
+        except (OSError, ValueError):
+            pass
+        return {"version": 1, "clock": 0, "entries": {}}
+
+    def _write_manifest(self, m: dict) -> None:
+        tmp = self.root / f"{_MANIFEST}.tmp.{os.getpid()}"
+        tmp.write_text(json.dumps(m, sort_keys=True))
+        os.replace(tmp, self.root / _MANIFEST)
+
+    def _write_file(self, name: str, data: bytes) -> None:
+        tmp = self.root / f"{name}.tmp.{os.getpid()}"
+        tmp.write_bytes(data)
+        os.replace(tmp, self.root / name)
+
+    def _drop(self, key: str, entry: dict) -> None:
+        for suffix in (".py", ".bin"):
+            try:
+                (self.root / f"{key}{suffix}").unlink()
+            except FileNotFoundError:
+                pass
+
+    @staticmethod
+    def _total(m: dict) -> int:
+        return sum(e.get("bytes", 0) for e in m["entries"].values())
+
+    # -- operations -------------------------------------------------------
+    def load(self, key: str):
+        """-> (code object or None, source or None).
+
+        A hit returns at least the source; the code object comes along
+        only when the stored marshal matches this interpreter's tag.
+        """
+        reg = _registry()
+        with self._locked():
+            m = self._read_manifest()
+            entry = m["entries"].get(key)
+            if entry is None:
+                reg.inc("cache.disk.miss.new-key")
+                return None, None
+            try:
+                src = (self.root / f"{key}.py").read_text()
+            except OSError:
+                del m["entries"][key]
+                self._drop(key, entry)
+                self._write_manifest(m)
+                reg.inc("cache.disk.miss.corrupt")
+                return None, None
+            code = None
+            if entry.get("tag") == cache_tag():
+                try:
+                    code = marshal.loads(
+                        (self.root / f"{key}.bin").read_bytes())
+                except (OSError, ValueError, EOFError, TypeError):
+                    code = None
+            m["clock"] += 1
+            entry["used"] = m["clock"]
+            self._write_manifest(m)
+        if code is None and entry.get("tag") != cache_tag():
+            # the source still hits; only the code object is re-derived
+            reg.inc("cache.disk.stale-tag")
+        reg.inc("cache.disk.hit")
+        return code, src
+
+    def store(self, key: str, src: str, code_bytes: bytes) -> None:
+        """Persist one kernel and evict LRU entries past the byte cap."""
+        reg = _registry()
+        with self._locked():
+            m = self._read_manifest()
+            self._write_file(f"{key}.py", src.encode())
+            self._write_file(f"{key}.bin", code_bytes)
+            m["clock"] += 1
+            m["entries"][key] = {
+                "bytes": len(src.encode()) + len(code_bytes),
+                "tag": cache_tag(),
+                "used": m["clock"],
+            }
+            while self._total(m) > self.cap_bytes and len(m["entries"]) > 1:
+                victim = min(
+                    (k for k in m["entries"] if k != key),
+                    key=lambda k: m["entries"][k].get("used", 0))
+                self._drop(victim, m["entries"].pop(victim))
+                reg.inc("cache.disk.evict")
+            self._write_manifest(m)
+            reg.inc("cache.disk.store")
+            reg.set("cache.disk.bytes", self._total(m))
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get(DIR_ENV_VAR)
+    if env:
+        return Path(env)
+    from repro.pipeline.cache import cache_root
+
+    return cache_root() / "codegen"
+
+
+def get_disk_cache() -> Optional[DiskKernelCache]:
+    """The configured cache, or None when persistence is off.
+
+    Construction failures (read-only filesystem, permission walls)
+    disable the cache for the call rather than failing the run.
+    """
+    if os.environ.get(DISABLE_ENV_VAR, "").strip() == "0":
+        return None
+    try:
+        cap = int(float(os.environ.get(MB_ENV_VAR, DEFAULT_CAP_MB))
+                  * 1024 * 1024)
+        return DiskKernelCache(default_cache_dir(), cap)
+    except (OSError, ValueError):  # pragma: no cover - hostile filesystems
+        return None

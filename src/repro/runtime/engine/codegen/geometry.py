@@ -1,0 +1,304 @@
+"""Plan geometry for the codegen tier: what can be specialized, and how.
+
+The codegen engine only accepts plans whose execution is *statically
+enumerable*: affine integral subscripts, written arrays partitioned
+across blocks (no written replicas -- the same restriction the
+vectorized tier imposes), and grids small enough to materialize as
+flat dense buffers.  Everything here is derived once per plan and
+cached; the expensive parts (bounding boxes, the lexicographic-order
+check, the communication-audit certificate) are one-time setup costs
+that ``repro perf`` reports separately from steady-state runs.
+
+Three geometric facts drive the emitted source:
+
+- **grid specs**: each array's allocated elements are embedded in the
+  dense row-major bounding box of their union, so a reference's
+  per-dimension affine subscripts fold into *one* flat-slot affine
+  (``base + sum(coeff_k * i_k)``) with compile-time integer
+  coefficients;
+- **rect blocks**: when every iteration block is the same dense
+  lexicographic rectangle (the common output of the paper's
+  hyperplane partitioner), loops over literal ``range(extent)`` bounds
+  replace the per-iteration tuple stream, and the rank-of stamp
+  formula folds to a per-block base plus literal stride increments;
+- **the certificate**: the communication audit's static replay proves
+  zero cross-block accesses, which is the license to elide the
+  interpreter's per-access ownership checks entirely (Theorems 1-4
+  say each block touches only its own data blocks; the audit verifies
+  that claim for *this* plan before any check is dropped).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Optional
+
+from repro.lang.affine import NotAffineError, affine_of
+from repro.lang.ast import ArrayRef, LoopNest
+
+#: Hard cap on the summed flat-grid words; beyond it the dense
+#: bounding-box embedding may dwarf the actual allocation.
+MAX_WORDS = 1 << 22
+
+
+class CodegenUnsupported(ValueError):
+    """The plan cannot be specialized; the engine delegates down-tier."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """Dense row-major bounding box of one array's allocated elements."""
+
+    lo: tuple[int, ...]
+    shape: tuple[int, ...]
+    strides: tuple[int, ...]
+    size: int
+
+
+def _c_strides(shape: tuple[int, ...]) -> tuple[int, ...]:
+    strides = [1] * len(shape)
+    for d in range(len(shape) - 2, -1, -1):
+        strides[d] = strides[d + 1] * shape[d + 1]
+    return tuple(strides)
+
+
+def grid_specs(plan) -> dict[str, GridSpec]:
+    """Per-array flat-grid specs over the union of allocated elements."""
+    specs: dict[str, GridSpec] = {}
+    total = 0
+    for name, dblocks in plan.data_blocks.items():
+        lo: Optional[list[int]] = None
+        hi: Optional[list[int]] = None
+        for db in dblocks:
+            for c in db.elements:
+                if lo is None:
+                    lo = list(c)
+                    hi = list(c)
+                    continue
+                for d, v in enumerate(c):
+                    if v < lo[d]:
+                        lo[d] = v
+                    elif v > hi[d]:
+                        hi[d] = v
+        if lo is None:
+            specs[name] = GridSpec(lo=(), shape=(), strides=(), size=0)
+            continue
+        shape = tuple(h - l + 1 for l, h in zip(lo, hi))
+        size = 1
+        for d in shape:
+            size *= d
+        total += size
+        if total > MAX_WORDS:
+            raise CodegenUnsupported(
+                f"flat grids need {total} words (cap {MAX_WORDS})")
+        specs[name] = GridSpec(lo=tuple(lo), shape=shape,
+                               strides=_c_strides(shape), size=size)
+    return specs
+
+
+def check_written_partitioned(plan) -> frozenset:
+    """Written arrays must be partitioned (no replicated written data).
+
+    A replicated written element would share one slot in the global
+    flat grid between two blocks, losing the per-block copy semantics
+    of ``LocalMemory``; the same restriction gates the vectorized tier.
+    """
+    written = frozenset(s.lhs.array for s in plan.nest.statements)
+    for name in written:
+        dblocks = plan.data_blocks.get(name, [])
+        count = sum(len(db.elements) for db in dblocks)
+        distinct = len(frozenset().union(*(db.elements for db in dblocks))) \
+            if dblocks else 0
+        if count != distinct:
+            raise CodegenUnsupported(
+                f"written array {name!r} has replicated elements")
+    return written
+
+
+def rect_block_shape(plan) -> Optional[tuple[int, ...]]:
+    """The uniform dense lexicographic shape of every block, or None.
+
+    The shape licenses literal ``range(extent)`` loops *only* if each
+    block's iteration list is exactly the lexicographic enumeration of
+    its rectangle -- accumulation statements make execution order
+    observable in float bits, so the order is verified, not assumed.
+    """
+    shape: Optional[tuple[int, ...]] = None
+    for b in plan.blocks:
+        iters = b.iterations
+        if not iters:
+            return None
+        lo, hi = iters[0], iters[-1]
+        s = tuple(h - l + 1 for l, h in zip(lo, hi))
+        if any(d <= 0 for d in s):
+            return None
+        if shape is None:
+            shape = s
+        elif s != shape:
+            return None
+        n = 1
+        for d in s:
+            n *= d
+        if n != len(iters):
+            return None
+    if shape is None:
+        return None
+    for b in plan.blocks:
+        lo = b.iterations[0]
+        expect = product(*(range(l, l + d) for l, d in zip(lo, shape)))
+        if any(a != e for a, e in zip(b.iterations, expect)):
+            return None
+    return shape
+
+
+def ref_affine(ref: ArrayRef, indices: tuple[str, ...]):
+    """Per-dimension integral affine of one reference: (matrix, consts).
+
+    ``matrix[d][k]`` is the coefficient of loop index ``k`` in
+    subscript ``d``; anything non-affine or non-integral (rational
+    coefficients need the interpreter's ``int(float)`` truncation) is
+    unsupported here and falls down-tier.
+    """
+    matrix: list[tuple[int, ...]] = []
+    consts: list[int] = []
+    for sub in ref.subscripts:
+        try:
+            ae = affine_of(sub, indices)
+        except NotAffineError as exc:
+            raise CodegenUnsupported(
+                f"subscript of {ref.array} is not affine: {exc}") from exc
+        if not ae.is_integral():
+            raise CodegenUnsupported(
+                f"subscript of {ref.array} has non-integral coefficients")
+        matrix.append(tuple(int(a) for a in ae.coeffs))
+        consts.append(int(ae.const))
+    return tuple(matrix), tuple(consts)
+
+
+def flat_affine(ref: ArrayRef, indices: tuple[str, ...],
+                spec: GridSpec) -> tuple[tuple[int, ...], int]:
+    """The reference's flat-slot affine: (per-index coeffs, constant)."""
+    matrix, consts = ref_affine(ref, indices)
+    if len(matrix) != len(spec.lo):
+        raise CodegenUnsupported(
+            f"{ref.array} referenced with {len(matrix)} subscripts but "
+            f"allocated with {len(spec.lo)} dimensions")
+    coeffs = [0] * len(indices)
+    const = 0
+    for d, (row, c) in enumerate(zip(matrix, consts)):
+        stride = spec.strides[d]
+        for k, a in enumerate(row):
+            coeffs[k] += a * stride
+        const += (c - spec.lo[d]) * stride
+    return tuple(coeffs), const
+
+
+def check_nest(nest: LoopNest, specs: dict[str, GridSpec]) -> None:
+    """Every reference must lower to a flat affine, or the plan is out."""
+    indices = nest.indices
+    for stmt in nest.statements:
+        for ref in [stmt.lhs] + list(stmt.rhs.array_refs()):
+            flat_affine(ref, indices, specs[ref.array])
+
+
+def _interval_certify(plan) -> Optional[bool]:
+    """Prove zero cross-block access by interval arithmetic, or None.
+
+    For affine references and dense-rectangular data blocks, the
+    per-dimension min/max of each subscript over a block's iteration
+    bounding box bounds every coordinate that block can touch; if the
+    bounds sit inside the block's own rectangle for every reference,
+    no access can leave the block.  The check is O(blocks x refs) --
+    microseconds where the audit replay is seconds -- but it is only a
+    *sufficient* proof: anything it cannot decide (non-affine
+    subscripts, ragged data blocks, correlated subscripts that exceed
+    their per-dim bounds without actually escaping) returns None and
+    falls back to the audit's exact replay.
+    """
+    nest = plan.nest
+    indices = nest.indices
+    refs = []
+    seen: set = set()
+    try:
+        for stmt in nest.statements:
+            for ref in [stmt.lhs] + list(stmt.rhs.array_refs()):
+                matrix, consts = ref_affine(ref, indices)
+                key = (ref.array, matrix, consts)
+                if key not in seen:
+                    seen.add(key)
+                    refs.append(key)
+    except CodegenUnsupported:
+        return None
+
+    rects: dict[tuple, Optional[tuple]] = {}
+
+    def db_rect(name: str, bindex: int):
+        """(lo, hi) of a dense-rect data block, () if empty, None if
+        ragged (= inconclusive)."""
+        key = (name, bindex)
+        if key in rects:
+            return rects[key]
+        elems = plan.data_blocks[name][bindex].elements
+        if not elems:
+            rects[key] = ()
+            return ()
+        lo = tuple(map(min, zip(*elems)))
+        hi = tuple(map(max, zip(*elems)))
+        size = 1
+        for l, h in zip(lo, hi):
+            size *= h - l + 1
+        r = (lo, hi) if size == len(elems) else None
+        rects[key] = r
+        return r
+
+    for b in plan.blocks:
+        iters = b.iterations
+        if not iters:
+            continue
+        ilo = tuple(map(min, zip(*iters)))
+        ihi = tuple(map(max, zip(*iters)))
+        for name, matrix, consts in refs:
+            rect = db_rect(name, b.index)
+            if rect is None or rect == ():
+                return None
+            lo, hi = rect
+            for d, (row, c) in enumerate(zip(matrix, consts)):
+                alo = ahi = c
+                for k, a in enumerate(row):
+                    if a > 0:
+                        alo += a * ilo[k]
+                        ahi += a * ihi[k]
+                    elif a < 0:
+                        alo += a * ihi[k]
+                        ahi += a * ilo[k]
+                if alo < lo[d] or ahi > hi[d]:
+                    return None
+    return True
+
+
+def certify_zero_cross(plan) -> bool:
+    """The communication audit's static certificate for check elision.
+
+    True iff zero cross-block accesses can happen -- exactly the
+    communication-freedom Theorems 1-4 promise for a correct partition,
+    verified rather than trusted.  The interval fast path proves the
+    common all-affine dense-rect case analytically; anything it cannot
+    decide falls back to the audit's exact per-block replay.  Only a
+    certified plan may run with ownership checks elided; anything else
+    delegates to the compiled tier, whose per-access slow path
+    reproduces the interpreter's bookkeeping and error bit-for-bit.
+    """
+    from repro.obs.audit import block_cross_accesses
+
+    if _interval_certify(plan):
+        return True
+    for b in plan.blocks:
+        cross, _ = block_cross_accesses(plan, b.index, max_detail=1)
+        if cross:
+            return False
+    return True

@@ -122,13 +122,37 @@ class MultiprocessEngine(Engine):
         try:
             compile_store_kernel(plan.nest, scalars, plan.live is not None,
                                  plan.model.space.rank_strides())
-            return SharedBlockStore(plan, memories)
+            store = SharedBlockStore(plan, memories)
+            store.codegen_key = self._codegen_key(plan, scalars)
+            return store
         except KernelCompileError:
             return None
         except Exception as exc:  # pragma: no cover - shm-less platforms
             current_tracer().event("engine.shm.unavailable",
                                    category="engine",
                                    reason=f"{type(exc).__name__}: {exc}")
+            return None
+
+    @staticmethod
+    def _codegen_key(plan, scalars):
+        """The codegen store-kernel key for the descriptor, or None.
+
+        Emits (and persists) the specialized kernel once in the parent
+        so workers attach by key; anything unsupported -- including an
+        unset certificate -- simply leaves the generic dict kernel in
+        charge.  Disabled alongside the disk cache: without persistence
+        a spawn-fresh worker would re-emit per process.
+        """
+        try:
+            from repro.runtime.engine.codegen.diskcache import get_disk_cache
+            from repro.runtime.engine.codegen.storegen import (
+                prepare_store_kernel,
+            )
+
+            if get_disk_cache() is None:
+                return None
+            return prepare_store_kernel(plan, dict(scalars))
+        except Exception:  # pragma: no cover - codegen is optional here
             return None
 
     def run_blocks(self, plan, memories, result, initial, scalars,

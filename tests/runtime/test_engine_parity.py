@@ -35,7 +35,7 @@ from repro.runtime.engine.vectorized import supports_plan
 
 SCALARS = {"D": 2.0, "F": 3.0, "G": 1.5, "K": 0.5}
 
-BACKENDS = ["compiled", "vectorized", "multiprocess"]
+BACKENDS = ["compiled", "vectorized", "multiprocess", "codegen"]
 
 CASES = [
     ("L1-nondup", catalog.l1, dict()),
@@ -150,7 +150,12 @@ class TestWithoutNumpy:
     def test_vectorized_unavailable_and_resolution_degrades(self):
         assert "vectorized" not in available_backends()
         assert resolve_engine("vectorized").name == "compiled"
-        assert resolve_engine("auto").name == "compiled"
+        # auto is a real engine now; its *choice* skips vectorized
+        from repro.runtime.engine.auto import choose_backend
+
+        assert resolve_engine("auto").name == "auto"
+        plan = build_plan(catalog.l3())
+        assert choose_backend(plan)[0] == "codegen"
 
     def test_parity_still_holds(self):
         plan = build_plan(catalog.l3(), strategy=Strategy.DUPLICATE,
@@ -184,10 +189,12 @@ def test_registry_names_and_order():
     # order depends on which backend module was imported first, so only
     # the membership is pinned
     assert set(backend_names()) == \
-        {"interp", "compiled", "vectorized", "multiprocess"}
+        {"interp", "compiled", "vectorized", "multiprocess", "codegen",
+         "auto"}
     assert get_engine("jit").name == "compiled"
     assert get_engine("numpy").name == "vectorized"
     assert get_engine("mp").name == "multiprocess"
+    assert get_engine("cg").name == "codegen"
     for name in available_backends():
         assert get_engine(name).is_available()
 
