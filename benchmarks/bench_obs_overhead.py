@@ -1,4 +1,5 @@
-"""Observability overhead: disabled tracing must stay under 2%.
+"""Observability overhead: disabled tracing must stay under 2%,
+and so must the *always-on* flight recorder.
 
 The tracer call sites (pipeline passes, plan-cache lookups, per-block
 engine runs, machine phases) are *unconditional* -- no ``if tracing:``
@@ -19,6 +20,14 @@ of a scaled matrix multiply, the same Theorem 2 workload
    as the honest flip side (enabled tracing is allowed to cost more;
    only the disabled path has a floor).
 
+The flight recorder (:mod:`repro.obs.flight`) has the opposite default:
+it is **on** unless ``REPRO_FLIGHT=0``, so its *enabled* steady state is
+what carries the budget.  Same two-sided treatment: an accounting bound
+(ring entries per run x per-record cost / workload time, asserted
+``< FLIGHT_FLOOR``) plus the A/B wall times, written to
+``BENCH_obs.json`` under ``"flight"`` -- where the ``obs-overhead`` SLO
+(:mod:`repro.obs.slo`) reads the committed figure back.
+
 ``python benchmarks/bench_obs_overhead.py`` regenerates
 ``BENCH_obs.json``.
 """
@@ -30,16 +39,26 @@ from time import perf_counter
 
 from repro.core import Strategy, build_plan
 from repro.lang.parser import parse
+import importlib
+
 from repro.obs import Tracer, current_tracer, use_tracer
+from repro.obs.flight import FlightRecorder
+
+# the package re-exports the flight() accessor under the same name as
+# the module, so resolve the module itself for FLIGHT swapping
+flight_mod = importlib.import_module("repro.obs.flight")
 from repro.runtime import make_arrays
 from repro.runtime.parallel import run_parallel
 
 #: Maximum tolerated disabled-tracing overhead, as a fraction of
 #: workload wall time (the issue's acceptance bound).
 DISABLED_FLOOR = 0.02
+#: Maximum tolerated *always-on* flight-recorder overhead.
+FLIGHT_FLOOR = 0.02
 
 MATMUL_N = 24
 SPAN_CALLS = 200_000
+RECORD_CALLS = 200_000
 
 
 def matmul_nest(n: int = MATMUL_N):
@@ -65,6 +84,18 @@ def null_span_per_call_s(calls: int = SPAN_CALLS) -> float:
         for _ in range(calls):
             with tracer.span("bench.noop", category="bench", k=1) as sp:
                 sp.set(v=2)
+        best = min(best, perf_counter() - t0)
+    return best / calls
+
+
+def flight_record_per_call_s(calls: int = RECORD_CALLS) -> float:
+    """Per-call seconds of one enabled ring append, best of 3."""
+    fr = FlightRecorder(capacity=4096, enabled=True)
+    best = float("inf")
+    for _ in range(3):
+        t0 = perf_counter()
+        for _ in range(calls):
+            fr.record("event", "bench.noop", k=1)
         best = min(best, perf_counter() - t0)
     return best / calls
 
@@ -98,6 +129,24 @@ def measure():
 
     per_call = null_span_per_call_s()
     accounted = spans_per_run * per_call / disabled_s
+
+    # -- flight recorder: the always-on steady state ----------------------
+    saved = flight_mod.FLIGHT
+    try:
+        counting = FlightRecorder(capacity=1 << 20, enabled=True)
+        flight_mod.FLIGHT = counting
+        workload(plan, initial)   # warm + count ring entries per run
+        records_per_run = len(counting)
+
+        flight_mod.FLIGHT = FlightRecorder(enabled=True)
+        flight_on_s = _best_workload_s(plan, initial)
+        flight_mod.FLIGHT = FlightRecorder(enabled=False)
+        flight_off_s = _best_workload_s(plan, initial)
+    finally:
+        flight_mod.FLIGHT = saved
+    record_call = flight_record_per_call_s()
+    flight_accounted = records_per_run * record_call / flight_off_s
+
     return {
         "workload": f"run_parallel(MATMUL{MATMUL_N}, duplicate, interp)",
         "disabled_ms": round(disabled_s * 1e3, 3),
@@ -106,6 +155,14 @@ def measure():
         "null_span_ns_per_call": round(per_call * 1e9, 1),
         "disabled_overhead_fraction": round(accounted, 6),
         "floor": DISABLED_FLOOR,
+        "flight": {
+            "on_ms": round(flight_on_s * 1e3, 3),
+            "off_ms": round(flight_off_s * 1e3, 3),
+            "records_per_run": records_per_run,
+            "record_ns_per_call": round(record_call * 1e9, 1),
+            "overhead_fraction": round(flight_accounted, 6),
+            "floor": FLIGHT_FLOOR,
+        },
     }
 
 
@@ -118,6 +175,39 @@ def test_disabled_overhead_under_floor(benchmark):
         f"of the workload (floor {DISABLED_FLOOR:.0%}): "
         f"{row['spans_per_run']} spans x "
         f"{row['null_span_ns_per_call']}ns over {row['disabled_ms']}ms")
+
+
+def test_flight_overhead_under_floor(benchmark):
+    row = measure()
+    fl = row["flight"]
+    benchmark(lambda: flight_record_per_call_s(10_000))
+    benchmark.extra_info.update(**fl)
+    assert fl["overhead_fraction"] < FLIGHT_FLOOR, (
+        f"always-on flight recording costs {fl['overhead_fraction']:.2%} "
+        f"of the workload (floor {FLIGHT_FLOOR:.0%}): "
+        f"{fl['records_per_run']} records x "
+        f"{fl['record_ns_per_call']}ns over {fl['off_ms']}ms")
+
+
+def test_flight_recording_stays_coarse():
+    """The recorder must see pass/engine-grained entries, not per-block
+    or per-iteration work -- coarseness is what keeps it always-on."""
+    plan = build_plan(matmul_nest(), strategy=Strategy.DUPLICATE)
+    initial = make_arrays(plan.model)
+    saved = flight_mod.FLIGHT
+    try:
+        counting = FlightRecorder(capacity=1 << 20, enabled=True)
+        flight_mod.FLIGHT = counting
+        workload(plan, initial)
+        nblocks = len(plan.blocks)
+        iterations = MATMUL_N ** 3
+        assert len(counting) > 0, "no flight entries recorded at all"
+        assert len(counting) < max(64, nblocks), (
+            f"{len(counting)} flight entries for one run of {nblocks} "
+            f"blocks / {iterations} iterations -- recording is too fine "
+            f"to stay always-on")
+    finally:
+        flight_mod.FLIGHT = saved
 
 
 def test_null_span_is_shared_singleton():
@@ -137,7 +227,10 @@ def main():
     ok = out["disabled_overhead_fraction"] < DISABLED_FLOOR
     print(f"floor: {'PASS' if ok else 'FAIL'} "
           f"({out['disabled_overhead_fraction']:.3%} < {DISABLED_FLOOR:.0%})")
-    return 0 if ok else 1
+    fok = out["flight"]["overhead_fraction"] < FLIGHT_FLOOR
+    print(f"flight floor: {'PASS' if fok else 'FAIL'} "
+          f"({out['flight']['overhead_fraction']:.3%} < {FLIGHT_FLOOR:.0%})")
+    return 0 if ok and fok else 1
 
 
 if __name__ == "__main__":

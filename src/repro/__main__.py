@@ -1,6 +1,17 @@
 """``python -m repro`` entry point."""
 
+import os
+import sys
+
 from repro.cli import main
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    code = main()
+    if code == 141:
+        # EPIPE path: point the real fd at devnull so the interpreter's
+        # shutdown flush of whatever is still buffered cannot raise
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except OSError:
+            pass
+    raise SystemExit(code)

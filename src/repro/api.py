@@ -197,7 +197,16 @@ class Session:
     def plan(self) -> PartitionPlan:
         """Build (once) and return the partition plan."""
         if self._plan is None:
-            with self._scope():
+            from repro.obs.flight import flight
+            from repro.obs.top import current_writer
+
+            writer = current_writer()
+            if writer is not None:
+                writer.write({"phase": "plan",
+                              "case": self.nest.name or "?"})
+            with self._scope(), flight().span(
+                    "session.plan", case=self.nest.name or "?",
+                    strategy=self.strategy.value):
                 self._plan = build_plan(
                     self.nest, strategy=self.strategy,
                     eliminate_redundant=self.eliminate_redundant)
@@ -206,12 +215,42 @@ class Session:
     def run(self, backend: Optional[str] = None, **kwargs):
         """Execute the plan in parallel; returns a
         :class:`~repro.runtime.parallel.ParallelResult`."""
+        from repro.obs.flight import flight
         from repro.runtime.parallel import run_parallel
 
-        with self._scope():
-            return run_parallel(self.plan(), scalars=self.scalars,
-                                backend=backend, options=self.options,
-                                **kwargs)
+        with self._scope(), flight().span(
+                "session.run", case=self.nest.name or "?",
+                backend=backend or self.options.backend or "default"):
+            result = run_parallel(self.plan(), scalars=self.scalars,
+                                  backend=backend, options=self.options,
+                                  **kwargs)
+        self._snapshot_done(result)
+        return result
+
+    def _snapshot_done(self, result) -> None:
+        """Final ``repro top`` frame for a finished run: progress full,
+        the communication-optimality gauge computed from the run's
+        actual access counts."""
+        from repro.obs.slo import comm_optimality
+        from repro.obs.top import current_writer, registry_stats
+
+        writer = current_writer()
+        if writer is None:
+            return
+        memories = getattr(result, "memories", None) or {}
+        total = sum(m.reads + m.writes for m in memories.values())
+        remote = getattr(result, "remote_accesses", 0)
+        nblocks = len(getattr(result, "plan", self._plan).blocks)
+        writer.write({
+            "registry": registry_stats(self.registry),
+            "phase": "done",
+            "case": self.nest.name or "?",
+            "backend": getattr(result, "backend", "?"),
+            "units": 1, "units_done": 1,
+            "blocks": nblocks, "blocks_done": nblocks,
+            "comm_optimality": comm_optimality(total, remote),
+            "remote_accesses": remote,
+        })
 
     def run_sequential(self, backend: Optional[str] = None):
         """Run the nest sequentially (the golden model); returns the

@@ -7,7 +7,9 @@
     python -m repro select    <file|--loop L5> -p 16   strategy selection
     python -m repro audit     <file|--loop L1> [...]   communication audit
     python -m repro chaos     [--crash-prob 0.2 ...]   fault-injected run
-    python -m repro perf      [--check]                perf history + gate
+    python -m repro perf      [--check]                perf history + SLO gate
+    python -m repro blackbox  [FILE]                   post-mortem flight dump
+    python -m repro top       [--once]                 live run dashboard
     python -m repro figures                            regenerate Figs. 1-10
     python -m repro tables                             Tables I & II
 
@@ -21,10 +23,19 @@ table (including plan-cache hit/miss counters with miss reasons).
 Observability flags work on every subcommand too: ``--trace FILE``
 writes Chrome trace-event JSON (open in chrome://tracing or Perfetto),
 ``--metrics`` prints Prometheus-style metrics, ``--metrics-out FILE``
-writes them to a file (JSON when the name ends in ``.json``), and
-``--events FILE`` writes a JSON-lines event log.  Structured
-diagnostics (degenerate Psi, partial duplication, ...) go to stderr so
-stdout stays machine-stable.
+writes them to a file (JSON when the name ends in ``.json``),
+``--events FILE`` writes a JSON-lines event log, and ``--profile FILE``
+runs the sampling profiler over the command and writes collapsed-stack
+flamegraph lines (its sample track also merges into ``--trace``
+output).  Structured diagnostics (degenerate Psi, partial duplication,
+...) go to stderr so stdout stays machine-stable.
+
+Independent of all flags, a bounded flight recorder is always on
+(:mod:`repro.obs.flight`): any unhandled failure -- a scheduler that
+cannot recover, a collapsed pool, a failed chaos certification, an
+unexpected exception -- dumps a ``repro-blackbox-*.json`` post-mortem
+that ``repro blackbox`` renders.  ``REPRO_TOP_SNAPSHOT=FILE`` makes
+runs publish live snapshots that ``repro top`` tails.
 """
 
 from __future__ import annotations
@@ -264,6 +275,7 @@ def cmd_audit(args, out) -> int:
 
 def cmd_perf(args, out) -> int:
     from repro.obs import history as hist
+    from repro.obs import slo as slomod
 
     n = args.n if args.n else hist.DEFAULT_N
     repeats = args.repeats if args.repeats else hist.DEFAULT_REPEATS
@@ -271,6 +283,20 @@ def cmd_perf(args, out) -> int:
     baseline_path = args.baseline or hist.DEFAULT_BASELINE
 
     entry = hist.measure_entry(n=n, repeats=repeats)
+    if args.inject_regression:
+        # negative control: synthetically degrade the measured entry so
+        # the floor gate and the EWMA watchdog demonstrably fire
+        entry["speedup"] = {b: round(s * 0.1, 2)
+                            for b, s in entry["speedup"].items()}
+        if "blocks_per_sec" in entry:
+            entry["blocks_per_sec"] = round(
+                entry["blocks_per_sec"] * 0.1, 2)
+    slos = list(slomod.DEFAULT_SLOS)
+    if args.slo:
+        slos.extend(slomod.load_slos(args.slo))
+    slo_results = slomod.evaluate_slos(entry, slos)
+    entry["slo"] = slomod.slo_block(slo_results)
+    prior = hist.load_history(history_path)
     count = hist.append_history(entry, history_path)
     baseline = hist.load_baseline(baseline_path)
     if baseline is not None and baseline.get("case") != entry["case"]:
@@ -290,12 +316,31 @@ def cmd_perf(args, out) -> int:
     if baseline is None:
         print(f"no baseline at {baseline_path}; deltas omitted", file=out)
     print(hist.render_perf_table(entry, baseline, floors), file=out)
+    violated = [r for r in slo_results if not r.ok]
+    if args.check or violated:
+        for r in slo_results:
+            print(f"slo {r.describe()}", file=out)
     if args.check:
-        failures = hist.check_floors(entry, floors)
+        floor_failures = hist.check_floors(entry, floors)
+        failures = list(floor_failures)
+        failures += [f"SLO {r.describe()}" for r in violated]
+        wd = slomod.watchdog(prior, entry)
+        if wd:
+            failures += [f"watchdog {w}" for w in wd]
+        else:
+            same_case = sum(1 for h in prior
+                            if h.get("case") == entry["case"])
+            engaged = same_case >= slomod.MIN_HISTORY
+            hint = "" if engaged else f", engages at {slomod.MIN_HISTORY}"
+            print(f"regression watchdog: {'PASS' if engaged else 'idle'} "
+                  f"({same_case} prior same-case runs{hint})", file=out)
         if failures:
             print("perf regression: " + "; ".join(failures), file=out)
-            return _finish(False,
-                           "perf below floor: " + "; ".join(failures))
+            # keep the historical stderr prefix when a floor is what
+            # broke -- shell pipelines grep for "perf below floor:"
+            prefix = ("perf below floor: " if floor_failures
+                      else "perf regression: ")
+            return _finish(False, prefix + "; ".join(failures))
         print("perf floors: PASS", file=out)
     return 0
 
@@ -401,14 +446,51 @@ def cmd_chaos(args, out) -> int:
             json.dump(doc, fh, indent=2, sort_keys=True)
             fh.write("\n")
 
+    from repro.obs.flight import dump_blackbox
+
     if sres is not None and not sres.recovered:
+        dump_blackbox("chaos certification failed: units missing",
+                      extra={"scheduler": sres.to_json()})
         return _finish(False, "chaos non-recovery: "
                               f"{sres.units - sres.completed_units} "
                               "unit(s) never completed")
     if not (arrays_ok and stamps_ok and counters_ok):
+        dump_blackbox("chaos certification failed: result mismatch",
+                      extra={"scheduler": sres.to_json()
+                             if sres is not None else None})
         return _finish(False, "chaos run is not bit-identical to the "
                               "interp golden run")
     return _finish(audit.ok, f"audit violation: {audit.summary()}")
+
+
+def cmd_blackbox(args, out) -> int:
+    """Render a flight-recorder post-mortem dump (newest by default)."""
+    import json
+
+    from repro.obs.flight import (latest_blackbox, load_blackbox,
+                                  render_blackbox)
+
+    path = args.file or latest_blackbox(args.dir)
+    if path is None:
+        where = args.dir or "the current directory"
+        return _finish(False, f"no repro-blackbox-*.json dumps in {where}")
+    try:
+        doc = load_blackbox(path)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        return _finish(False, f"cannot read blackbox {path}: {exc}")
+    print(f"file: {path}", file=out)
+    print(render_blackbox(doc, last=args.last), file=out)
+    return 0
+
+
+def cmd_top(args, out) -> int:
+    """Tail a run's live snapshot file as an ASCII dashboard."""
+    from repro.obs.top import run_top
+
+    return run_top(path=args.snapshot,
+                   interval_s=args.interval,
+                   iterations=1 if args.once else args.iterations,
+                   out=out)
 
 
 def cmd_figures(args, out) -> int:
@@ -481,6 +563,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "anything else for Prometheus text)")
         p.add_argument("--events", metavar="FILE",
                        help="write a JSON-lines structured event log")
+        p.add_argument("--profile", metavar="FILE",
+                       help="sample wall time over this command and write "
+                            "collapsed-stack flamegraph lines to FILE "
+                            "(also prints the per-subsystem table)")
         return p
 
     p = add_subparser("analyze", help="reference-pattern analysis")
@@ -572,7 +658,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="override a speedup floor (repeatable)")
     p.add_argument("--check", action="store_true",
                    help="exit non-zero when a backend regresses below "
-                        "its floor")
+                        "its floor, an SLO is violated, or the EWMA "
+                        "watchdog flags a drop against the history")
+    p.add_argument("--slo", metavar="FILE",
+                   help="extra SLO specs (JSON list of "
+                        "name/metric/kind/threshold objects)")
+    p.add_argument("--inject-regression", action="store_true",
+                   help="synthetically degrade the measured entry "
+                        "(negative control: --check must then fail)")
     p.set_defaults(fn=cmd_perf)
 
     p = add_subparser("chaos",
@@ -604,6 +697,31 @@ def build_parser() -> argparse.ArgumentParser:
                         "as JSON")
     p.set_defaults(fn=cmd_chaos)
 
+    p = add_subparser("blackbox",
+                      help="render a flight-recorder post-mortem dump")
+    p.add_argument("file", nargs="?",
+                   help="dump file (default: newest repro-blackbox-*.json)")
+    p.add_argument("--dir", metavar="DIR",
+                   help="directory to search for dumps "
+                        "(default: $REPRO_BLACKBOX_DIR or the cwd)")
+    p.add_argument("--last", type=int, default=40, metavar="N",
+                   help="ring entries to show (default 40)")
+    p.set_defaults(fn=cmd_blackbox)
+
+    p = add_subparser("top",
+                      help="live ASCII dashboard over a run's snapshot "
+                           "file (set REPRO_TOP_SNAPSHOT on the run)")
+    p.add_argument("--snapshot", metavar="FILE",
+                   help="snapshot path (default: $REPRO_TOP_SNAPSHOT "
+                        "or .repro-top.json)")
+    p.add_argument("--interval", type=float, default=1.0, metavar="S",
+                   help="refresh interval in seconds (default 1.0)")
+    p.add_argument("--once", action="store_true",
+                   help="render a single frame and exit")
+    p.add_argument("--iterations", type=int, default=None, metavar="N",
+                   help="render N frames then exit (default: forever)")
+    p.set_defaults(fn=cmd_top)
+
     p = add_subparser("figures", help="regenerate Figures 1-10")
     p.set_defaults(fn=cmd_figures)
 
@@ -617,6 +735,34 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _invoke(args, out) -> int:
+    """Run one subcommand under the flight recorder's crash net.
+
+    Any exception that would escape the driver dumps the flight ring
+    first (``repro blackbox`` then has the post-mortem), and still
+    propagates -- the dump documents the failure, it never masks it.
+    """
+    from repro.obs.flight import dump_blackbox, flight
+
+    fr = flight()
+    fr.record("event", "cli.start", command=args.command)
+    try:
+        return args.fn(args, out)
+    except (SystemExit, KeyboardInterrupt):
+        raise
+    except BrokenPipeError:
+        # downstream reader (e.g. `| head`) closed our stdout early:
+        # not a failure of ours, so no blackbox, no traceback -- mirror
+        # the conventional 128+SIGPIPE exit (the __main__ shim redirects
+        # the real fd so the interpreter's shutdown flush stays quiet)
+        return 141
+    except Exception as exc:
+        fr.error(f"cli.{args.command}", exc)
+        dump_blackbox(
+            f"unhandled {type(exc).__name__} in repro {args.command}: {exc}")
+        raise
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     args = build_parser().parse_args(argv)
     out = out or sys.stdout
@@ -625,14 +771,19 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     metrics_flag = getattr(args, "metrics", False)
     metrics_out = getattr(args, "metrics_out", None)
     timings = getattr(args, "timings", False)
+    profile_path = getattr(args, "profile", None)
     if not (trace_path or events_path or metrics_flag or metrics_out
-            or timings):
-        return args.fn(args, out)
+            or timings or profile_path):
+        return _invoke(args, out)
+
+    import json
 
     from repro.obs import (MetricsRegistry, Tracer, prometheus_text,
-                           use_registry, use_tracer, write_chrome_trace,
-                           write_event_log, write_metrics)
+                           use_registry, use_tracer, write_event_log,
+                           write_metrics)
+    from repro.obs.export import chrome_trace
     from repro.obs.hooks import TracingHooks
+    from repro.obs.profile import SamplingProfiler
 
     # fresh sinks so every dump covers exactly this command; the tracer
     # stays the null recorder unless a trace/event file was requested
@@ -641,20 +792,41 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     tracer = Tracer(enabled=bool(trace_path or events_path))
     if tracer.enabled:
         instr.add_hooks(TracingHooks(tracer))
+    profiler = SamplingProfiler() if profile_path else None
     with use_metrics(instr), use_registry(registry), use_tracer(tracer):
-        with tracer.span(f"cli.{args.command}", category="cli") as sp:
-            code = args.fn(args, out)
-            sp.set(exit_code=code)
+        if profiler is not None:
+            profiler.start()
+        try:
+            with tracer.span(f"cli.{args.command}", category="cli") as sp:
+                code = _invoke(args, out)
+                sp.set(exit_code=code)
+        finally:
+            if profiler is not None:
+                profiler.stop()
+                profiler.publish(registry)
     if timings:
         print(file=out)
         print(instr.timing_table(), file=out)
+    if profiler is not None:
+        profiler.write_collapsed(profile_path)
+        print(file=out)
+        print(profiler.report(), file=out)
+        print(f"profile: {profiler.sample_count} samples -> {profile_path} "
+              f"(collapsed stacks; feed to any flamegraph renderer)",
+              file=out)
     if metrics_flag:
         print(file=out)
         print(prometheus_text(registry), file=out)
     if metrics_out:
         write_metrics(registry, metrics_out)
     if trace_path:
-        write_chrome_trace(tracer, trace_path)
+        doc = chrome_trace(tracer)
+        if profiler is not None:
+            # the sampler's instants ride along on their own track
+            doc["traceEvents"].extend(profiler.chrome_events(tracer.pid))
+        with open(trace_path, "w") as fh:
+            json.dump(doc, fh, indent=1)
+            fh.write("\n")
     if events_path:
         write_event_log(tracer, events_path)
     return code

@@ -23,10 +23,21 @@ simulate (machine distribution/compute phases):
   ``r`` vectors), engine reconciliation, and the ASCII dashboard behind
   ``repro audit``;
 - :mod:`~repro.obs.history`: the JSON-lines perf history and
-  floor-gated regression check behind ``repro perf``.
+  floor-gated regression check behind ``repro perf``;
+- :mod:`~repro.obs.flight`: the always-on bounded flight recorder,
+  dumped to a ``repro-blackbox-*.json`` post-mortem on failure and
+  rendered by ``repro blackbox``;
+- :mod:`~repro.obs.profile`: the thread-based sampling profiler behind
+  ``--profile`` (collapsed-stack flamegraphs, Chrome sample tracks,
+  per-subsystem attribution);
+- :mod:`~repro.obs.top`: the periodic run-snapshot writer and the live
+  ``repro top`` dashboard;
+- :mod:`~repro.obs.slo`: declarative SLOs and the EWMA regression
+  watchdog behind ``repro perf --check``.
 
 Every CLI subcommand accepts ``--trace FILE``, ``--metrics``,
-``--metrics-out FILE`` and ``--events FILE``.
+``--metrics-out FILE``, ``--events FILE`` and ``--profile FILE``; see
+``docs/OBSERVABILITY.md`` for the full knob reference.
 """
 
 from repro.obs.aggregate import WorkerObs, capture_worker_obs, merge_worker_obs
@@ -64,7 +75,18 @@ from repro.obs.history import (
     load_history,
     measure_entry,
 )
+from repro.obs.flight import (
+    FlightRecorder,
+    dump_blackbox,
+    flight,
+    latest_blackbox,
+    load_blackbox,
+    render_blackbox,
+)
+from repro.obs.profile import SamplingProfiler
 from repro.obs.schema import CHROME_TRACE_SCHEMA, validate_chrome_trace
+from repro.obs.slo import SLO, SLOResult, comm_optimality, evaluate_slos, watchdog
+from repro.obs.top import SnapshotWriter, current_writer, render_top, run_top
 from repro.obs.trace import (
     NULL_SPAN,
     NULL_TRACER,
@@ -114,4 +136,20 @@ __all__ = [
     "load_history",
     "load_baseline",
     "check_floors",
+    "FlightRecorder",
+    "flight",
+    "dump_blackbox",
+    "latest_blackbox",
+    "load_blackbox",
+    "render_blackbox",
+    "SamplingProfiler",
+    "SnapshotWriter",
+    "current_writer",
+    "render_top",
+    "run_top",
+    "SLO",
+    "SLOResult",
+    "evaluate_slos",
+    "watchdog",
+    "comm_optimality",
 ]

@@ -23,22 +23,51 @@ from repro.obs.trace import Tracer
 EVENT_CATEGORY_SUFFIX = ".event"
 
 
+def _metadata_events(tracer: Tracer,
+                     lanes: list[tuple[int, int]]) -> list[dict[str, Any]]:
+    """``process_name``/``thread_name`` metadata (``"ph": "M"``) events.
+
+    Without these, Perfetto labels every lane with a bare pid; with
+    them the coordinator process reads as ``repro`` and each pool
+    worker as ``repro worker <pid>``, so a multiprocess trace is
+    legible at a glance.  ``lanes`` is the distinct ``(pid, tid)``
+    pairs that actually carry events.
+    """
+    events: list[dict[str, Any]] = []
+    for pid in sorted({pid for pid, _ in lanes}):
+        name = "repro" if pid == tracer.pid else f"repro worker {pid}"
+        events.append({
+            "name": "process_name", "cat": "__metadata", "ph": "M",
+            "ts": 0, "pid": pid, "tid": 0, "args": {"name": name},
+        })
+    for pid, tid in sorted(set(lanes)):
+        events.append({
+            "name": "thread_name", "cat": "__metadata", "ph": "M",
+            "ts": 0, "pid": pid, "tid": tid,
+            "args": {"name": "main" if tid == 0 else f"thread {tid}"},
+        })
+    return events
+
+
 def chrome_trace(tracer: Tracer) -> dict[str, Any]:
     """The Chrome trace-event JSON document for one tracer's run."""
     events: list[dict[str, Any]] = []
+    lanes: list[tuple[int, int]] = []
     for s in sorted(tracer.spans, key=lambda s: (s.start_ns, s.span_id)):
         args: dict[str, Any] = dict(s.attributes)
         if s.parent_id is not None:
             args["parent_span"] = s.parent_id
         if s.error is not None:
             args["error"] = s.error
+        pid = s.pid if s.pid is not None else tracer.pid
+        lanes.append((pid, s.tid))
         events.append({
             "name": s.name,
             "cat": s.category,
             "ph": "X",
             "ts": s.start_ns / 1e3,       # microseconds
             "dur": s.duration_ns / 1e3,
-            "pid": s.pid if s.pid is not None else tracer.pid,
+            "pid": pid,
             "tid": s.tid,
             "args": args,
         })
@@ -46,16 +75,19 @@ def chrome_trace(tracer: Tracer) -> dict[str, Any]:
         args = dict(e.attributes)
         if e.span_id is not None:
             args["span"] = e.span_id
+        pid = e.pid if e.pid is not None else tracer.pid
+        lanes.append((pid, 0))
         events.append({
             "name": e.name,
             "cat": e.category + EVENT_CATEGORY_SUFFIX,
             "ph": "i",
             "ts": e.ts_ns / 1e3,
             "s": "t",                     # thread-scoped instant
-            "pid": e.pid if e.pid is not None else tracer.pid,
+            "pid": pid,
             "tid": 0,
             "args": args,
         })
+    events = _metadata_events(tracer, lanes) + events
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 

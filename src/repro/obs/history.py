@@ -194,16 +194,88 @@ def make_entry(times: Mapping[str, float], n: int, repeats: int,
     return entry
 
 
+def measure_plan_latency(n: int = DEFAULT_N,
+                         repeats: int = 5) -> tuple[dict, int]:
+    """Plan-build latency stats (ms) and the plan's block count.
+
+    Several back-to-back builds of the benchmark nest; later builds hit
+    the content-addressed plan cache, so the distribution covers both
+    the cold build and the cached serve path (the thing the
+    ``plan-latency-p95`` SLO is actually about).  Quantiles are
+    nearest-rank (the sample is tiny by construction).
+    """
+    import math
+
+    from repro.core.plan import build_plan
+    from repro.core.strategy import Strategy
+
+    nest = matmul_nest(n)
+    samples: list[float] = []
+    nblocks = 0
+    for _ in range(max(1, repeats)):
+        t0 = perf_counter()
+        plan = build_plan(nest, strategy=Strategy.DUPLICATE)
+        samples.append((perf_counter() - t0) * 1e3)
+        nblocks = len(plan.blocks)
+    ordered = sorted(samples)
+
+    def rank(q: float) -> float:
+        return round(ordered[max(1, math.ceil(q * len(ordered))) - 1], 3)
+
+    return ({"p50": rank(0.5), "p95": rank(0.95),
+             "mean": round(sum(samples) / len(samples), 3),
+             "runs": len(samples)}, nblocks)
+
+
+def committed_obs_overhead(path: PathLike = "BENCH_obs.json") \
+        -> Optional[float]:
+    """The committed flight-recorder overhead fraction, or None.
+
+    Read from ``BENCH_obs.json`` (written by
+    ``benchmarks/bench_obs_overhead.py``) so the ``obs-overhead`` SLO
+    evaluates against the measured, committed figure.
+    """
+    p = Path(path)
+    if not p.exists():
+        return None
+    try:
+        data = json.loads(p.read_text())
+    except (json.JSONDecodeError, OSError):
+        return None
+    frac = (data.get("flight") or {}).get("overhead_fraction")
+    return float(frac) if isinstance(frac, (int, float)) else None
+
+
 def measure_entry(n: int = DEFAULT_N, repeats: int = DEFAULT_REPEATS,
                   registry: Optional[MetricsRegistry] = None) -> dict:
-    """Measure and publish one history entry (``perf.*`` metrics)."""
+    """Measure and publish one history entry (``perf.*`` metrics).
+
+    Beyond the per-backend times the entry carries the serving-side
+    series the SLOs and the EWMA watchdog gate: ``plan_ms`` (plan-build
+    latency stats), ``blocks_per_sec`` (multiprocess block throughput),
+    ``obs_overhead_fraction`` (the committed flight-recorder tax) and
+    the evaluated ``slo`` block itself.
+    """
+    from repro.obs.slo import evaluate_slos, slo_block
+
     runs = measure_engine_runs(n=n, repeats=repeats)
     entry = make_entry({b: min(r) for b, r in runs.items()}, n, repeats,
                        runs=runs)
+    plan_ms, nblocks = measure_plan_latency(n=n)
+    entry["plan_ms"] = plan_ms
+    mp_ms = entry["ms"].get("multiprocess")
+    if mp_ms:
+        entry["blocks_per_sec"] = round(nblocks / (mp_ms / 1e3), 2)
+    frac = committed_obs_overhead()
+    if frac is not None:
+        entry["obs_overhead_fraction"] = frac
+    entry["slo"] = slo_block(evaluate_slos(entry))
     reg = registry if registry is not None else current_registry()
     reg.inc("perf.runs")
     for backend, s in entry["speedup"].items():
         reg.set(f"perf.speedup.{backend}", s)
+    if "blocks_per_sec" in entry:
+        reg.set("perf.blocks_per_sec", entry["blocks_per_sec"])
     return entry
 
 

@@ -40,6 +40,13 @@ from typing import Any, Iterator, Optional, Union
 #: (seconds for timings): 1us .. 100s.
 DEFAULT_BUCKETS = tuple(10.0 ** e for e in range(-6, 3))
 
+#: Raw observations retained per histogram for exact small-sample
+#: quantiles.  While ``count <= SAMPLE_CAP`` every observation is still
+#: held, so quantiles are exact nearest-rank values; past the cap the
+#: histogram falls back to bucket interpolation (which is where the
+#: interpolation error is amortized away by volume anyway).
+SAMPLE_CAP = 64
+
 
 @dataclass
 class Counter:
@@ -86,6 +93,7 @@ class Histogram:
     total: float = 0.0
     min: float = math.inf
     max: float = -math.inf
+    samples: list[float] = field(default_factory=list)
 
     kind = "histogram"
 
@@ -100,6 +108,8 @@ class Histogram:
             self.min = v
         if v > self.max:
             self.max = v
+        if len(self.samples) < SAMPLE_CAP:
+            self.samples.append(v)
         for i, le in enumerate(self.buckets):
             if v <= le:
                 self.counts[i] += 1
@@ -115,19 +125,34 @@ class Histogram:
         """Snapshot scalar: the running sum (see :meth:`MetricsRegistry.value`)."""
         return self.total
 
-    def quantile(self, q: float) -> float:
-        """Bucket-interpolated quantile estimate (Prometheus-style).
+    @property
+    def exact(self) -> bool:
+        """True while every observation is still retained in
+        ``samples`` -- quantiles are exact nearest-rank values."""
+        return 0 < self.count <= len(self.samples)
 
-        The target rank is located in the cumulative bucket counts and
-        the value interpolated linearly within that bucket; the open
-        ends are clamped to the observed ``min``/``max``, so ``q=0`` and
-        ``q=1`` are exact and every estimate stays inside the observed
-        range.
+    def quantile(self, q: float) -> float:
+        """Quantile estimate: exact nearest-rank on small samples,
+        bucket-interpolated (Prometheus-style) past ``SAMPLE_CAP``.
+
+        With few observations, interpolating inside a log-spaced bucket
+        is badly wrong (a single 5ms pass in the 1..10ms bucket used to
+        report p95 near the bucket midpoint, not 5ms); while every raw
+        value is still retained the nearest-rank value is returned
+        instead, which is exact.  For large counts the target rank is
+        located in the cumulative bucket counts and the value
+        interpolated linearly within that bucket; the open ends are
+        clamped to the observed ``min``/``max``, so ``q=0`` and ``q=1``
+        are exact and every estimate stays inside the observed range.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile {q} outside [0, 1]")
         if self.count == 0:
             return 0.0
+        if self.exact:
+            ordered = sorted(self.samples)
+            rank = max(1, math.ceil(q * self.count))  # nearest-rank
+            return ordered[rank - 1]
         target = q * self.count
         cum = 0
         for i, n in enumerate(self.counts):
@@ -159,6 +184,7 @@ class Histogram:
             self.counts[i] += n
         self.count += other.count
         self.total += other.total
+        self.samples = (self.samples + other.samples)[:SAMPLE_CAP]
         if other.count:
             self.min = min(self.min, other.min)
             self.max = max(self.max, other.max)
@@ -240,6 +266,8 @@ class MetricsRegistry:
                     "p50": None if m.count == 0 else m.quantile(0.50),
                     "p95": None if m.count == 0 else m.quantile(0.95),
                     "p99": None if m.count == 0 else m.quantile(0.99),
+                    "quantile_method": ("exact" if m.exact
+                                        else "bucket-interpolated"),
                 }
             else:
                 out[name] = {"kind": m.kind, "value": m.value}

@@ -27,7 +27,7 @@ CHROME_TRACE_SCHEMA: dict[str, Any] = {
                 "properties": {
                     "name": {"type": "string", "minLength": 1},
                     "cat": {"type": "string", "minLength": 1},
-                    "ph": {"enum": ["X", "i"]},
+                    "ph": {"enum": ["X", "i", "M"]},
                     "ts": {"type": "number", "minimum": 0},
                     "dur": {"type": "number", "minimum": 0},
                     "pid": {"type": "integer"},
@@ -62,8 +62,14 @@ def validate_chrome_trace(doc: Any) -> list[str]:
             if not isinstance(v, typ) or not v:
                 errors.append(f"{where}.{key}: missing or empty")
         ph = ev.get("ph")
-        if ph not in ("X", "i"):
+        if ph not in ("X", "i", "M"):
             errors.append(f"{where}.ph: invalid phase {ph!r}")
+        if ph == "M":
+            args = ev.get("args")
+            if not (isinstance(args, dict)
+                    and isinstance(args.get("name"), str)):
+                errors.append(
+                    f"{where}.args: metadata events need args.name")
         ts = ev.get("ts")
         if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
             errors.append(f"{where}.ts: missing or negative")

@@ -1,0 +1,228 @@
+"""Declarative SLOs and the EWMA regression watchdog.
+
+The perf harness (:mod:`repro.obs.history`) gates *speedups* against
+committed floors -- a strong but narrow contract.  This module adds the
+serving-side contracts the ROADMAP's batch-serving work needs:
+
+- :class:`SLO` -- one declarative objective over a perf-history entry:
+  a dotted metric path, a direction (``min``/``max``) and a threshold.
+  The defaults cover p95 plan-build latency, multiprocess block
+  throughput, and the committed observability overhead fraction;
+  ``repro perf --slo FILE`` loads additional specs from JSON;
+- :func:`evaluate_slos` -- per-run evaluation; results are stamped into
+  the entry (``entry["slo"]``) before it is appended to
+  ``BENCH_history.jsonl``, so the history carries its own
+  pass/fail record;
+- :func:`watchdog` -- the EWMA regression watchdog: for each watched
+  series (per-backend speedups, blocks/sec) it computes an
+  exponentially weighted moving average over the *prior* same-case
+  history and flags the newest entry when it drops more than
+  ``rel_tolerance`` below that average.  Unlike a static floor, the
+  EWMA tracks the machine the history was recorded on, so a gradual
+  20%/run decay is caught even while every run stays above its floor.
+  It engages only once ``min_history`` entries exist -- a fresh
+  checkout can never false-positive.  ``repro perf --check`` runs it
+  after the floor gate;
+- :func:`comm_optimality` -- the communication-optimality gauge shown
+  by ``repro top`` and the audit dashboard: the fraction of data
+  accesses served block-locally.  ``1.0`` is the paper's
+  zero-communication certificate; following the lower-bounds framing
+  of Christ et al. (arXiv:1308.0068), any gap to 1.0 is communication
+  that a better allocation could provably have avoided for these
+  reference patterns.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+#: History entries required before the watchdog engages.
+MIN_HISTORY = 5
+#: Default EWMA smoothing factor (weight of the newest prior entry).
+DEFAULT_ALPHA = 0.3
+#: Default tolerated drop below the EWMA before flagging (fraction).
+DEFAULT_TOLERANCE = 0.35
+
+#: Higher-is-better series the watchdog tracks by default.
+WATCHDOG_KEYS = (
+    "speedup.compiled",
+    "speedup.codegen",
+    "speedup.vectorized",
+    "speedup.multiprocess",
+    "blocks_per_sec",
+)
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One service-level objective over a perf-history entry.
+
+    ``metric`` is a dotted path into the entry (``plan_ms.p95``,
+    ``speedup.compiled``); ``kind`` is ``"max"`` (value must stay at or
+    below ``threshold``) or ``"min"`` (at or above).
+    """
+
+    name: str
+    metric: str
+    kind: str
+    threshold: float
+    help: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("min", "max"):
+            raise ValueError(
+                f"SLO {self.name!r}: kind must be 'min' or 'max', "
+                f"got {self.kind!r}")
+
+    def check(self, value: float) -> bool:
+        return (value >= self.threshold if self.kind == "min"
+                else value <= self.threshold)
+
+
+#: The standing objectives every ``repro perf`` run evaluates.  The
+#: thresholds are deliberately generous (these are contracts, not
+#: benchmarks -- the floors and the watchdog do the tight gating).
+DEFAULT_SLOS: tuple[SLO, ...] = (
+    SLO("plan-latency-p95", "plan_ms.p95", "max", 2000.0,
+        "p95 plan-build latency stays under 2s on the benchmark nest"),
+    SLO("block-throughput", "blocks_per_sec", "min", 1.0,
+        "the multiprocess tier sustains at least 1 block/sec"),
+    SLO("obs-overhead", "obs_overhead_fraction", "max", 0.02,
+        "always-on observability (null tracer + flight recorder) costs "
+        "under 2% of workload wall time"),
+)
+
+
+def resolve(entry: Mapping[str, Any], path: str) -> Optional[float]:
+    """Dotted-path lookup into a history entry; None when absent."""
+    node: Any = entry
+    for part in path.split("."):
+        if not isinstance(node, Mapping) or part not in node:
+            return None
+        node = node[part]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+@dataclass(frozen=True)
+class SLOResult:
+    """One evaluated objective."""
+
+    slo: SLO
+    value: float
+    ok: bool
+
+    def describe(self) -> str:
+        op = ">=" if self.slo.kind == "min" else "<="
+        verdict = "ok" if self.ok else "VIOLATED"
+        return (f"{self.slo.name}: {self.value:g} {op} "
+                f"{self.slo.threshold:g} -- {verdict}")
+
+    def to_json(self) -> dict:
+        return {"metric": self.slo.metric, "kind": self.slo.kind,
+                "threshold": self.slo.threshold,
+                "value": self.value, "ok": self.ok}
+
+
+def evaluate_slos(entry: Mapping[str, Any],
+                  slos: Iterable[SLO] = DEFAULT_SLOS) -> list[SLOResult]:
+    """Evaluate every applicable SLO; objectives whose metric is absent
+    from the entry are skipped (absence is an environment limitation,
+    same convention as the floor gate)."""
+    results = []
+    for slo in slos:
+        value = resolve(entry, slo.metric)
+        if value is None:
+            continue
+        results.append(SLOResult(slo=slo, value=value, ok=slo.check(value)))
+    return results
+
+
+def slo_block(results: Sequence[SLOResult]) -> dict:
+    """The JSON block stamped into the history entry (``entry["slo"]``)."""
+    return {r.slo.name: r.to_json() for r in results}
+
+
+def load_slos(path: str) -> list[SLO]:
+    """Load SLO specs from a JSON file: a list of objects with
+    ``name`` / ``metric`` / ``kind`` / ``threshold`` (and optional
+    ``help``) fields."""
+    with open(path) as fh:
+        data = json.load(fh)
+    if not isinstance(data, list):
+        raise ValueError(f"{path}: expected a JSON list of SLO specs")
+    return [SLO(name=d["name"], metric=d["metric"], kind=d["kind"],
+                threshold=float(d["threshold"]), help=d.get("help", ""))
+            for d in data]
+
+
+# ---------------------------------------------------------------------------
+# the EWMA regression watchdog
+# ---------------------------------------------------------------------------
+
+def ewma(values: Sequence[float], alpha: float = DEFAULT_ALPHA) -> float:
+    """Exponentially weighted moving average, oldest first."""
+    if not values:
+        raise ValueError("ewma of an empty series")
+    acc = values[0]
+    for v in values[1:]:
+        acc = alpha * v + (1 - alpha) * acc
+    return acc
+
+
+def watchdog(
+    history: Sequence[Mapping[str, Any]],
+    entry: Mapping[str, Any],
+    keys: Sequence[str] = WATCHDOG_KEYS,
+    alpha: float = DEFAULT_ALPHA,
+    rel_tolerance: float = DEFAULT_TOLERANCE,
+    min_history: int = MIN_HISTORY,
+) -> list[str]:
+    """Regressions of ``entry`` against the EWMA of its prior history.
+
+    ``history`` is the full JSON-lines history (the newest line may be
+    ``entry`` itself -- it is excluded from the average).  Only entries
+    with the same ``case`` participate, so resizing the benchmark never
+    trips the watchdog.  Each watched key is higher-is-better; a key is
+    flagged when the new value falls below ``(1 - rel_tolerance)`` of
+    the EWMA over at least ``min_history`` prior observations.
+    """
+    case = entry.get("case")
+    prior = [h for h in history
+             if h.get("case") == case and h is not entry]
+    failures: list[str] = []
+    for key in keys:
+        value = resolve(entry, key)
+        if value is None:
+            continue
+        series = [v for v in (resolve(h, key) for h in prior)
+                  if v is not None]
+        if len(series) < min_history:
+            continue
+        avg = ewma(series, alpha)
+        floor = avg * (1.0 - rel_tolerance)
+        if value < floor:
+            failures.append(
+                f"{key}: {value:g} is {1 - value / avg:.0%} below its "
+                f"EWMA {avg:.3g} over {len(series)} runs "
+                f"(tolerance {rel_tolerance:.0%})")
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# the communication-optimality gauge
+# ---------------------------------------------------------------------------
+
+def comm_optimality(total_accesses: float, remote_accesses: float) -> float:
+    """Fraction of accesses served block-locally, in [0, 1].
+
+    ``1.0`` = every access landed in the owning block's local memory --
+    the zero-communication certificate the audit proves statically.
+    With no accesses observed yet (a run that has not started) the
+    gauge optimistically reads 1.0: the plan was *built* to be
+    communication-free, and any observed remote access pulls it down.
+    """
+    if total_accesses <= 0:
+        return 1.0
+    return max(0.0, 1.0 - remote_accesses / total_accesses)

@@ -72,10 +72,14 @@ class Instrumentation:
 
     # -- recording --------------------------------------------------------
     def record(self, name: str, seconds: float) -> None:
+        from repro.obs.flight import flight
+
         stats = self.passes.setdefault(name, PassStats())
         stats.calls += 1
         stats.seconds += seconds
         current_registry().observe(f"pipeline.pass.seconds.{name}", seconds)
+        flight().record("span", f"pass.{name}",
+                        dur_us=round(seconds * 1e6, 1))
 
     def count(self, name: str, n: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + n

@@ -247,6 +247,11 @@ class SharedBlockStore:
         reg.set("engine.shm.bytes",
                 self._dseg.size + self._vseg.size + self._sseg.size
                 + self._cseg.size)
+        from repro.obs.flight import flight
+
+        flight().record("event", "blockstore.create", words=total,
+                        blocks=len(plan.blocks),
+                        bytes=int(reg.value("engine.shm.bytes")))
 
     def _write_seed(self, memories: dict) -> None:
         """Copy every region's initial values in canonical order."""
@@ -279,13 +284,16 @@ class SharedBlockStore:
         copies) on the result so :func:`repro.runtime.merge.merge_copies`
         can merge vectorized, without reconstructing arrays.
         """
+        from repro.obs.flight import flight
         from repro.obs.trace import current_tracer
 
         np = npc.np
         write_stamps = result.write_stamps
         merge_data: dict[str, tuple] = {}
-        with current_tracer().span("blockstore.collect", category="engine",
-                                   words=self.layout.total_words) as sp:
+        with flight().span("blockstore.collect",
+                           words=self.layout.total_words), \
+                current_tracer().span("blockstore.collect", category="engine",
+                                      words=self.layout.total_words) as sp:
             written_slots = 0
             for name in self.layout.arrays:
                 if name not in self.layout.written:

@@ -213,9 +213,13 @@ def run_parallel(
     # an explicit chaos plan is scoped over the engine run; chaos=None
     # leaves any ambient plan (outer use_fault_plan scope, $REPRO_CHAOS)
     # in force
+    from repro.obs.flight import flight
+
     chaos_scope = nullcontext() if chaos is None else use_fault_plan(chaos)
     try:
-        with chaos_scope, tracer.span(
+        with chaos_scope, flight().span(
+                "engine.run_blocks", backend=engine.name,
+                blocks=len(plan.blocks)), tracer.span(
                 "engine.run_blocks", category="engine",
                 backend=engine.name,
                 blocks=len(plan.blocks),

@@ -414,11 +414,13 @@ class BlockScheduler:
         :class:`~repro.machine.memory.RemoteAccessError` (the plan was
         never communication-free)."""
         from repro.obs.aggregate import merge_worker_obs
+        from repro.obs.flight import dump_blackbox, flight
         from repro.obs.metrics import current_registry
         from repro.obs.trace import current_tracer
 
         tracer = current_tracer()
         registry = current_registry()
+        fr = flight()
         units = self._units()
         sres = SchedulerResult(
             mode=self.mode, units=len(units), blocks=len(self.plan.blocks),
@@ -428,17 +430,34 @@ class BlockScheduler:
         outcomes: dict[int, _UnitOutcome] = {}
         epoch = time.perf_counter()
 
+        fr.record("event", "scheduler.start", mode=self.mode,
+                  workers=self.workers, units=len(units),
+                  blocks=sres.blocks, chaos=sres.chaos)
         with tracer.span("scheduler.run", category="scheduler",
                          mode=self.mode, workers=self.workers,
                          units=len(units), blocks=sres.blocks,
                          batch=self.batch, chaos=sres.chaos) as ssp:
             try:
                 self._loop(units, outcomes, sres, epoch, tracer, registry)
+            except (SchedulerError, PoolCollapse) as exc:
+                # post-mortem: dump the flight ring with the lease
+                # timeline attached before the failure propagates
+                sres.completed_units = len(outcomes)
+                sres.wall_s = time.perf_counter() - epoch
+                fr.error("scheduler.abort", exc, mode=self.mode,
+                         completed=len(outcomes), units=len(units))
+                dump_blackbox(f"{type(exc).__name__}: {exc}",
+                              extra={"scheduler": sres.to_json()})
+                raise
             finally:
                 sres.completed_units = len(outcomes)
                 sres.wall_s = time.perf_counter() - epoch
                 result.scheduler = sres
                 sres.publish(registry)
+                fr.record("event", "scheduler.done",
+                          recovered=sres.recovered, retries=sres.retries,
+                          respawns=sres.respawns,
+                          wall_ms=round(sres.wall_s * 1e3, 1))
                 ssp.set(leases=len(sres.leases), retries=sres.retries,
                         respawns=sres.respawns, recovered=sres.recovered)
                 # re-home worker observability in the finally, so even
@@ -488,7 +507,50 @@ class BlockScheduler:
             result.skipped_computations += out.skipped_computations
         return sres
 
+    def _snapshot_state(self, units, outcomes, inflight, pending, sres,
+                        elapsed: float) -> dict:
+        """One ``repro top`` snapshot of the live dispatch state."""
+        from repro.obs.slo import comm_optimality
+
+        done_blocks = sum(len(u.blocks) for u in units if u.done)
+        lanes: dict[str, dict] = {}
+        for uid, out in outcomes.items():
+            pid = out.obs.pid if out.obs is not None else 0
+            lane = lanes.setdefault(str(pid), {"blocks": 0, "units": 0})
+            lane["units"] += 1
+            lane["blocks"] += len(units[uid].blocks)
+        total = remote = 0
+        for mem in self.memories.values():
+            total += mem.reads + mem.writes
+            remote += getattr(mem, "remote_attempts", 0)
+        return {
+            "phase": "execute",
+            "backend": "multiprocess",
+            "mode": self.mode,
+            "case": getattr(getattr(self.plan, "nest", None), "name", None)
+            or "?",
+            "elapsed_s": elapsed,
+            "units": len(units), "units_done": len(outcomes),
+            "blocks": len(self.plan.blocks), "blocks_done": done_blocks,
+            "blocks_per_sec": done_blocks / elapsed if elapsed > 0 else 0.0,
+            "leases": {
+                "total": len(sres.leases),
+                "ok": sum(1 for r in sres.leases if r.outcome == "ok"),
+                "inflight": len(inflight), "pending": len(pending),
+                "expired": sres.leases_expired, "crashed": sres.crashes,
+                "dropped": sres.dropped,
+            },
+            "workers": lanes,
+            "comm_optimality": comm_optimality(total, remote),
+            "remote_accesses": remote,
+        }
+
     def _loop(self, units, outcomes, sres, epoch, tracer, registry) -> None:
+        from repro.obs.flight import flight
+        from repro.obs.top import current_writer
+
+        fr = flight()
+        writer = current_writer()
         policy = self.policy
         budget = policy.respawn_budget(len(units))
         wpool, owned = self._worker_pool()
@@ -539,6 +601,8 @@ class BlockScheduler:
             registry.inc("scheduler.leases")
             tracer.event("scheduler.lease", category="scheduler",
                          unit=unit.uid, attempt=attempt, fault=fault or "")
+            fr.record("lease", "submit", unit=unit.uid, attempt=attempt,
+                      fault=fault or "")
             # each steal doubles the deadline, so a merely-slow unit
             # (queued behind sleepers, genuinely long) eventually runs out
             deadline = (math.inf if policy.lease_timeout_s is None
@@ -566,6 +630,8 @@ class BlockScheduler:
             registry.inc("scheduler.retries")
             tracer.event("scheduler.retry", category="scheduler",
                          unit=unit.uid, attempt=unit.attempts, reason=reason)
+            fr.record("lease", "retry", unit=unit.uid,
+                      attempt=unit.attempts, reason=reason)
             unit.ready_at = now() + policy.backoff(max(1, unit.attempts))
             pending.append(unit)
 
@@ -612,11 +678,15 @@ class BlockScheduler:
             rec.pid = out.obs.pid if out.obs is not None else None
             unit.done = True
             outcomes[uid] = out
+            fr.record("lease", "ok", unit=uid, attempt=attempt, pid=rec.pid)
             return False
 
         try:
             while len(outcomes) < len(units):
                 t = now()
+                if writer is not None:
+                    writer.maybe_write(lambda: self._snapshot_state(
+                        units, outcomes, inflight, pending, sres, now()))
                 for unit in [u for u in pending if u.ready_at <= t]:
                     pending.remove(unit)
                     submit(unit)
@@ -661,6 +731,8 @@ class BlockScheduler:
                     registry.inc("scheduler.respawns")
                     tracer.event("scheduler.respawn", category="scheduler",
                                  respawns=sres.respawns)
+                    fr.record("event", "scheduler.respawn",
+                              respawns=sres.respawns, budget=budget)
                     if sres.respawns > budget:
                         wpool.shutdown()
                         raise PoolCollapse(
@@ -688,6 +760,8 @@ class BlockScheduler:
                     registry.inc("scheduler.blocks_stolen", len(unit.blocks))
                     tracer.event("scheduler.expire", category="scheduler",
                                  unit=unit.uid, attempt=rec.attempt)
+                    fr.record("lease", "expire", unit=unit.uid,
+                              attempt=rec.attempt)
                     retry(unit, rec, "lease expired", consume=False)
         finally:
             if owned:

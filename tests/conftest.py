@@ -5,6 +5,16 @@ import pytest
 from repro.lang import catalog
 
 
+@pytest.fixture(autouse=True)
+def _isolated_blackbox_dir(tmp_path_factory, monkeypatch):
+    """Keep flight-recorder dumps out of the repo: tests that exercise
+    failure paths (chaos non-recovery, CLI errors) dump blackboxes, and
+    without this they land in the cwd.  Deliberately not the test's own
+    ``tmp_path`` -- tests assert on its contents."""
+    d = tmp_path_factory.mktemp("blackbox")
+    monkeypatch.setenv("REPRO_BLACKBOX_DIR", str(d))
+
+
 @pytest.fixture
 def l1():
     return catalog.l1()

@@ -158,3 +158,88 @@ class TestDegradation:
                   if e.name == "engine.multiproc.degraded"]
         assert "OSError" in evt.attributes["reason"]
         assert "degrading to the compiled tier" in capsys.readouterr().err
+
+
+class TestConcurrentMerge:
+    """Id remapping under concurrent merges: no collisions, stable trees."""
+
+    N_WORKERS = 8
+    SPANS_EACH = 25
+
+    def _obs(self, pid):
+        obs = WorkerObs(pid=pid)
+        # one root plus a chain of children, all with *overlapping* local
+        # ids (every worker numbers its spans 0..n-1)
+        obs.spans = [Span(name=f"w{pid}.s{i}", category="engine", span_id=i,
+                          parent_id=(i - 1 if i else None),
+                          start_ns=100 + i, duration_ns=1)
+                     for i in range(self.SPANS_EACH)]
+        obs.events = [Event(name=f"w{pid}.evt", category="engine",
+                            ts_ns=200, span_id=self.SPANS_EACH - 1)]
+        return obs
+
+    def test_reserve_ids_is_atomic_across_threads(self):
+        import threading
+
+        tracer = Tracer(enabled=True)
+        got = []
+        barrier = threading.Barrier(self.N_WORKERS)
+
+        def grab():
+            barrier.wait()
+            for _ in range(50):
+                got.append(tracer.reserve_ids(3))
+
+        threads = [threading.Thread(target=grab)
+                   for _ in range(self.N_WORKERS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        blocks = sorted(got)
+        # every reserved block of 3 is disjoint from every other
+        assert len(blocks) == self.N_WORKERS * 50
+        assert all(b + 3 <= nxt for b, nxt in zip(blocks, blocks[1:]))
+
+    def test_concurrent_merges_never_collide_and_keep_parenting(self):
+        import threading
+
+        tracer = Tracer(enabled=True)
+        registry = MetricsRegistry()
+        with tracer.span("scheduler.run") as root:
+            parent_id = root.span_id
+        barrier = threading.Barrier(self.N_WORKERS)
+
+        def merge(pid):
+            barrier.wait()
+            merge_worker_obs(tracer, registry, self._obs(pid),
+                             parent_span_id=parent_id)
+
+        threads = [threading.Thread(target=merge, args=(pid,))
+                   for pid in range(self.N_WORKERS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        merged = [s for s in tracer.spans if s.span_id != parent_id]
+        assert len(merged) == self.N_WORKERS * self.SPANS_EACH
+        ids = [s.span_id for s in merged]
+        assert len(ids) == len(set(ids)), "remapped span ids collided"
+
+        by_id = {s.span_id: s for s in tracer.spans}
+        for s in merged:
+            i = int(s.name.split(".s")[1])
+            if i == 0:
+                # worker roots re-home under the fan-out span
+                assert s.parent_id == parent_id
+            else:
+                # chain intact: parent is the same worker's previous span
+                parent = by_id[s.parent_id]
+                assert parent.pid == s.pid
+                assert parent.name == f"w{s.pid}.s{i - 1}"
+
+        # every event followed its own worker's last span
+        for e in tracer.events:
+            owner = by_id[e.span_id]
+            assert owner.name == f"w{owner.pid}.s{self.SPANS_EACH - 1}"

@@ -54,13 +54,45 @@ class TestChromeTrace:
             with t.span("bad"):
                 raise RuntimeError("x")
         doc = chrome_trace(t)
-        assert doc["traceEvents"][0]["args"]["error"] == "RuntimeError: x"
+        (bad,) = [e for e in doc["traceEvents"] if e["name"] == "bad"]
+        assert bad["args"]["error"] == "RuntimeError: x"
 
     def test_roundtrip_validates(self, tmp_path):
         path = tmp_path / "trace.json"
         write_chrome_trace(traced(), str(path))
         doc = json.loads(path.read_text())
         assert validate_chrome_trace(doc) == []
+
+    def test_metadata_names_lanes(self):
+        t = traced()
+        doc = chrome_trace(t)
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert meta, "expected process_name/thread_name metadata events"
+        # metadata leads the stream so viewers label lanes up front
+        assert doc["traceEvents"][0]["ph"] == "M"
+        procs = {e["args"]["name"] for e in meta
+                 if e["name"] == "process_name"}
+        assert procs == {"repro"}
+        threads = [e for e in meta if e["name"] == "thread_name"]
+        assert threads and all(e["cat"] == "__metadata" and e["ts"] == 0
+                               for e in meta)
+        # every span/event lane has a thread_name on the same pid/tid
+        lanes = {(e["pid"], e["tid"]) for e in doc["traceEvents"]
+                 if e["ph"] in ("X", "i")}
+        named = {(e["pid"], e["tid"]) for e in threads}
+        assert lanes <= named
+
+    def test_metadata_validates_and_worker_lanes_are_named(self):
+        t = Tracer()
+        with t.span("parent"):
+            pass
+        # simulate a merged worker span on a foreign pid
+        t.spans[0].pid = t.pid + 1
+        doc = chrome_trace(t)
+        assert validate_chrome_trace(doc) == []
+        procs = {e["args"]["name"] for e in doc["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert f"repro worker {t.pid + 1}" in procs
 
 
 class TestSchemaCheck:

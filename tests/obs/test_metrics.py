@@ -140,6 +140,78 @@ class TestQuantiles:
         assert reg2.snapshot()["empty"]["p50"] is None
 
 
+class TestNearestRankQuantiles:
+    """Small samples answer quantiles exactly, not bucket-interpolated."""
+
+    def test_small_sample_is_exact_nearest_rank(self):
+        h = Histogram(name="h")
+        for v in (0.010, 0.020, 0.030, 0.040):
+            h.observe(v)
+        assert h.exact
+        # nearest-rank: rank = ceil(q * n), 1-indexed into sorted samples
+        assert h.quantile(0.5) == pytest.approx(0.020)
+        assert h.quantile(0.75) == pytest.approx(0.030)
+        assert h.quantile(0.95) == pytest.approx(0.040)
+        assert h.quantile(0.25) == pytest.approx(0.010)
+
+    def test_exact_value_needs_no_interpolation(self):
+        h = Histogram(name="h")
+        # both land in the same log bucket; interpolation would answer a
+        # made-up midpoint, nearest-rank answers an observed value
+        h.observe(0.0011)
+        h.observe(0.0019)
+        assert h.quantile(0.5) == pytest.approx(0.0011)
+        assert h.quantile(1.0) == pytest.approx(0.0019)
+
+    def test_overflowing_sample_cap_falls_back_to_buckets(self):
+        from repro.obs.metrics import SAMPLE_CAP
+
+        h = Histogram(name="h")
+        for i in range(SAMPLE_CAP + 10):
+            h.observe(0.001 * (i + 1))
+        assert not h.exact
+        assert len(h.samples) == SAMPLE_CAP
+        # the bucket estimate still brackets the true median
+        assert h.min <= h.quantile(0.5) <= h.max
+
+    def test_snapshot_reports_quantile_method(self):
+        reg = MetricsRegistry()
+        reg.observe("small", 0.2)
+        snap = reg.snapshot()
+        assert snap["small"]["quantile_method"] == "exact"
+        assert snap["small"]["count"] == 1
+        from repro.obs.metrics import SAMPLE_CAP
+
+        for i in range(SAMPLE_CAP + 1):
+            reg.observe("big", float(i + 1))
+        assert reg.snapshot()["big"]["quantile_method"] == "bucket-interpolated"
+
+    def test_merge_keeps_exactness_when_reservoirs_fit(self):
+        a, b = Histogram(name="h"), Histogram(name="h")
+        for v in (0.01, 0.02):
+            a.observe(v)
+        for v in (0.03, 0.04):
+            b.observe(v)
+        a.merge(b)
+        assert a.exact
+        assert a.quantile(0.5) == pytest.approx(0.02)
+        assert a.quantile(1.0) == pytest.approx(0.04)
+
+    def test_merge_truncation_disables_exactness_consistently(self):
+        from repro.obs.metrics import SAMPLE_CAP
+
+        a, b = Histogram(name="h"), Histogram(name="h")
+        for i in range(SAMPLE_CAP):
+            a.observe(0.001 * (i + 1))
+        for i in range(SAMPLE_CAP):
+            b.observe(0.001 * (i + 1))
+        a.merge(b)
+        # count > cap >= len(samples): must not claim exactness
+        assert a.count == 2 * SAMPLE_CAP
+        assert len(a.samples) == SAMPLE_CAP
+        assert not a.exact
+
+
 class TestRegistry:
     def test_kind_mismatch_raises(self):
         reg = MetricsRegistry()

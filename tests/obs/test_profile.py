@@ -1,0 +1,135 @@
+"""The sampling profiler: classification, exports, live sampling."""
+
+import threading
+import time
+
+from repro.obs.profile import (
+    BUCKETS,
+    SAMPLER_TID,
+    SamplingProfiler,
+    classify_stack,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.schema import validate_chrome_trace
+
+SEP = __import__("os").sep
+
+
+def _repro(path):
+    return f"{SEP}site{SEP}repro{SEP}{path}"
+
+
+class TestClassification:
+    def test_innermost_subsystem_wins(self):
+        stack = [(_repro(f"runtime{SEP}scheduler{SEP}core.py"), "_loop"),
+                 (_repro(f"runtime{SEP}blockstore{SEP}store.py"), "collect")]
+        assert classify_stack(stack) == "blockstore"
+
+    def test_pipeline_frames(self):
+        assert classify_stack(
+            [(_repro(f"pipeline{SEP}passes.py"), "run")]) == "pipeline"
+        assert classify_stack(
+            [(_repro(f"analysis{SEP}refs.py"), "extract")]) == "pipeline"
+        assert classify_stack(
+            [(_repro(f"core{SEP}plan.py"), "build_plan")]) == "pipeline"
+
+    def test_engine_vs_kernel_leaf(self):
+        eng = [(_repro(f"runtime{SEP}engine{SEP}compiled.py"), "run_blocks")]
+        assert classify_stack(eng) == "engine"
+        assert classify_stack(
+            eng + [("<repro-kernel:abc>", "kernel_0")]) == "engine.kernel"
+
+    def test_scheduler_wait_split(self):
+        sched = (_repro(f"runtime{SEP}scheduler{SEP}core.py"), "_loop")
+        parked = (f"{SEP}lib{SEP}python{SEP}threading.py", "wait")
+        assert classify_stack([sched]) == "scheduler"
+        assert classify_stack([sched, parked]) == "scheduler.wait"
+
+    def test_non_repro_stack_is_other(self):
+        assert classify_stack(
+            [(f"{SEP}lib{SEP}json{SEP}encoder.py", "encode")]) == "other"
+
+    def test_bucket_order_covers_all(self):
+        assert set(BUCKETS) >= {"pipeline", "engine", "engine.kernel",
+                                "scheduler", "scheduler.wait", "blockstore",
+                                "other"}
+
+
+def _busy(stop):
+    x = 0
+    while not stop.is_set():
+        x += 1
+    return x
+
+
+class TestLiveSampling:
+    def _profiled_burn(self, seconds=0.25):
+        stop = threading.Event()
+        worker = threading.Thread(target=_busy, args=(stop,))
+        prof = SamplingProfiler(interval_s=0.002)
+        worker.start()
+        try:
+            with prof:
+                time.sleep(seconds)
+        finally:
+            stop.set()
+            worker.join()
+        return prof
+
+    def test_collects_samples_from_other_threads(self):
+        prof = self._profiled_burn()
+        assert prof.sample_count > 0
+        assert sum(prof.buckets.values()) == prof.sample_count
+        assert prof.wall_s > 0
+
+    def test_collapsed_format(self):
+        prof = self._profiled_burn()
+        lines = prof.collapsed().strip().splitlines()
+        assert lines
+        for ln in lines:
+            stack, _, count = ln.rpartition(" ")
+            assert stack and int(count) > 0
+            assert ";" in stack or stack  # frame;frame;... count
+
+    def test_write_collapsed(self, tmp_path):
+        prof = self._profiled_burn(0.1)
+        path = tmp_path / "prof.txt"
+        prof.write_collapsed(str(path))
+        assert path.read_text() == prof.collapsed()
+
+    def test_chrome_events_have_sampler_track(self):
+        prof = self._profiled_burn(0.1)
+        events = prof.chrome_events(pid=77)
+        meta = [e for e in events if e["ph"] == "M"]
+        assert meta and meta[0]["args"]["name"] == "sampler"
+        instants = [e for e in events if e["ph"] == "i"]
+        assert instants
+        assert all(e["tid"] == SAMPLER_TID and e["pid"] == 77
+                   for e in events)
+        assert all(e["cat"].startswith("sample.") for e in instants)
+        # mergeable into a schema-valid trace document
+        doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+        assert validate_chrome_trace(doc) == []
+
+    def test_report_and_bucket_seconds(self):
+        prof = self._profiled_burn(0.1)
+        text = prof.report()
+        assert "bucket" in text and "total" in text
+        est = prof.bucket_seconds()
+        assert all(v >= 0 for v in est.values())
+        assert sum(est.values()) > 0
+
+    def test_publish_sets_metrics(self):
+        prof = self._profiled_burn(0.1)
+        reg = MetricsRegistry()
+        prof.publish(reg)
+        assert reg.value("profile.samples") == prof.sample_count
+        total = sum(reg.value(f"profile.samples.{b}")
+                    for b in prof.buckets)
+        assert total == prof.sample_count
+
+    def test_empty_report_is_graceful(self):
+        prof = SamplingProfiler()
+        assert "(no samples collected)" in prof.report()
+        assert prof.collapsed() == ""
+        assert prof.stop() is prof  # stop before start is a no-op

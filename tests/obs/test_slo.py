@@ -1,0 +1,149 @@
+"""SLOs, the EWMA regression watchdog, and the comm-optimality gauge."""
+
+import pytest
+
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    MIN_HISTORY,
+    SLO,
+    comm_optimality,
+    evaluate_slos,
+    ewma,
+    load_slos,
+    resolve,
+    slo_block,
+    watchdog,
+)
+
+
+class TestSLO:
+    def test_min_kind(self):
+        slo = SLO("tput", "blocks_per_sec", "min", 100.0)
+        assert slo.check(150.0) and not slo.check(50.0)
+        assert slo.check(100.0)  # boundary is inclusive
+
+    def test_max_kind(self):
+        slo = SLO("lat", "plan_ms.p95", "max", 2000.0)
+        assert slo.check(100.0) and not slo.check(3000.0)
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            SLO("x", "m", "average", 1.0)
+
+    def test_resolve_dotted_paths(self):
+        entry = {"plan_ms": {"p95": 1.5}, "blocks_per_sec": 10,
+                 "speedup": {"compiled": 30}}
+        assert resolve(entry, "plan_ms.p95") == 1.5
+        assert resolve(entry, "blocks_per_sec") == 10.0
+        assert resolve(entry, "speedup.compiled") == 30.0
+        assert resolve(entry, "speedup.missing") is None
+        assert resolve(entry, "nope.deep.path") is None
+        assert resolve({"s": "text"}, "s") is None
+
+    def test_evaluate_skips_absent_metrics(self):
+        results = evaluate_slos({"blocks_per_sec": 50.0})
+        names = {r.slo.name for r in results}
+        assert "block-throughput" in names
+        assert "plan-latency-p95" not in names  # absent metric: no verdict
+
+    def test_evaluate_flags_violations(self):
+        entry = {"plan_ms": {"p95": 9999.0}, "blocks_per_sec": 0.1}
+        bad = {r.slo.name for r in evaluate_slos(entry) if not r.ok}
+        assert bad == {"plan-latency-p95", "block-throughput"}
+
+    def test_describe_marks_verdict(self):
+        (r,) = evaluate_slos({"blocks_per_sec": 0.5},
+                             [SLO("tput", "blocks_per_sec", "min", 1.0)])
+        assert "VIOLATED" in r.describe()
+        (ok,) = evaluate_slos({"blocks_per_sec": 5.0},
+                              [SLO("tput", "blocks_per_sec", "min", 1.0)])
+        assert ok.describe().endswith("ok")
+
+    def test_slo_block_shape(self):
+        results = evaluate_slos({"blocks_per_sec": 5.0})
+        block = slo_block(results)
+        assert block["block-throughput"]["ok"] is True
+        assert block["block-throughput"]["value"] == 5.0
+
+    def test_load_slos(self, tmp_path):
+        p = tmp_path / "slo.json"
+        p.write_text('[{"name": "a", "metric": "m", "kind": "min", '
+                     '"threshold": 2.0}]')
+        (slo,) = load_slos(str(p))
+        assert slo.name == "a" and slo.kind == "min"
+
+    def test_defaults_include_overhead_budget(self):
+        by_name = {s.name: s for s in DEFAULT_SLOS}
+        assert by_name["obs-overhead"].threshold == 0.02
+        assert by_name["obs-overhead"].kind == "max"
+
+
+class TestWatchdog:
+    def _history(self, n, value=10.0, case="MATMUL40-dup"):
+        return [{"case": case, "speedup": {"compiled": value},
+                 "blocks_per_sec": 100.0} for _ in range(n)]
+
+    def test_ewma_weights_recent(self):
+        flat = ewma([10.0] * 5, alpha=0.3)
+        assert flat == pytest.approx(10.0)
+        rising = ewma([1.0, 1.0, 1.0, 10.0], alpha=0.5)
+        assert rising > ewma([10.0, 1.0, 1.0, 1.0], alpha=0.5)
+
+    def test_idle_below_min_history(self):
+        hist = self._history(MIN_HISTORY - 1)
+        entry = {"case": "MATMUL40-dup", "speedup": {"compiled": 0.1},
+                 "blocks_per_sec": 0.1}
+        assert watchdog(hist, entry) == []
+
+    def test_flags_a_real_drop(self):
+        hist = self._history(6)
+        entry = {"case": "MATMUL40-dup", "speedup": {"compiled": 2.0},
+                 "blocks_per_sec": 100.0}
+        (failure,) = watchdog(hist, entry)
+        assert "speedup.compiled" in failure
+        assert "below its EWMA" in failure
+
+    def test_passes_within_tolerance(self):
+        hist = self._history(6)
+        entry = {"case": "MATMUL40-dup", "speedup": {"compiled": 8.0},
+                 "blocks_per_sec": 90.0}
+        assert watchdog(hist, entry) == []  # 20%/10% dips < 35% tolerance
+
+    def test_improvement_never_flags(self):
+        hist = self._history(6)
+        entry = {"case": "MATMUL40-dup", "speedup": {"compiled": 50.0},
+                 "blocks_per_sec": 900.0}
+        assert watchdog(hist, entry) == []
+
+    def test_other_cases_do_not_count(self):
+        # enough history, but for a different workload
+        hist = self._history(10, case="MATMUL16-dup")
+        entry = {"case": "MATMUL40-dup", "speedup": {"compiled": 0.01},
+                 "blocks_per_sec": 0.01}
+        assert watchdog(hist, entry) == []
+
+    def test_missing_keys_are_skipped(self):
+        hist = [{"case": "C", "speedup": {}} for _ in range(8)]
+        entry = {"case": "C", "speedup": {"compiled": 1.0}}
+        assert watchdog(hist, entry) == []
+
+    def test_tolerance_is_tunable(self):
+        hist = self._history(6)
+        entry = {"case": "MATMUL40-dup", "speedup": {"compiled": 8.0},
+                 "blocks_per_sec": 100.0}
+        assert watchdog(hist, entry) == []                     # 20% < 35%
+        assert watchdog(hist, entry, rel_tolerance=0.1) != []  # 20% > 10%
+
+
+class TestCommOptimality:
+    def test_zero_remote_is_communication_free(self):
+        assert comm_optimality(1000, 0) == 1.0
+
+    def test_fraction_of_remote_traffic(self):
+        assert comm_optimality(100, 25) == pytest.approx(0.75)
+
+    def test_no_accesses_reads_optimistic(self):
+        assert comm_optimality(0, 0) == 1.0
+
+    def test_clamped_at_zero(self):
+        assert comm_optimality(10, 50) == 0.0

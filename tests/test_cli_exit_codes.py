@@ -120,3 +120,28 @@ class TestShellContract:
             "--inject-violation --static >/dev/null", env)
         assert proc.stdout.strip().endswith("rc=1")
         assert "repro: audit violation:" in proc.stderr
+
+    def test_closed_pipe_is_quiet(self, env, tmp_path):
+        # `repro ... | head` closes our stdout early: no traceback,
+        # no blackbox dump
+        env = dict(env, REPRO_BLACKBOX_DIR=str(tmp_path))
+        proc = self._shell(
+            f"cd {tmp_path} && {sys.executable} -m repro report "
+            "--loop L1 -p 4 | head -1", env)
+        assert proc.stdout.strip().endswith("rc=0")   # head's status
+        assert "Traceback" not in proc.stderr
+        assert not list(tmp_path.glob("repro-blackbox-*.json"))
+
+
+class _ClosedPipe(io.StringIO):
+    def write(self, s):
+        raise BrokenPipeError
+
+
+class TestBrokenPipe:
+    def test_broken_pipe_is_sigpipe_exit_without_blackbox(self, tmp_path,
+                                                          monkeypatch):
+        monkeypatch.setenv("REPRO_BLACKBOX_DIR", str(tmp_path))
+        code = main(["verify", "--loop", "L1"], out=_ClosedPipe())
+        assert code == 141   # conventional 128+SIGPIPE
+        assert not list(tmp_path.glob("repro-blackbox-*.json"))
