@@ -1,0 +1,168 @@
+"""Serving layer under bursty traffic: single-flight + latency floors.
+
+Two claims, benched against the in-process :class:`AsyncServer` (no
+socket -- the wire adds framing, not work):
+
+1. **Single-flight**: a burst of identical requests costs exactly one
+   pipeline analysis.  With a cold plan cache, 12 concurrent identical
+   verify requests must produce exactly 1 ``cache.miss`` and 11
+   coalesced responses.
+2. **Warm throughput**: sustained bursty mixed traffic (plan / verify
+   over several catalog nests, fired in bursts to exercise admission
+   and coalescing together) clears committed floors for requests/sec
+   and p95 latency, read from the ``serve.latency_ms`` histogram's
+   exact nearest-rank quantiles.
+
+Run directly (``python benchmarks/bench_serve.py``) to record
+``BENCH_serve.json`` (committed floors live there; ``repro perf
+--check`` gates against them via ``repro.obs.slo.serve_slos``); the
+pytest entry points assert both claims.
+"""
+
+import asyncio
+import json
+from functools import lru_cache
+from pathlib import Path
+from time import perf_counter
+
+from repro.serve import AsyncServer
+from repro.serve.protocol import Request
+
+#: Identical requests in the single-flight burst (the acceptance
+#: threshold is >= 8 concurrent requests -> exactly one analysis).
+IDENTICAL_BURST = 12
+#: Bursts x burst size of the mixed warm-traffic phase.
+BURSTS = 6
+BURST_SIZE = 10
+#: Committed floors (also written into BENCH_serve.json).
+FLOOR_PLANS_PER_SEC = 5.0
+FLOOR_P95_MS = 2000.0
+
+
+def _mixed_frames(burst: int) -> list[dict]:
+    """One burst of mixed traffic: repeat plans + verifies over a few
+    nests, so coalescing, warm sessions and admission all engage."""
+    cases = [("plan", "L1", "duplicate"), ("verify", "L2", "duplicate"),
+             ("plan", "L3", "duplicate"), ("verify", "L1", "duplicate"),
+             ("plan", "L2", "duplicate")]
+    frames = []
+    for i in range(BURST_SIZE):
+        op, nest, strategy = cases[i % len(cases)]
+        frames.append(Request(op=op, nest=nest, strategy=strategy,
+                              id=f"b{burst}-{i}").to_dict())
+    return frames
+
+
+async def _single_flight_phase(srv: AsyncServer) -> dict:
+    frames = [Request(op="verify", nest="L2", strategy="duplicate",
+                      id=f"sf{i}").to_dict()
+              for i in range(IDENTICAL_BURST)]
+    responses = await asyncio.gather(*[srv.handle(f) for f in frames])
+    return {
+        "requests": len(responses),
+        "ok": sum(1 for r in responses if r["ok"]),
+        "coalesced": sum(1 for r in responses if r.get("coalesced")),
+        "plan_cache_misses": int(srv.registry.value("cache.miss")),
+    }
+
+
+async def _throughput_phase(srv: AsyncServer) -> dict:
+    t0 = perf_counter()
+    total = ok = rejected = 0
+    for burst in range(BURSTS):
+        responses = await asyncio.gather(
+            *[srv.handle(f) for f in _mixed_frames(burst)])
+        total += len(responses)
+        ok += sum(1 for r in responses if r["ok"])
+        rejected += sum(1 for r in responses
+                        if not r["ok"]
+                        and r.get("error", {}).get("kind") == "overloaded")
+    wall = perf_counter() - t0
+    lat = srv.registry.get("serve.latency_ms")
+    return {
+        "requests": total,
+        "ok": ok,
+        "rejected": rejected,
+        "wall_ms": round(wall * 1e3, 1),
+        "plans_per_sec": round(ok / wall, 2),
+        "p50_ms": round(lat.quantile(0.50), 3),
+        "p95_ms": round(lat.quantile(0.95), 3),
+        "p99_ms": round(lat.quantile(0.99), 3),
+    }
+
+
+@lru_cache(maxsize=None)
+def _measure() -> dict:
+    from repro.obs.history import perf_env
+    from repro.pipeline import PLAN_CACHE
+
+    async def run_phases(srv):
+        single = await _single_flight_phase(srv)
+        through = await _throughput_phase(srv)
+        return single, through
+
+    PLAN_CACHE.clear()  # the single-flight phase needs a cold cache
+    with AsyncServer(max_concurrency=4, queue_limit=64) as srv:
+        single, through = asyncio.run(run_phases(srv))
+        coalesced_total = int(srv.registry.value("serve.coalesced"))
+    return {
+        "env": perf_env(),
+        "single_flight": single,
+        "throughput": through,
+        "coalesced_total": coalesced_total,
+    }
+
+
+def test_single_flight_coalesces_identical_burst(benchmark):
+    row = _measure()
+    benchmark(lambda: row)
+    sf = row["single_flight"]
+    benchmark.extra_info.update(sf)
+    assert sf["requests"] == IDENTICAL_BURST >= 8
+    assert sf["ok"] == IDENTICAL_BURST
+    assert sf["plan_cache_misses"] == 1, (
+        f"{sf['plan_cache_misses']} pipeline analyses for "
+        f"{IDENTICAL_BURST} identical requests (want exactly 1)")
+    assert sf["coalesced"] == IDENTICAL_BURST - 1
+
+
+def test_warm_throughput_clears_floors(benchmark):
+    row = _measure()
+    benchmark(lambda: row)
+    th = row["throughput"]
+    benchmark.extra_info.update(th)
+    assert th["ok"] == th["requests"], "warm traffic must not error"
+    assert th["plans_per_sec"] >= FLOOR_PLANS_PER_SEC, (
+        f"{th['plans_per_sec']} req/s under the committed "
+        f"{FLOOR_PLANS_PER_SEC} floor")
+    assert th["p95_ms"] <= FLOOR_P95_MS, (
+        f"p95 {th['p95_ms']}ms over the committed {FLOOR_P95_MS}ms floor")
+
+
+def main():
+    row = _measure()
+    out = {
+        "case": "serve mixed-burst",
+        "note": (f"in-process AsyncServer, {IDENTICAL_BURST} identical "
+                 f"verifies (single flight) then {BURSTS}x{BURST_SIZE} "
+                 "mixed plan/verify bursts over L1-L3"),
+        "floors": {"plans_per_sec": FLOOR_PLANS_PER_SEC,
+                   "p95_ms": FLOOR_P95_MS},
+        **row,
+    }
+    path = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+    path.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(out, indent=2, sort_keys=True))
+    sf, th = row["single_flight"], row["throughput"]
+    ok = (sf["plan_cache_misses"] == 1
+          and th["plans_per_sec"] >= FLOOR_PLANS_PER_SEC
+          and th["p95_ms"] <= FLOOR_P95_MS)
+    print(f"single-flight: {sf['coalesced']}/{sf['requests'] - 1} "
+          f"coalesced, {sf['plan_cache_misses']} analysis; "
+          f"throughput {th['plans_per_sec']} req/s, p95 {th['p95_ms']}ms: "
+          f"{'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

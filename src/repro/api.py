@@ -37,7 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional, Protocol, Union, runtime_checkable
 
-from repro.core.plan import PartitionPlan, build_plan
+from repro.core.plan import PartitionPlan
 from repro.core.strategy import Strategy
 from repro.lang.ast import LoopNest
 from repro.runtime.scheduler.faults import FaultPlan
@@ -122,7 +122,11 @@ class Session:
         trace: bool = False,
         options: Optional[RunOptions] = None,
         eliminate_redundant: bool = False,
+        duplicate_arrays=None,
         scalars: Optional[dict] = None,
+        registry=None,
+        tracer=None,
+        pool=None,
     ) -> None:
         from repro.obs.metrics import MetricsRegistry
         from repro.obs.trace import Tracer
@@ -140,16 +144,28 @@ class Session:
                 options = options.with_(trace=True)
         self.options = options
         self.eliminate_redundant = eliminate_redundant
+        self.duplicate_arrays = (frozenset(duplicate_arrays)
+                                 if duplicate_arrays is not None else None)
         self.scalars = dict(scalars) if scalars else {}
-        self.tracer = Tracer(enabled=options.trace)
-        self.registry = MetricsRegistry()
+        # registry/tracer/pool are injectable so an embedding host (the
+        # CLI under --trace/--metrics, the serving layer sharing one
+        # registry and one warm pool across sessions) can see what the
+        # session records; by default each session owns fresh ones
+        self.tracer = tracer if tracer is not None \
+            else Tracer(enabled=options.trace)
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        #: diagnostics of the last plan build (a DiagnosticBag), or None
+        self.diagnostics = None
         self._plan: Optional[PartitionPlan] = None
         # one persistent worker pool for the session: multiprocess runs
         # reuse warm workers across run() calls instead of paying a pool
-        # spawn per run; closed (with any cached plan segment) by close()
+        # spawn per run; closed (with any cached plan segment) by close().
+        # An injected pool is shared -- close() leaves it running.
         from repro.runtime.pool import WorkerPool
 
-        self._pool = WorkerPool()
+        self._owns_pool = pool is None
+        self._pool = pool if pool is not None else WorkerPool()
         self._closed = False
 
     # -- scoping ----------------------------------------------------------
@@ -181,7 +197,8 @@ class Session:
         the persistent pool (runs fall back to ephemeral pools).
         """
         self._closed = True
-        self._pool.shutdown()
+        if self._owns_pool:
+            self._pool.shutdown()
         if self._plan is not None:
             from repro.runtime.blockstore import release_plan_segment
 
@@ -195,10 +212,18 @@ class Session:
 
     # -- the pipeline -----------------------------------------------------
     def plan(self) -> PartitionPlan:
-        """Build (once) and return the partition plan."""
+        """Build (once) and return the partition plan.
+
+        Runs the pass pipeline (through the content-addressed plan
+        cache) and keeps the build's diagnostics on
+        :attr:`diagnostics`, so embedding hosts (CLI, serving layer)
+        can render them.
+        """
         if self._plan is None:
             from repro.obs.flight import flight
             from repro.obs.top import current_writer
+            from repro.pipeline.context import PipelineConfig
+            from repro.pipeline.passes import run_pipeline
 
             writer = current_writer()
             if writer is not None:
@@ -207,23 +232,29 @@ class Session:
             with self._scope(), flight().span(
                     "session.plan", case=self.nest.name or "?",
                     strategy=self.strategy.value):
-                self._plan = build_plan(
-                    self.nest, strategy=self.strategy,
-                    eliminate_redundant=self.eliminate_redundant)
+                config = PipelineConfig(
+                    strategy=self.strategy,
+                    duplicate_arrays=self.duplicate_arrays,
+                    eliminate_redundant=self.eliminate_redundant,
+                    backend=self.options.backend,
+                )
+                ctx = run_pipeline(self.nest, config, upto="partition")
+                self.diagnostics = ctx.diagnostics
+                self._plan = ctx.plan
         return self._plan
 
     def run(self, backend: Optional[str] = None, **kwargs):
         """Execute the plan in parallel; returns a
         :class:`~repro.runtime.parallel.ParallelResult`."""
         from repro.obs.flight import flight
-        from repro.runtime.parallel import run_parallel
+        from repro.runtime.parallel import _run_parallel
 
         with self._scope(), flight().span(
                 "session.run", case=self.nest.name or "?",
                 backend=backend or self.options.backend or "default"):
-            result = run_parallel(self.plan(), scalars=self.scalars,
-                                  backend=backend, options=self.options,
-                                  **kwargs)
+            result = _run_parallel(self.plan(), scalars=self.scalars,
+                                   backend=backend, options=self.options,
+                                   **kwargs)
         self._snapshot_done(result)
         return result
 
@@ -268,20 +299,26 @@ class Session:
     def verify(self, backend: Optional[str] = None, **kwargs):
         """Parallel == sequential, zero communication; returns a
         :class:`~repro.runtime.verify.VerificationReport`."""
-        from repro.runtime.verify import verify_plan
+        from repro.runtime.verify import _verify_plan
 
         with self._scope():
-            return verify_plan(self.plan(), scalars=self.scalars,
-                               backend=backend, options=self.options,
-                               **kwargs)
+            return _verify_plan(self.plan(), scalars=self.scalars,
+                                backend=backend, options=self.options,
+                                **kwargs)
 
-    def audit(self, **kwargs):
+    def audit(self, plan: Optional[PartitionPlan] = None, **kwargs):
         """Certify communication-freedom; returns an
-        :class:`~repro.obs.audit.AuditReport`."""
+        :class:`~repro.obs.audit.AuditReport`.
+
+        ``plan`` overrides the session's own plan -- the CLI's
+        ``--inject-violation`` negative control audits a sabotaged
+        copy without poisoning the session.
+        """
         from repro.obs.audit import audit_plan
 
         with self._scope():
-            return audit_plan(self.plan(), scalars=self.scalars,
+            return audit_plan(plan if plan is not None else self.plan(),
+                              scalars=self.scalars,
                               registry=self.registry, **kwargs)
 
     def machine(self, p: int = 16, **kwargs):

@@ -101,6 +101,37 @@ def _compile(args, upto: str) -> PipelineContext:
     return ctx
 
 
+def _session_from_args(args, nest=None, tracer=None):
+    """An :class:`repro.api.Session` wired to the CLI's ambient scopes.
+
+    The session reuses the command's current metrics registry and
+    tracer (so ``--trace`` / ``--metrics`` / ``--timings`` see exactly
+    what the session does) instead of creating private ones.
+    """
+    from repro.api import Session
+    from repro.obs.metrics import current_registry
+    from repro.obs.trace import current_tracer
+
+    nest = nest if nest is not None else _load_nest(args)
+    config = PipelineConfig.from_cli_args(args)
+    return Session(
+        nest,
+        strategy=config.strategy,
+        backend=getattr(args, "backend", None),
+        chaos=getattr(args, "chaos", None),
+        eliminate_redundant=config.eliminate_redundant,
+        duplicate_arrays=config.duplicate_arrays,
+        scalars=config.scalars_dict() or None,
+        registry=current_registry(),
+        tracer=tracer if tracer is not None else current_tracer(),
+    )
+
+
+def _render_session_diagnostics(session) -> None:
+    if session.diagnostics:
+        print(session.diagnostics.render(), file=sys.stderr)
+
+
 def cmd_analyze(args, out) -> int:
     ctx = _compile(args, upto="eliminate-redundancy")
     nest, model = ctx.nest, ctx.model
@@ -162,14 +193,9 @@ def cmd_transform(args, out) -> int:
 
 
 def cmd_verify(args, out) -> int:
-    from repro.runtime.scheduler import use_fault_plan
-
-    if getattr(args, "chaos", None):
-        with use_fault_plan(args.chaos):
-            ctx = _compile(args, upto="verify")
-    else:
-        ctx = _compile(args, upto="verify")
-    report = ctx.verification
+    with _session_from_args(args) as session:
+        report = session.verify()
+        _render_session_diagnostics(session)
     print(f"blocks: {report.num_blocks}", file=out)
     print(f"executed iterations: {report.executed_iterations}", file=out)
     print(f"skipped (redundant) computations: "
@@ -185,6 +211,21 @@ def cmd_verify(args, out) -> int:
         print(f"backend: {report.backend}", file=out)
     print("OK" if report.ok else "FAILED", file=out)
     return _finish(report.ok, f"verification failed: {report.summary()}")
+
+
+def cmd_run(args, out) -> int:
+    """Execute the partitioned plan in parallel via the Session facade."""
+    with _session_from_args(args) as session:
+        result = session.run()
+        _render_session_diagnostics(session)
+    print(result.summary(), file=out)
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(result.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return _finish(result.ok, f"run failed: {result.summary()}")
 
 
 def cmd_select(args, out) -> int:
@@ -234,33 +275,28 @@ def cmd_report(args, out) -> int:
 
 
 def cmd_audit(args, out) -> int:
-    from repro.obs.audit import (audit_plan, inject_violation,
-                                 render_audit_dashboard)
-    from repro.obs.trace import Tracer, current_tracer, use_tracer
+    from repro.obs.audit import inject_violation, render_audit_dashboard
+    from repro.obs.trace import Tracer, current_tracer
     from repro.runtime.engine.base import available_backends
 
-    ctx = _compile(args, upto="partition")
-    plan = ctx.plan
-    if args.inject_violation:
-        plan = inject_violation(plan)
     if args.backend in (None, "all"):
         backends: list = available_backends()
     else:
         backends = [args.backend]
-    scalars = PipelineConfig.from_cli_args(args).scalars_dict() or None
 
-    # the span rollup needs a recording tracer; when the outer one is
-    # the null recorder, scope a private one around just the audit
     outer = current_tracer()
-    if outer.enabled:
-        report = audit_plan(plan, scalars=scalars, backends=backends,
-                            run_engines=not args.static)
-        spans = outer.spans
-    else:
-        tracer = Tracer(enabled=True)
-        with use_tracer(tracer):
-            report = audit_plan(plan, scalars=scalars, backends=backends,
-                                run_engines=not args.static)
+    with _session_from_args(args) as session:
+        plan = session.plan()
+        _render_session_diagnostics(session)
+        if args.inject_violation:
+            plan = inject_violation(plan)
+        # the span rollup needs a recording tracer; when the outer one
+        # is the null recorder, swap a private one in for just the
+        # audit (the plan build above stays untraced, as before)
+        tracer = outer if outer.enabled else Tracer(enabled=True)
+        session.tracer = tracer
+        report = session.audit(plan=plan, backends=backends,
+                               run_engines=not args.static)
         spans = tracer.spans
     print(render_audit_dashboard(report, spans=spans), file=out)
     if args.json:
@@ -291,7 +327,11 @@ def cmd_perf(args, out) -> int:
         if "blocks_per_sec" in entry:
             entry["blocks_per_sec"] = round(
                 entry["blocks_per_sec"] * 0.1, 2)
+        if "plans_per_sec" in entry.get("serve", {}):
+            entry["serve"]["plans_per_sec"] = round(
+                entry["serve"]["plans_per_sec"] * 0.001, 2)
     slos = list(slomod.DEFAULT_SLOS)
+    slos.extend(slomod.serve_slos())  # committed BENCH_serve.json floors
     if args.slo:
         slos.extend(slomod.load_slos(args.slo))
     slo_results = slomod.evaluate_slos(entry, slos)
@@ -345,6 +385,74 @@ def cmd_perf(args, out) -> int:
     return 0
 
 
+def cmd_serve(args, out) -> int:
+    """The serving daemon: start/stop/status plus one-shot submit."""
+    import json as jsonmod
+
+    from repro.serve import daemon as dmod
+
+    socket_path = args.socket or dmod.default_socket_path()
+    if args.action == "start":
+        if args.foreground:
+            dmod.run_daemon(socket_path,
+                            max_concurrency=args.concurrency,
+                            queue_limit=args.queue_limit)
+            return 0
+        try:
+            pid = dmod.spawn_daemon(socket_path,
+                                    max_concurrency=args.concurrency,
+                                    queue_limit=args.queue_limit)
+        except RuntimeError as exc:
+            return _finish(False, str(exc))
+        print(f"serve: daemon pid {pid} listening on {socket_path}",
+              file=out)
+        return 0
+    if args.action == "stop":
+        if dmod.stop_daemon(socket_path):
+            print("serve: stopped", file=out)
+            return 0
+        return _finish(False, f"no daemon at {socket_path}")
+
+    from repro.serve.client import ServeClient, ServeError
+
+    try:
+        client = ServeClient(socket_path)
+    except (ConnectionError, OSError) as exc:
+        return _finish(False,
+                       f"cannot reach daemon at {socket_path}: {exc}")
+    with client:
+        if args.action == "status":
+            print(jsonmod.dumps(client.status(), indent=2, sort_keys=True),
+                  file=out)
+            return 0
+        # submit: one request over the wire, payload to stdout
+        if args.loop:
+            nest = args.loop
+        elif args.file:
+            with open(args.file) as fh:
+                nest = fh.read()
+        else:
+            raise SystemExit("give a source file or --loop NAME")
+        config = PipelineConfig.from_cli_args(args)
+        fields = dict(
+            nest=nest,
+            strategy=config.strategy.value,
+            eliminate_redundant=config.eliminate_redundant,
+            backend=getattr(args, "backend", None),
+            scalars=config.scalars_dict() or None,
+        )
+        if config.duplicate_arrays is not None:
+            fields["duplicate_arrays"] = tuple(sorted(
+                config.duplicate_arrays))
+        try:
+            result = client.request(args.op, **fields)
+        except ServeError as exc:
+            return _finish(False, exc.response.reason())
+        print(jsonmod.dumps(result, indent=2, sort_keys=True), file=out)
+        return 0 if result.get("ok", True) else _finish(
+            False, f"serve {args.op} failed")
+
+
 def cmd_chaos(args, out) -> int:
     """Fault-injected multiprocess run + recovery certification.
 
@@ -363,7 +471,7 @@ def cmd_chaos(args, out) -> int:
     from repro.obs.history import matmul_nest
     from repro.runtime.arrays import make_arrays
     from repro.runtime.merge import merge_copies
-    from repro.runtime.parallel import run_parallel
+    from repro.runtime.parallel import _run_parallel
     from repro.runtime.scheduler import (FaultPlan, SchedulerError,
                                          render_timeline)
 
@@ -395,9 +503,9 @@ def cmd_chaos(args, out) -> int:
     # -- the runs: undisturbed interp golden, then chaos ------------------
     initial = make_arrays(plan.model)
     try:
-        golden = run_parallel(plan, initial=initial, backend="interp")
-        res = run_parallel(plan, initial=initial, backend="multiprocess",
-                           chaos=fp)
+        golden = _run_parallel(plan, initial=initial, backend="interp")
+        res = _run_parallel(plan, initial=initial, backend="multiprocess",
+                            chaos=fp)
     except SchedulerError as exc:
         return _finish(False, f"chaos non-recovery: {exc}")
     except RemoteAccessError as exc:
@@ -598,6 +706,46 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fault-injection spec scoped over the run, e.g. "
                         "'crash-prob=0.2,seed=7' (multiprocess backend)")
     p.set_defaults(fn=cmd_verify)
+
+    p = add_subparser("run", help="execute the plan (Session facade)")
+    add_loop_args(p)
+    add_strategy_args(p)
+    p.add_argument("--scalars", help="bindings, e.g. 'D=2,F=3'")
+    p.add_argument("--backend",
+                   help="execution engine: interp, compiled, codegen, "
+                        "vectorized, multiprocess, auto")
+    p.add_argument("--chaos", metavar="SPEC",
+                   help="fault-injection spec scoped over the run, e.g. "
+                        "'crash-prob=0.2,seed=7' (multiprocess backend)")
+    p.add_argument("--json", metavar="FILE",
+                   help="also write the run result as JSON")
+    p.set_defaults(fn=cmd_run)
+
+    p = add_subparser("serve",
+                      help="async batch-serving daemon (unix socket)")
+    p.add_argument("action", choices=["start", "stop", "status", "submit"],
+                   help="start/stop the daemon, query it, or submit "
+                        "one request")
+    p.add_argument("--socket", metavar="PATH",
+                   help="unix socket path (default $REPRO_SERVE_SOCKET "
+                        "or <cache-root>/serve.sock)")
+    p.add_argument("--foreground", action="store_true",
+                   help="start: run in the foreground instead of "
+                        "daemonizing")
+    p.add_argument("--concurrency", type=int, default=4,
+                   help="start: executor width (default 4)")
+    p.add_argument("--queue-limit", type=int, default=32,
+                   help="start: admitted-request bound beyond the "
+                        "executing ones (default 32)")
+    p.add_argument("--op", default="verify",
+                   choices=["plan", "run", "verify", "audit"],
+                   help="submit: the operation (default verify)")
+    add_loop_args(p)
+    add_strategy_args(p)
+    p.add_argument("--scalars", help="bindings, e.g. 'D=2,F=3'")
+    p.add_argument("--backend",
+                   help="execution engine for submitted run/verify ops")
+    p.set_defaults(fn=cmd_serve)
 
     p = add_subparser("select", help="cost-based strategy selection")
     add_loop_args(p)

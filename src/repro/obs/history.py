@@ -269,6 +269,7 @@ def measure_entry(n: int = DEFAULT_N, repeats: int = DEFAULT_REPEATS,
     frac = committed_obs_overhead()
     if frac is not None:
         entry["obs_overhead_fraction"] = frac
+    entry["serve"] = measure_serve_entry()
     entry["slo"] = slo_block(evaluate_slos(entry))
     reg = registry if registry is not None else current_registry()
     reg.inc("perf.runs")
@@ -276,7 +277,62 @@ def measure_entry(n: int = DEFAULT_N, repeats: int = DEFAULT_REPEATS,
         reg.set(f"perf.speedup.{backend}", s)
     if "blocks_per_sec" in entry:
         reg.set("perf.blocks_per_sec", entry["blocks_per_sec"])
+    if "plans_per_sec" in entry["serve"]:
+        reg.set("perf.serve.plans_per_sec",
+                entry["serve"]["plans_per_sec"])
     return entry
+
+
+def measure_serve_entry(requests: int = 30, bursts: int = 3) -> dict:
+    """One small in-process serving burst: the ``entry["serve"]`` block.
+
+    Mixed plan/verify traffic against an :class:`~repro.serve.server.
+    AsyncServer` measures warm request throughput (``plans_per_sec``,
+    the series the EWMA watchdog tracks) and latency quantiles from
+    the ``serve.latency_ms`` histogram -- the same shape
+    ``benchmarks/bench_serve.py`` records floors for.
+    """
+    import asyncio
+
+    from repro.serve import AsyncServer
+    from repro.serve.protocol import Request
+
+    cases = [("plan", "L1"), ("verify", "L2"), ("plan", "L2")]
+    per_burst = max(1, requests // bursts)
+
+    async def drive(srv: AsyncServer):
+        t0 = perf_counter()
+        ok = total = 0
+        for burst in range(bursts):
+            frames = []
+            for i in range(per_burst):
+                op, nest = cases[i % len(cases)]
+                frames.append(Request(op=op, nest=nest,
+                                      strategy="duplicate",
+                                      id=f"p{burst}-{i}").to_dict())
+            responses = await asyncio.gather(
+                *[srv.handle(f) for f in frames])
+            total += len(responses)
+            ok += sum(1 for r in responses if r["ok"])
+        return ok, total, perf_counter() - t0
+
+    with AsyncServer(max_concurrency=4, queue_limit=64) as srv:
+        ok, total, wall = asyncio.run(drive(srv))
+        lat = srv.registry.get("serve.latency_ms")
+        coalesced = int(srv.registry.value("serve.coalesced"))
+    block = {
+        "requests": total,
+        "ok": ok,
+        "coalesced": coalesced,
+        "wall_ms": round(wall * 1e3, 1),
+    }
+    if wall > 0 and ok:
+        block["plans_per_sec"] = round(ok / wall, 2)
+    if lat is not None and lat.count:
+        block["p50_ms"] = round(lat.quantile(0.50), 3)
+        block["p95_ms"] = round(lat.quantile(0.95), 3)
+        block["p99_ms"] = round(lat.quantile(0.99), 3)
+    return block
 
 
 # ---------------------------------------------------------------------------

@@ -32,9 +32,10 @@ from __future__ import annotations
 
 import math
 import threading
-from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Optional, Union
+from typing import Any, Optional, Union
+
+from repro.ctxstack import ScopeStack
 
 #: Log-spaced histogram bucket upper bounds, in the metric's own unit
 #: (seconds for timings): 1us .. 100s.
@@ -283,19 +284,19 @@ class MetricsRegistry:
 #: live registry means library callers can always read one.
 METRICS = MetricsRegistry()
 
-_registry_stack: list[MetricsRegistry] = [METRICS]
+_registry_stack = ScopeStack(METRICS)
 
 
 def current_registry() -> MetricsRegistry:
-    """The registry instrumented call sites publish to."""
-    return _registry_stack[-1]
+    """The registry instrumented call sites publish to.
+
+    Per-thread: a scope entered on one thread (a daemon worker running
+    one request) is invisible to every other thread, which keeps
+    concurrent requests from publishing into each other's registries.
+    """
+    return _registry_stack.top(METRICS)
 
 
-@contextmanager
-def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
-    """Scope the active registry (e.g. per CLI command)."""
-    _registry_stack.append(registry)
-    try:
-        yield registry
-    finally:
-        _registry_stack.pop()
+def use_registry(registry: MetricsRegistry):
+    """Scope the active registry (e.g. per CLI command or request)."""
+    return _registry_stack.scoped(registry)

@@ -52,6 +52,7 @@ WATCHDOG_KEYS = (
     "speedup.vectorized",
     "speedup.multiprocess",
     "blocks_per_sec",
+    "serve.plans_per_sec",
 )
 
 
@@ -92,6 +93,10 @@ DEFAULT_SLOS: tuple[SLO, ...] = (
     SLO("obs-overhead", "obs_overhead_fraction", "max", 0.02,
         "always-on observability (null tracer + flight recorder) costs "
         "under 2% of workload wall time"),
+    SLO("serve-throughput", "serve.plans_per_sec", "min", 1.0,
+        "the serving layer sustains at least 1 warm request/sec"),
+    SLO("serve-latency-p95", "serve.p95_ms", "max", 5000.0,
+        "p95 served-request latency stays under 5s on warm traffic"),
 )
 
 
@@ -142,6 +147,36 @@ def evaluate_slos(entry: Mapping[str, Any],
 def slo_block(results: Sequence[SLOResult]) -> dict:
     """The JSON block stamped into the history entry (``entry["slo"]``)."""
     return {r.slo.name: r.to_json() for r in results}
+
+
+#: Where ``benchmarks/bench_serve.py`` commits its serving floors.
+SERVE_BASELINE = "BENCH_serve.json"
+
+
+def serve_slos(path: str = SERVE_BASELINE) -> list[SLO]:
+    """The committed serving floors as SLOs over ``entry["serve"]``.
+
+    ``BENCH_serve.json`` (written by ``benchmarks/bench_serve.py``)
+    carries a ``floors`` block; each floor becomes an objective over
+    the matching ``serve.*`` series of the perf entry, so ``repro perf
+    --check`` gates serving throughput/latency exactly like engine
+    speedups.  Missing or unreadable baseline -> no extra objectives.
+    """
+    try:
+        with open(path) as fh:
+            floors = json.load(fh).get("floors") or {}
+    except (OSError, ValueError):
+        return []
+    out: list[SLO] = []
+    if isinstance(floors.get("plans_per_sec"), (int, float)):
+        out.append(SLO("serve-plans-per-sec-floor", "serve.plans_per_sec",
+                       "min", float(floors["plans_per_sec"]),
+                       f"committed serving throughput floor ({path})"))
+    if isinstance(floors.get("p95_ms"), (int, float)):
+        out.append(SLO("serve-p95-floor", "serve.p95_ms",
+                       "max", float(floors["p95_ms"]),
+                       f"committed serving p95 latency floor ({path})"))
+    return out
 
 
 def load_slos(path: str) -> list[SLO]:

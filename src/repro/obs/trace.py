@@ -23,9 +23,10 @@ from __future__ import annotations
 import os
 import threading
 import time
-from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Optional
+from typing import Any, Optional
+
+from repro.ctxstack import ScopeStack
 
 
 class _NullSpan:
@@ -207,19 +208,14 @@ class Tracer:
 #: Process-wide default: a *disabled* tracer (the null-recorder path).
 NULL_TRACER = Tracer(enabled=False)
 
-_tracer_stack: list[Tracer] = [NULL_TRACER]
+_tracer_stack = ScopeStack(NULL_TRACER)
 
 
 def current_tracer() -> Tracer:
-    """The tracer instrumented call sites report to."""
-    return _tracer_stack[-1]
+    """The tracer instrumented call sites report to (per thread)."""
+    return _tracer_stack.top(NULL_TRACER)
 
 
-@contextmanager
-def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
-    """Scope the active tracer (e.g. for one CLI command)."""
-    _tracer_stack.append(tracer)
-    try:
-        yield tracer
-    finally:
-        _tracer_stack.pop()
+def use_tracer(tracer: Tracer):
+    """Scope the active tracer (e.g. for one CLI command or request)."""
+    return _tracer_stack.scoped(tracer)

@@ -12,7 +12,14 @@ vs. options change vs. eviction) as ``cache.miss.<reason>`` counters.
 The disk store (one pickle per key under a directory, enabled via the
 ``REPRO_PLAN_CACHE_DIR`` environment variable or
 :func:`configure_plan_cache`) follows the clcache model: content hash
-in, artifact out, corrupt or unreadable entries treated as misses.
+in, artifact out, corrupt or unreadable entries treated as misses.  It
+runs on the shared :class:`repro.pipeline.diskstore.DiskStore`
+skeleton -- flock'd sidecar lock, ``manifest.json`` with a logical
+access clock, tmp + ``os.replace`` writes, byte-cap LRU eviction
+(``REPRO_PLAN_CACHE_MB``, default 64) -- so concurrent daemon workers
+sharing one plan directory cannot corrupt it.  Directories written by
+the pre-manifest format are adopted in place: a ``*.plan`` file with
+no manifest entry still hits and gains an entry.
 """
 
 from __future__ import annotations
@@ -26,11 +33,16 @@ from typing import Any, Optional
 from repro.lang.fingerprint import plan_cache_key
 from repro.obs.metrics import current_registry
 from repro.obs.trace import current_tracer
+from repro.pipeline.diskstore import DiskStore
 from repro.pipeline.instrument import Instrumentation
 
 HIT_COUNTER = "cache.hit"
 MISS_COUNTER = "cache.miss"
 EVICT_COUNTER = "cache.evict"
+
+#: Byte cap for the on-disk plan store, in MiB.
+DISK_MB_ENV_VAR = "REPRO_PLAN_CACHE_MB"
+DEFAULT_DISK_CAP_MB = 64
 
 
 def cache_root():
@@ -100,6 +112,7 @@ class PlanCache:
             raise ValueError("cache maxsize must be >= 1")
         self.maxsize = maxsize
         self.directory = directory
+        self._disk: Optional[DiskStore] = None
         self._store: "OrderedDict[tuple, Any]" = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -177,28 +190,71 @@ class PlanCache:
                 current_registry().inc(EVICT_COUNTER)
 
     # -- disk store -------------------------------------------------------
-    def _path_for(self, key: tuple) -> str:
+    def _stem_for(self, key: tuple) -> str:
         fingerprint, strategy, dup, elim = key
         dup_tag = "all" if dup is None else "-".join(dup) or "none"
-        fname = f"{fingerprint}.{strategy}.{dup_tag}.{int(elim)}.plan"
-        return os.path.join(self.directory or "", fname)
+        return f"{fingerprint}.{strategy}.{dup_tag}.{int(elim)}"
+
+    def _diskstore(self) -> Optional[DiskStore]:
+        """The lock-safe store for :attr:`directory` (lazy, best-effort)."""
+        if self.directory is None:
+            return None
+        store = self._disk
+        if store is None or str(store.root) != str(self.directory):
+            try:
+                cap = int(float(os.environ.get(
+                    DISK_MB_ENV_VAR, DEFAULT_DISK_CAP_MB)) * 1024 * 1024)
+                store = self._disk = DiskStore(self.directory, cap_bytes=cap)
+            except (OSError, ValueError):
+                return None  # unwritable directory: memory cache only
+        return store
 
     def _disk_read(self, key: tuple) -> Any:
-        path = self._path_for(key)
+        store = self._diskstore()
+        if store is None:
+            return None
+        stem = self._stem_for(key)
         try:
-            with open(path, "rb") as fh:
-                return pickle.load(fh)
-        except (OSError, pickle.PickleError, EOFError, AttributeError):
+            with store.locked():
+                m = store.read_manifest()
+                try:
+                    plan = pickle.loads(store.read_file(f"{stem}.plan"))
+                except (OSError, pickle.PickleError, EOFError,
+                        AttributeError):
+                    if stem in m["entries"]:
+                        del m["entries"][stem]
+                        store.remove(stem, (".plan",))
+                        store.write_manifest(m)
+                    return None
+                if stem in m["entries"]:
+                    store.touch(m, stem)
+                else:
+                    # pre-manifest directory: adopt the entry in place
+                    nbytes = (store.root / f"{stem}.plan").stat().st_size
+                    store.record(m, stem, nbytes)
+                store.write_manifest(m)
+                return plan
+        except OSError:
             return None
 
     def _disk_write(self, key: tuple, plan: Any) -> None:
-        assert self.directory is not None
+        store = self._diskstore()
+        if store is None:
+            return
+        stem = self._stem_for(key)
         try:
-            os.makedirs(self.directory, exist_ok=True)
-            tmp = self._path_for(key) + ".tmp"
-            with open(tmp, "wb") as fh:
-                pickle.dump(plan, fh)
-            os.replace(tmp, self._path_for(key))
+            blob = pickle.dumps(plan)
+            with store.locked():
+                m = store.read_manifest()
+                store.write_file(f"{stem}.plan", blob)
+                store.record(m, stem, len(blob))
+                evicted = store.evict_lru(m, (".plan",), protect=(stem,))
+                store.write_manifest(m)
+            reg = current_registry()
+            reg.inc("cache.plan.disk.store")
+            for _ in evicted:
+                reg.inc("cache.plan.disk.evict")
+            reg.set("cache.plan.disk.bytes", store.total_bytes(m))
         except (OSError, pickle.PickleError):
             pass  # disk store is best-effort; memory cache still works
 

@@ -1,0 +1,142 @@
+"""Shared on-disk cache plumbing: flock lock, manifest, LRU eviction.
+
+Two persistent caches grew the same clcache-shaped skeleton
+independently -- the codegen kernel cache
+(:mod:`repro.runtime.engine.codegen.diskcache`) with the full
+lock/manifest/evict treatment, and the plan cache
+(:mod:`repro.pipeline.cache`) with a naive one-pickle-per-key store
+that had no lock, no manifest and no eviction.  Once the serving
+daemon runs many worker threads (and its warm pool runs worker
+*processes*) against one cache directory, the naive store can tear:
+two writers racing ``os.replace`` is fine, but a reader catching a
+half-written temp file or an unbounded directory is not.
+
+:class:`DiskStore` is the shared skeleton both now use:
+
+- every mutating operation happens under an exclusive ``flock`` on a
+  sidecar ``lock`` file, so concurrent processes serialize on the
+  manifest and never observe torn state;
+- ``manifest.json`` (format v1: ``{"version": 1, "clock": N,
+  "entries": {key: {"bytes": ..., "used": ...}}}``) records entry
+  sizes and a logical access clock for LRU eviction under a byte cap;
+- payload files are written to a temp name and ``os.replace``d into
+  place, so readers only ever see complete files;
+- a corrupt manifest or payload reads as empty/missing, never as an
+  error -- caches are optimizations, every failure path degrades to
+  recomputing.
+
+The store is policy-free about payload encoding: callers hand it raw
+bytes under ``<key><suffix>`` names and do their own pickling or
+marshalling, and callers own their metric names (the kernel cache's
+``cache.disk.*`` family predates this module and is kept verbatim).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+MANIFEST = "manifest.json"
+LOCK = "lock"
+
+
+class DiskStore:
+    """Lock-safe manifest-tracked byte store under one directory."""
+
+    def __init__(self, root: Union[str, Path],
+                 cap_bytes: Optional[int] = None) -> None:
+        self.root = Path(root)
+        self.cap_bytes = cap_bytes
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock_path = self.root / LOCK
+
+    # -- locking ----------------------------------------------------------
+    @contextmanager
+    def locked(self):
+        """Exclusive advisory lock over the whole store (per open fd,
+        so it serializes threads and processes alike)."""
+        fd = os.open(self._lock_path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            try:
+                import fcntl
+
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            except ImportError:  # pragma: no cover - non-POSIX fallback
+                pass
+            yield
+        finally:
+            os.close(fd)  # closing drops the flock
+
+    # -- manifest ---------------------------------------------------------
+    def read_manifest(self) -> dict:
+        try:
+            m = json.loads((self.root / MANIFEST).read_text())
+            if m.get("version") == 1 and isinstance(m.get("entries"), dict):
+                return m
+        except (OSError, ValueError):
+            pass
+        return {"version": 1, "clock": 0, "entries": {}}
+
+    def write_manifest(self, m: dict) -> None:
+        tmp = self.root / f"{MANIFEST}.tmp.{os.getpid()}"
+        tmp.write_text(json.dumps(m, sort_keys=True))
+        os.replace(tmp, self.root / MANIFEST)
+
+    @staticmethod
+    def total_bytes(m: dict) -> int:
+        return sum(e.get("bytes", 0) for e in m["entries"].values())
+
+    @staticmethod
+    def touch(m: dict, key: str) -> None:
+        """Advance the logical clock and mark ``key`` most recently used."""
+        m["clock"] += 1
+        m["entries"][key]["used"] = m["clock"]
+
+    def record(self, m: dict, key: str, nbytes: int, **extra) -> None:
+        """(Re)register ``key`` as most recently used at ``nbytes``."""
+        m["clock"] += 1
+        m["entries"][key] = {"bytes": nbytes, "used": m["clock"], **extra}
+
+    # -- payload files ----------------------------------------------------
+    def write_file(self, name: str, data: bytes) -> None:
+        tmp = self.root / f"{name}.tmp.{os.getpid()}"
+        tmp.write_bytes(data)
+        os.replace(tmp, self.root / name)
+
+    def read_file(self, name: str) -> bytes:
+        """Raw payload bytes; raises ``OSError`` when absent."""
+        return (self.root / name).read_bytes()
+
+    def remove(self, key: str, suffixes: Iterable[str]) -> None:
+        for suffix in suffixes:
+            try:
+                (self.root / f"{key}{suffix}").unlink()
+            except FileNotFoundError:
+                pass
+
+    # -- eviction ---------------------------------------------------------
+    def evict_lru(self, m: dict, suffixes: Iterable[str],
+                  protect: Iterable[str] = ()) -> list[str]:
+        """Drop least-recently-used entries until under the byte cap.
+
+        ``protect`` keys (typically the one just stored) are never
+        chosen while any other entry remains.  Returns the evicted
+        keys; the caller still owns writing the manifest.
+        """
+        if self.cap_bytes is None:
+            return []
+        protected = set(protect)
+        suffixes = tuple(suffixes)
+        evicted: list[str] = []
+        while (self.total_bytes(m) > self.cap_bytes
+               and len(m["entries"]) > len(protected & set(m["entries"]))):
+            victim = min(
+                (k for k in m["entries"] if k not in protected),
+                key=lambda k: m["entries"][k].get("used", 0))
+            del m["entries"][victim]
+            self.remove(victim, suffixes)
+            evicted.append(victim)
+        return evicted

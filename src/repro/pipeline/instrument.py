@@ -20,10 +20,10 @@ names -- so one registry snapshot covers compile, execute and simulate.
 from __future__ import annotations
 
 import time
-from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterator, Optional
+from typing import TYPE_CHECKING, Optional
 
+from repro.ctxstack import ScopeStack
 from repro.obs.metrics import current_registry
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -179,19 +179,14 @@ class Timer:
 #: ``--timings`` so the table covers exactly one command.
 PIPELINE_METRICS = Instrumentation()
 
-_metrics_stack: list[Instrumentation] = [PIPELINE_METRICS]
+_metrics_stack = ScopeStack(PIPELINE_METRICS)
 
 
 def current_metrics() -> Instrumentation:
-    """The instrumentation new pipeline contexts default to."""
-    return _metrics_stack[-1]
+    """The instrumentation new pipeline contexts default to (per thread)."""
+    return _metrics_stack.top(PIPELINE_METRICS)
 
 
-@contextmanager
-def use_metrics(instr: Instrumentation) -> Iterator[Instrumentation]:
+def use_metrics(instr: Instrumentation):
     """Scope the default instrumentation (e.g. per CLI command)."""
-    _metrics_stack.append(instr)
-    try:
-        yield instr
-    finally:
-        _metrics_stack.pop()
+    return _metrics_stack.scoped(instr)

@@ -294,12 +294,12 @@ def _pass_map(ctx: PipelineContext) -> None:
 
 
 def _pass_verify(ctx: PipelineContext) -> None:
-    from repro.runtime.verify import verify_plan
+    from repro.runtime.verify import _verify_plan
 
     plan = ctx.require("plan")
     scalars = ctx.config.scalars_dict()
-    report = verify_plan(plan, scalars=scalars or None,
-                         backend=ctx.config.backend)
+    report = _verify_plan(plan, scalars=scalars or None,
+                          backend=ctx.config.backend)
     ctx.instrumentation.count(f"engine:{report.backend}")
     for name in report.cross_checked:
         if name != report.backend:

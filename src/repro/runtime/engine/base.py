@@ -21,6 +21,7 @@ interpreter silently degrades to ``compiled`` (and ultimately
 from __future__ import annotations
 
 import os
+import threading
 from typing import TYPE_CHECKING, Mapping, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -145,6 +146,7 @@ def resolve_engine(name: Optional[str] = None) -> Engine:
 
 
 _loaded = False
+_load_lock = threading.RLock()
 
 
 def _load_backends() -> None:
@@ -152,17 +154,23 @@ def _load_backends() -> None:
 
     Guarded by a flag rather than a non-empty registry: importing one
     backend module directly registers it, which must not stop the rest
-    of the tiers from loading.
+    of the tiers from loading.  The flag flips only *after* every tier
+    is imported, under a lock -- concurrent first resolutions (e.g. a
+    fresh serving daemon dispatching a burst across executor threads)
+    must never observe a half-populated registry.
     """
     global _loaded
     if _loaded:
         return
-    _loaded = True
-    from repro.runtime.engine import (  # noqa: F401
-        auto,
-        codegen,
-        compiled,
-        interp,
-        multiproc,
-        vectorized,
-    )
+    with _load_lock:
+        if _loaded:
+            return
+        from repro.runtime.engine import (  # noqa: F401
+            auto,
+            codegen,
+            compiled,
+            interp,
+            multiproc,
+            vectorized,
+        )
+        _loaded = True

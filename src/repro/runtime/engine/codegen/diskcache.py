@@ -12,14 +12,14 @@ One directory holds, per kernel key (the rename-invariant fingerprint
 - ``manifest.json`` -- entry sizes, interpreter tags and a logical
   access clock for LRU eviction under the byte cap.
 
-Every operation takes an exclusive ``flock`` on a sidecar lock file,
-so concurrent processes (blockstore workers racing their parent, two
-test processes hammering one directory) serialize on the manifest and
-never observe torn files; payload files are written to a temp name and
-``os.replace``d into place.  A corrupt manifest or payload is treated
-as a miss (``cache.disk.miss.corrupt``) and rewritten, never an error
--- the cache is an optimization, so every failure path degrades to
-re-emitting.
+The lock/manifest/evict skeleton lives in the shared
+:class:`repro.pipeline.diskstore.DiskStore` (also used by the plan
+cache's disk tier): every operation takes an exclusive ``flock`` on a
+sidecar lock file, payload files are written to a temp name and
+``os.replace``d into place, and a corrupt manifest or payload is
+treated as a miss (``cache.disk.miss.corrupt``) and rewritten, never
+an error -- the cache is an optimization, so every failure path
+degrades to re-emitting.
 
 Stats surface through the ambient metrics registry:
 
@@ -37,13 +37,13 @@ Knobs: ``REPRO_CODEGEN_CACHE_DIR`` (directory; default
 
 from __future__ import annotations
 
-import json
 import marshal
 import os
 import sys
-from contextlib import contextmanager
 from pathlib import Path
 from typing import Optional
+
+from repro.pipeline.diskstore import DiskStore
 
 DIR_ENV_VAR = "REPRO_CODEGEN_CACHE_DIR"
 MB_ENV_VAR = "REPRO_CODEGEN_CACHE_MB"
@@ -51,8 +51,7 @@ DISABLE_ENV_VAR = "REPRO_CODEGEN_DISK"
 
 DEFAULT_CAP_MB = 32
 
-_MANIFEST = "manifest.json"
-_LOCK = "lock"
+_SUFFIXES = (".py", ".bin")
 
 
 def _registry():
@@ -70,56 +69,9 @@ class DiskKernelCache:
     """A lock-safe, size-capped source + code-object store."""
 
     def __init__(self, root: Path, cap_bytes: int) -> None:
-        self.root = Path(root)
+        self._store = DiskStore(root, cap_bytes=cap_bytes)
+        self.root = self._store.root
         self.cap_bytes = cap_bytes
-        self.root.mkdir(parents=True, exist_ok=True)
-        self._lock_path = self.root / _LOCK
-
-    # -- locking ----------------------------------------------------------
-    @contextmanager
-    def _locked(self):
-        fd = os.open(self._lock_path, os.O_RDWR | os.O_CREAT, 0o644)
-        try:
-            try:
-                import fcntl
-
-                fcntl.flock(fd, fcntl.LOCK_EX)
-            except ImportError:  # pragma: no cover - non-POSIX fallback
-                pass
-            yield
-        finally:
-            os.close(fd)  # closing drops the flock
-
-    # -- manifest ---------------------------------------------------------
-    def _read_manifest(self) -> dict:
-        try:
-            m = json.loads((self.root / _MANIFEST).read_text())
-            if m.get("version") == 1 and isinstance(m.get("entries"), dict):
-                return m
-        except (OSError, ValueError):
-            pass
-        return {"version": 1, "clock": 0, "entries": {}}
-
-    def _write_manifest(self, m: dict) -> None:
-        tmp = self.root / f"{_MANIFEST}.tmp.{os.getpid()}"
-        tmp.write_text(json.dumps(m, sort_keys=True))
-        os.replace(tmp, self.root / _MANIFEST)
-
-    def _write_file(self, name: str, data: bytes) -> None:
-        tmp = self.root / f"{name}.tmp.{os.getpid()}"
-        tmp.write_bytes(data)
-        os.replace(tmp, self.root / name)
-
-    def _drop(self, key: str, entry: dict) -> None:
-        for suffix in (".py", ".bin"):
-            try:
-                (self.root / f"{key}{suffix}").unlink()
-            except FileNotFoundError:
-                pass
-
-    @staticmethod
-    def _total(m: dict) -> int:
-        return sum(e.get("bytes", 0) for e in m["entries"].values())
 
     # -- operations -------------------------------------------------------
     def load(self, key: str):
@@ -129,30 +81,29 @@ class DiskKernelCache:
         only when the stored marshal matches this interpreter's tag.
         """
         reg = _registry()
-        with self._locked():
-            m = self._read_manifest()
+        st = self._store
+        with st.locked():
+            m = st.read_manifest()
             entry = m["entries"].get(key)
             if entry is None:
                 reg.inc("cache.disk.miss.new-key")
                 return None, None
             try:
-                src = (self.root / f"{key}.py").read_text()
+                src = st.read_file(f"{key}.py").decode()
             except OSError:
                 del m["entries"][key]
-                self._drop(key, entry)
-                self._write_manifest(m)
+                st.remove(key, _SUFFIXES)
+                st.write_manifest(m)
                 reg.inc("cache.disk.miss.corrupt")
                 return None, None
             code = None
             if entry.get("tag") == cache_tag():
                 try:
-                    code = marshal.loads(
-                        (self.root / f"{key}.bin").read_bytes())
+                    code = marshal.loads(st.read_file(f"{key}.bin"))
                 except (OSError, ValueError, EOFError, TypeError):
                     code = None
-            m["clock"] += 1
-            entry["used"] = m["clock"]
-            self._write_manifest(m)
+            st.touch(m, key)
+            st.write_manifest(m)
         if code is None and entry.get("tag") != cache_tag():
             # the source still hits; only the code object is re-derived
             reg.inc("cache.disk.stale-tag")
@@ -162,25 +113,19 @@ class DiskKernelCache:
     def store(self, key: str, src: str, code_bytes: bytes) -> None:
         """Persist one kernel and evict LRU entries past the byte cap."""
         reg = _registry()
-        with self._locked():
-            m = self._read_manifest()
-            self._write_file(f"{key}.py", src.encode())
-            self._write_file(f"{key}.bin", code_bytes)
-            m["clock"] += 1
-            m["entries"][key] = {
-                "bytes": len(src.encode()) + len(code_bytes),
-                "tag": cache_tag(),
-                "used": m["clock"],
-            }
-            while self._total(m) > self.cap_bytes and len(m["entries"]) > 1:
-                victim = min(
-                    (k for k in m["entries"] if k != key),
-                    key=lambda k: m["entries"][k].get("used", 0))
-                self._drop(victim, m["entries"].pop(victim))
+        st = self._store
+        with st.locked():
+            m = st.read_manifest()
+            src_bytes = src.encode()
+            st.write_file(f"{key}.py", src_bytes)
+            st.write_file(f"{key}.bin", code_bytes)
+            st.record(m, key, len(src_bytes) + len(code_bytes),
+                      tag=cache_tag())
+            for _ in st.evict_lru(m, _SUFFIXES, protect=(key,)):
                 reg.inc("cache.disk.evict")
-            self._write_manifest(m)
+            st.write_manifest(m)
             reg.inc("cache.disk.store")
-            reg.set("cache.disk.bytes", self._total(m))
+            reg.set("cache.disk.bytes", st.total_bytes(m))
 
 
 def default_cache_dir() -> Path:

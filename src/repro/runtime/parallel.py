@@ -151,7 +151,7 @@ class ParallelResult:
                 sum(m.words() for m in self.memories.values()))
 
 
-def run_parallel(
+def _run_parallel(
     plan: PartitionPlan,
     initial: Optional[dict[str, DataSpace]] = None,
     scalars: Optional[Mapping[str, float]] = None,
@@ -232,3 +232,20 @@ def run_parallel(
     finally:
         result.publish()
     return result
+
+
+def run_parallel(*args, **kwargs) -> ParallelResult:
+    """Deprecated free-function entry point.
+
+    Thin shim over the real implementation, kept for source
+    compatibility; new code should drive execution through
+    :class:`repro.api.Session` (``Session(nest).run()``), which scopes
+    observability and the persistent worker pool correctly.  See
+    ``docs/API.md`` for the migration map.
+    """
+    import warnings
+
+    warnings.warn(
+        "run_parallel() is deprecated; use repro.api.Session(...).run() "
+        "(see docs/API.md)", DeprecationWarning, stacklevel=2)
+    return _run_parallel(*args, **kwargs)

@@ -32,8 +32,9 @@ The executor class is resolved dynamically through
 from __future__ import annotations
 
 import concurrent.futures
-from contextlib import contextmanager
-from typing import Iterator, Optional
+from typing import Optional
+
+from repro.ctxstack import ScopeStack
 
 
 class WorkerPool:
@@ -116,20 +117,15 @@ class WorkerPool:
                f"gen {self.generation})"
 
 
-_ACTIVE: list[WorkerPool] = []
+_ACTIVE = ScopeStack()
 
 
 def current_pool() -> Optional[WorkerPool]:
-    """The innermost scoped pool, or None (schedulers then build an
-    ephemeral pool per run)."""
-    return _ACTIVE[-1] if _ACTIVE else None
+    """The innermost scoped pool on this thread, or None (schedulers
+    then build an ephemeral pool per run)."""
+    return _ACTIVE.top(None)
 
 
-@contextmanager
-def use_pool(pool: WorkerPool) -> Iterator[WorkerPool]:
+def use_pool(pool: WorkerPool):
     """Scope ``pool`` as the ambient worker pool for a region of code."""
-    _ACTIVE.append(pool)
-    try:
-        yield pool
-    finally:
-        _ACTIVE.pop()
+    return _ACTIVE.scoped(pool)

@@ -35,9 +35,10 @@ from __future__ import annotations
 
 import hashlib
 import os
-from contextlib import contextmanager
 from dataclasses import dataclass, fields
-from typing import Iterator, Optional, Union
+from typing import Optional, Union
+
+from repro.ctxstack import ScopeStack
 
 #: Environment variable holding a fault-plan spec (see :meth:`FaultPlan.parse`).
 CHAOS_ENV_VAR = "REPRO_CHAOS"
@@ -182,28 +183,23 @@ class FaultPlan:
 # the scoped active plan
 # ---------------------------------------------------------------------------
 
-_plan_stack: list[Optional[FaultPlan]] = []
+_plan_stack = ScopeStack()
 
 
 def current_fault_plan() -> Optional[FaultPlan]:
     """The fault plan chaos-aware call sites consult.
 
-    The innermost :func:`use_fault_plan` scope wins (including an
-    explicit ``None``, which disables chaos for that scope); outside any
-    scope the ``REPRO_CHAOS`` environment variable is parsed.
+    The innermost :func:`use_fault_plan` scope *on this thread* wins
+    (including an explicit ``None``, which disables chaos for that
+    scope); outside any scope the ``REPRO_CHAOS`` environment variable
+    is parsed.
     """
-    if _plan_stack:
-        return _plan_stack[-1]
+    if _plan_stack.depth():
+        return _plan_stack.top()
     spec = os.environ.get(CHAOS_ENV_VAR)
     return FaultPlan.parse(spec) if spec else None
 
 
-@contextmanager
-def use_fault_plan(
-        plan: Union[FaultPlan, str, None]) -> Iterator[Optional[FaultPlan]]:
+def use_fault_plan(plan: Union[FaultPlan, str, None]):
     """Scope the active fault plan (a plan, a spec string, or ``None``)."""
-    _plan_stack.append(FaultPlan.parse(plan))
-    try:
-        yield _plan_stack[-1]
-    finally:
-        _plan_stack.pop()
+    return _plan_stack.scoped(FaultPlan.parse(plan))

@@ -20,7 +20,7 @@ from repro.obs.metrics import current_registry
 from repro.obs.trace import current_tracer
 from repro.runtime.arrays import DataSpace, make_arrays
 from repro.runtime.merge import merge_copies
-from repro.runtime.parallel import ParallelResult, run_parallel
+from repro.runtime.parallel import ParallelResult, _run_parallel
 from repro.runtime.seq import run_sequential
 
 
@@ -99,7 +99,7 @@ class VerificationReport:
         return self
 
 
-def verify_plan(
+def _verify_plan(
     plan: PartitionPlan,
     scalars: Optional[Mapping[str, float]] = None,
     initial: Optional[dict[str, DataSpace]] = None,
@@ -133,7 +133,7 @@ def verify_plan(
         run_sequential(plan.nest, seq_arrays, scalars=scalars,
                        space=plan.model.space)
 
-        result: ParallelResult = run_parallel(
+        result: ParallelResult = _run_parallel(
             plan, initial=initial, scalars=scalars, block_to_pid=block_to_pid,
             backend=backend, chaos=chaos,
         )
@@ -192,13 +192,13 @@ def cross_check_backends(
     reports: dict[str, VerificationReport] = {}
     stamps: dict[str, dict] = {}
     for name in available_backends():
-        result = run_parallel(plan, initial=initial, scalars=scalars,
-                              block_to_pid=block_to_pid, backend=name,
-                              chaos=chaos)
+        result = _run_parallel(plan, initial=initial, scalars=scalars,
+                               block_to_pid=block_to_pid, backend=name,
+                               chaos=chaos)
         stamps[name] = result.write_stamps
-        reports[name] = verify_plan(plan, scalars=scalars, initial=initial,
-                                    block_to_pid=block_to_pid, backend=name,
-                                    chaos=chaos)
+        reports[name] = _verify_plan(plan, scalars=scalars, initial=initial,
+                                     block_to_pid=block_to_pid, backend=name,
+                                     chaos=chaos)
     main = reports["interp"]
     main.cross_checked = reports
     golden_stamps = stamps["interp"]
@@ -212,3 +212,19 @@ def cross_check_backends(
                     (f"<write-stamps:{name}>", (), 0.0, 0.0))
                 main.equal = False
     return main
+
+
+def verify_plan(*args, **kwargs) -> VerificationReport:
+    """Deprecated free-function entry point.
+
+    Thin shim over the real implementation, kept for source
+    compatibility; new code should verify through
+    :class:`repro.api.Session` (``Session(nest).verify()``).  See
+    ``docs/API.md`` for the migration map.
+    """
+    import warnings
+
+    warnings.warn(
+        "verify_plan() is deprecated; use repro.api.Session(...).verify() "
+        "(see docs/API.md)", DeprecationWarning, stacklevel=2)
+    return _verify_plan(*args, **kwargs)

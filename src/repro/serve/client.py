@@ -1,0 +1,85 @@
+"""Blocking Unix-socket client for the serving daemon.
+
+One connection, JSON-lines frames, version-checked responses.  Used by
+the CLI's ``serve status``/``serve stop``/``serve submit``, the CI
+smoke test, and anything else that wants a warm daemon instead of a
+cold process per request::
+
+    with ServeClient() as c:
+        report = c.request("verify", nest="L2", strategy="duplicate")
+        assert report["ok"]
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Optional
+
+from repro.serve.protocol import (
+    Request,
+    Response,
+    decode_frame,
+    encode_frame,
+)
+
+
+class ServeError(RuntimeError):
+    """A failed request; carries the typed envelope."""
+
+    def __init__(self, response: Response):
+        super().__init__(response.reason())
+        self.response = response
+        self.kind = (response.error or {}).get("kind", "internal")
+
+
+class ServeClient:
+    """One blocking connection to a serving daemon."""
+
+    def __init__(self, socket_path: Optional[str] = None,
+                 timeout: float = 60.0) -> None:
+        from repro.serve.daemon import default_socket_path
+
+        self.socket_path = str(socket_path or default_socket_path())
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        self._sock.connect(self.socket_path)
+        self._rfile = self._sock.makefile("rb")
+        self._counter = 0
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the wire ---------------------------------------------------------
+    def call(self, request: Request) -> Response:
+        """Send one request, wait for its response frame."""
+        self._sock.sendall(encode_frame(request))
+        line = self._rfile.readline()
+        if not line:
+            raise ConnectionError(
+                f"daemon at {self.socket_path} closed the connection")
+        return Response.from_dict(decode_frame(line))
+
+    def request(self, op: str, **fields) -> dict:
+        """Call and unwrap: the result payload, or :class:`ServeError`."""
+        self._counter += 1
+        req = Request(op=op, id=f"c{self._counter}", **fields)
+        resp = self.call(req)
+        if not resp.ok:
+            raise ServeError(resp)
+        return resp.result or {}
+
+    # -- conveniences -----------------------------------------------------
+    def status(self) -> dict:
+        return self.request("status")
+
+    def shutdown(self) -> dict:
+        return self.request("shutdown")

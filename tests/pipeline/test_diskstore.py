@@ -1,0 +1,125 @@
+"""DiskStore: the shared lock/manifest/evict skeleton both caches use."""
+
+import json
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.pipeline.diskstore import DiskStore
+
+
+class TestManifest:
+    def test_empty_store_reads_empty_manifest(self, tmp_path):
+        st = DiskStore(tmp_path / "cache")
+        m = st.read_manifest()
+        assert m == {"version": 1, "clock": 0, "entries": {}}
+
+    def test_manifest_round_trips(self, tmp_path):
+        st = DiskStore(tmp_path)
+        m = st.read_manifest()
+        st.record(m, "k1", 10, tag="t")
+        st.write_manifest(m)
+        back = st.read_manifest()
+        assert back["entries"]["k1"] == {"bytes": 10, "used": 1, "tag": "t"}
+
+    def test_corrupt_manifest_reads_as_empty(self, tmp_path):
+        st = DiskStore(tmp_path)
+        (tmp_path / "manifest.json").write_text("{nope")
+        assert st.read_manifest()["entries"] == {}
+        (tmp_path / "manifest.json").write_text(json.dumps({"version": 9}))
+        assert st.read_manifest()["entries"] == {}
+
+    def test_touch_marks_most_recently_used(self, tmp_path):
+        st = DiskStore(tmp_path)
+        m = st.read_manifest()
+        st.record(m, "a", 1)
+        st.record(m, "b", 1)
+        st.touch(m, "a")
+        assert m["entries"]["a"]["used"] > m["entries"]["b"]["used"]
+
+
+class TestPayloads:
+    def test_write_read_round_trip(self, tmp_path):
+        st = DiskStore(tmp_path)
+        st.write_file("k.bin", b"payload")
+        assert st.read_file("k.bin") == b"payload"
+
+    def test_writes_are_atomic_no_temp_left(self, tmp_path):
+        st = DiskStore(tmp_path)
+        st.write_file("k.bin", b"payload")
+        leftovers = [p.name for p in tmp_path.iterdir()
+                     if ".tmp." in p.name]
+        assert leftovers == []
+
+    def test_remove_tolerates_missing(self, tmp_path):
+        st = DiskStore(tmp_path)
+        st.write_file("k.py", b"x")
+        st.remove("k", (".py", ".bin"))
+        assert not (tmp_path / "k.py").exists()
+
+
+class TestEviction:
+    def test_evicts_lru_past_cap(self, tmp_path):
+        st = DiskStore(tmp_path, cap_bytes=25)
+        m = st.read_manifest()
+        for key in ("old", "mid", "new"):
+            st.write_file(f"{key}.bin", b"0123456789")
+            st.record(m, key, 10)
+        st.touch(m, "old")  # old becomes most recently used
+        evicted = st.evict_lru(m, (".bin",))
+        assert evicted == ["mid"]
+        assert not (tmp_path / "mid.bin").exists()
+        assert (tmp_path / "old.bin").exists()
+
+    def test_protected_key_survives_even_oversized(self, tmp_path):
+        st = DiskStore(tmp_path, cap_bytes=5)
+        m = st.read_manifest()
+        st.write_file("big.bin", b"0123456789")
+        st.record(m, "big", 10)
+        evicted = st.evict_lru(m, (".bin",), protect=("big",))
+        assert evicted == []
+        assert (tmp_path / "big.bin").exists()
+
+    def test_no_cap_never_evicts(self, tmp_path):
+        st = DiskStore(tmp_path)
+        m = st.read_manifest()
+        st.record(m, "k", 1 << 40)
+        assert st.evict_lru(m, (".bin",)) == []
+
+
+def _hammer(root, idx):
+    st = DiskStore(root, cap_bytes=1 << 20)
+    for rep in range(20):
+        key = f"w{idx}-{rep % 5}"
+        with st.locked():
+            m = st.read_manifest()
+            st.write_file(f"{key}.bin", pickle.dumps((idx, rep)))
+            st.record(m, key, 64)
+            st.write_manifest(m)
+        with st.locked():
+            m = st.read_manifest()
+            if key in m["entries"]:
+                st.touch(m, key)
+                pickle.loads(st.read_file(f"{key}.bin"))
+                st.write_manifest(m)
+
+
+class TestConcurrency:
+    def test_concurrent_processes_never_tear_the_manifest(self, tmp_path):
+        """Multiple processes hammering one store leave a valid
+        manifest whose entries all have readable payloads."""
+        root = tmp_path / "shared"
+        procs = [multiprocessing.Process(target=_hammer, args=(root, i))
+                 for i in range(4)]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        st = DiskStore(root)
+        m = st.read_manifest()
+        assert m["version"] == 1
+        assert len(m["entries"]) == 20  # 4 writers x 5 distinct keys
+        for key in m["entries"]:
+            pickle.loads(st.read_file(f"{key}.bin"))

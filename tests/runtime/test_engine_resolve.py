@@ -127,3 +127,27 @@ class TestPrecedence:
         assert resolve_engine("mp").name in ("multiprocess", "compiled",
                                              "interp")
         assert get_engine("pool").name == "multiprocess"
+
+
+class TestConcurrentRegistryLoad:
+    def test_fresh_process_concurrent_first_resolutions(self):
+        """A burst of first-ever get_engine() calls across threads (a
+        fresh serving daemon's first request burst) must never observe
+        a half-populated registry: _load_backends flips its flag only
+        after every tier module is imported, under a lock."""
+        import subprocess
+        import sys
+
+        script = (
+            "import concurrent.futures\n"
+            "from repro.runtime.engine.base import get_engine\n"
+            "names = ['interp', 'compiled', 'codegen', 'vectorized',\n"
+            "         'multiprocess', 'auto'] * 4\n"
+            "with concurrent.futures.ThreadPoolExecutor(8) as pool:\n"
+            "    engines = list(pool.map(get_engine, names))\n"
+            "print(len(engines))\n"
+        )
+        proc = subprocess.run([sys.executable, "-c", script],
+                              capture_output=True, text=True, timeout=120)
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == "24"

@@ -1,0 +1,114 @@
+"""Daemon end-to-end: socket lifecycle, concurrent clients, clean exit."""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.serve import daemon as dmod
+from repro.serve.client import ServeClient, ServeError
+
+
+def shm_segments():
+    try:
+        return {f for f in os.listdir("/dev/shm") if f.startswith("repro-")}
+    except FileNotFoundError:  # non-Linux
+        return set()
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    """A foreground daemon on a temp socket, running in a thread."""
+    sock = tmp_path / "serve.sock"
+    thread = threading.Thread(target=dmod.run_daemon, args=(sock,),
+                              kwargs={"max_concurrency": 4},
+                              daemon=True)
+    thread.start()
+    deadline = time.monotonic() + 10
+    while not sock.exists():
+        assert time.monotonic() < deadline, "daemon never bound its socket"
+        assert thread.is_alive(), "daemon died during startup"
+        time.sleep(0.02)
+    yield sock
+    if sock.exists():
+        try:
+            with ServeClient(sock) as c:
+                c.shutdown()
+        except (ConnectionError, OSError):
+            pass
+    thread.join(timeout=10)
+
+
+class TestDaemonLifecycle:
+    def test_request_response_over_socket(self, daemon):
+        with ServeClient(daemon) as client:
+            report = client.request("verify", nest="L2",
+                                    strategy="duplicate")
+        assert report["ok"]
+        assert report["communication_free"]
+
+    def test_pidfile_written(self, daemon):
+        pid = dmod.read_pidfile(daemon)
+        assert pid == os.getpid()  # thread-hosted daemon: our pid
+
+    def test_mixed_concurrent_clients(self, daemon):
+        """Several clients firing mixed ops concurrently all succeed."""
+        before = shm_segments()
+        results: dict[int, list] = {}
+
+        def client_loop(idx: int):
+            ops = [("verify", "L2", "duplicate"),
+                   ("plan", "L1", "duplicate"),
+                   ("run", "L2", "duplicate"),
+                   ("audit", "L1", "duplicate")]
+            got = []
+            with ServeClient(daemon) as client:
+                for op, nest, strategy in ops:
+                    got.append(client.request(op, nest=nest,
+                                              strategy=strategy))
+            results[idx] = got
+
+        threads = [threading.Thread(target=client_loop, args=(i,))
+                   for i in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+            assert not t.is_alive()
+        assert sorted(results) == [0, 1, 2]
+        for got in results.values():
+            assert len(got) == 4
+            assert all(r.get("ok", True) for r in got)
+        with ServeClient(daemon) as client:
+            st = client.status()
+        assert st["requests"] >= 12
+        assert st["errors"] == 0
+        assert shm_segments() <= before
+
+    def test_typed_error_over_the_wire(self, daemon):
+        with ServeClient(daemon) as client:
+            with pytest.raises(ServeError) as exc:
+                client.request("verify", nest="for broken {{{")
+        assert exc.value.kind == "bad-request"
+
+    def test_clean_shutdown_removes_socket_and_pidfile(self, tmp_path):
+        sock = tmp_path / "s2.sock"
+        thread = threading.Thread(target=dmod.run_daemon, args=(sock,),
+                                  daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 10
+        while not sock.exists():
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        before = shm_segments()
+        with ServeClient(sock) as client:
+            client.request("run", nest="L2", strategy="duplicate",
+                           backend="multiprocess")
+            client.shutdown()
+        thread.join(timeout=15)
+        assert not thread.is_alive()
+        assert not sock.exists()
+        assert dmod.pidfile_for(sock).exists() is False
+        # the warm pool and every cached plan segment were released
+        assert shm_segments() <= before
